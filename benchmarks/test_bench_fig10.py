@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Figure 10 (iterations to amortise pre-processing)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import BENCH_SCALE, BENCH_RANK, attach_rows, run_once
+from repro.experiments import fig10
+
+
+def test_bench_fig10(benchmark):
+    """Re-run the Figure 10 driver and record its rows."""
+    result = run_once(benchmark, fig10.run, scale=BENCH_SCALE, rank=BENCH_RANK)
+    attach_rows(benchmark, result)
+    assert result.rows

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Figure 11 (speedup over SPLATT-CPU-tiled)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import BENCH_SCALE, BENCH_RANK, attach_rows, run_once
+from repro.experiments import fig11
+
+
+def test_bench_fig11(benchmark):
+    """Re-run the Figure 11 driver and record its rows."""
+    result = run_once(benchmark, fig11.run, scale=BENCH_SCALE, rank=BENCH_RANK)
+    attach_rows(benchmark, result)
+    assert result.rows

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Figure 12 (speedup over SPLATT-CPU-nontiled)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import BENCH_SCALE, BENCH_RANK, attach_rows, run_once
+from repro.experiments import fig12
+
+
+def test_bench_fig12(benchmark):
+    """Re-run the Figure 12 driver and record its rows."""
+    result = run_once(benchmark, fig12.run, scale=BENCH_SCALE, rank=BENCH_RANK)
+    attach_rows(benchmark, result)
+    assert result.rows

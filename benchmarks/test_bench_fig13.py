@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Figure 13 (speedup over HiCOO-CPU)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import BENCH_SCALE, BENCH_RANK, attach_rows, run_once
+from repro.experiments import fig13
+
+
+def test_bench_fig13(benchmark):
+    """Re-run the Figure 13 driver and record its rows."""
+    result = run_once(benchmark, fig13.run, scale=BENCH_SCALE, rank=BENCH_RANK)
+    attach_rows(benchmark, result)
+    assert result.rows

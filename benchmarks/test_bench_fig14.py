@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Figure 14 (speedup over ParTI-GPU)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import BENCH_SCALE, BENCH_RANK, attach_rows, run_once
+from repro.experiments import fig14
+
+
+def test_bench_fig14(benchmark):
+    """Re-run the Figure 14 driver and record its rows."""
+    result = run_once(benchmark, fig14.run, scale=BENCH_SCALE, rank=BENCH_RANK)
+    attach_rows(benchmark, result)
+    assert result.rows

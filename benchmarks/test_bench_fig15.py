@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Figure 15 (speedup over FCOO-GPU)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import BENCH_SCALE, BENCH_RANK, attach_rows, run_once
+from repro.experiments import fig15
+
+
+def test_bench_fig15(benchmark):
+    """Re-run the Figure 15 driver and record its rows."""
+    result = run_once(benchmark, fig15.run, scale=BENCH_SCALE, rank=BENCH_RANK)
+    attach_rows(benchmark, result)
+    assert result.rows

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Figure 16 (index storage per format)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import BENCH_SCALE, BENCH_RANK, attach_rows, run_once
+from repro.experiments import fig16
+
+
+def test_bench_fig16(benchmark):
+    """Re-run the Figure 16 driver and record its rows."""
+    result = run_once(benchmark, fig16.run, scale=BENCH_SCALE)
+    attach_rows(benchmark, result)
+    assert result.rows

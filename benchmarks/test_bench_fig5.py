@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Figure 5 (fiber/slice splitting gains)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import BENCH_SCALE, BENCH_RANK, attach_rows, run_once
+from repro.experiments import fig5
+
+
+def test_bench_fig5(benchmark):
+    """Re-run the Figure 5 driver and record its rows."""
+    result = run_once(benchmark, fig5.run, scale=BENCH_SCALE, rank=BENCH_RANK)
+    attach_rows(benchmark, result)
+    assert result.rows

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Figure 6 (GFLOPs vs stdev of nonzeros per fiber)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import BENCH_SCALE, BENCH_RANK, attach_rows, run_once
+from repro.experiments import fig6
+
+
+def test_bench_fig6(benchmark):
+    """Re-run the Figure 6 driver and record its rows."""
+    result = run_once(benchmark, fig6.run, scale=BENCH_SCALE, rank=BENCH_RANK)
+    attach_rows(benchmark, result)
+    assert result.rows

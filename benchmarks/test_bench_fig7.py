@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Figure 7 (SPLATT vs B-CSF on shortest/longest modes)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import BENCH_SCALE, BENCH_RANK, attach_rows, run_once
+from repro.experiments import fig7
+
+
+def test_bench_fig7(benchmark):
+    """Re-run the Figure 7 driver and record its rows."""
+    result = run_once(benchmark, fig7.run, scale=BENCH_SCALE, rank=BENCH_RANK)
+    attach_rows(benchmark, result)
+    assert result.rows

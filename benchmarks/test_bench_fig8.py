@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Figure 8 (ParTI-COO vs B-CSF vs HB-CSF)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import BENCH_SCALE, BENCH_RANK, attach_rows, run_once
+from repro.experiments import fig8
+
+
+def test_bench_fig8(benchmark):
+    """Re-run the Figure 8 driver and record its rows."""
+    result = run_once(benchmark, fig8.run, scale=BENCH_SCALE, rank=BENCH_RANK)
+    attach_rows(benchmark, result)
+    assert result.rows

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Figure 9 (pre-processing cost ratios)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import BENCH_SCALE, BENCH_RANK, attach_rows, run_once
+from repro.experiments import fig9
+
+
+def test_bench_fig9(benchmark):
+    """Re-run the Figure 9 driver and record its rows."""
+    result = run_once(benchmark, fig9.run, scale=BENCH_SCALE)
+    attach_rows(benchmark, result)
+    assert result.rows

@@ -1,0 +1,63 @@
+"""Micro-benchmarks of the host-side kernels and format builders.
+
+Unlike the per-figure benchmarks (which time the experiment drivers), these
+measure the real wall-clock cost of the library's own building blocks:
+format construction (the pre-processing the paper's Figures 9/10 reason
+about) and the exact MTTKRP kernels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import BENCH_RANK
+from repro.core.bcsf import build_bcsf
+from repro.core.hybrid import build_hbcsf
+from repro.core.mttkrp import mttkrp
+from repro.kernels.coo_mttkrp import coo_mttkrp
+from repro.kernels.csf_mttkrp import csf_mttkrp
+from repro.tensor.csf import build_csf
+from repro.util.prng import default_rng
+
+
+def _factors(shape, rank=BENCH_RANK, seed=0):
+    rng = default_rng(seed)
+    return [rng.standard_normal((s, rank)) for s in shape]
+
+
+class TestFormatConstruction:
+    def test_bench_build_csf(self, benchmark, deli_tensor):
+        csf = benchmark(build_csf, deli_tensor, 0)
+        assert csf.nnz == deli_tensor.nnz
+
+    def test_bench_build_bcsf(self, benchmark, darpa_tensor):
+        bcsf = benchmark(build_bcsf, darpa_tensor, 0)
+        assert bcsf.max_nnz_per_fiber() <= 128
+
+    def test_bench_build_hbcsf(self, benchmark, frm_tensor):
+        hb = benchmark(build_hbcsf, frm_tensor, 0)
+        assert hb.nnz == frm_tensor.nnz
+
+
+class TestExactMttkrp:
+    def test_bench_coo_mttkrp(self, benchmark, deli_tensor):
+        factors = _factors(deli_tensor.shape)
+        out = benchmark(coo_mttkrp, deli_tensor, factors, 0)
+        assert np.isfinite(out).all()
+
+    def test_bench_csf_mttkrp(self, benchmark, deli_tensor):
+        factors = _factors(deli_tensor.shape)
+        csf = build_csf(deli_tensor, 0)
+        out = benchmark(csf_mttkrp, csf, factors)
+        assert np.isfinite(out).all()
+
+    def test_bench_hbcsf_mttkrp(self, benchmark, nell2_tensor):
+        factors = _factors(nell2_tensor.shape)
+        hb = build_hbcsf(nell2_tensor, 0)
+        out = benchmark(hb.mttkrp, factors)
+        assert np.isfinite(out).all()
+
+    def test_bench_public_api_mttkrp(self, benchmark, darpa_tensor):
+        factors = _factors(darpa_tensor.shape)
+        out = benchmark(mttkrp, darpa_tensor, factors, 0, "hb-csf")
+        assert out.shape == (darpa_tensor.shape[0], BENCH_RANK)

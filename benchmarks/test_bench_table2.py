@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Table II (GPU-CSF performance and load-imbalance columns)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import BENCH_SCALE, BENCH_RANK, attach_rows, run_once
+from repro.experiments import table2
+
+
+def test_bench_table2(benchmark):
+    """Re-run the Table II driver and record its rows."""
+    result = run_once(benchmark, table2.run, scale=BENCH_SCALE, rank=BENCH_RANK)
+    attach_rows(benchmark, result)
+    assert result.rows

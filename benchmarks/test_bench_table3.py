@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Table III (dataset inventory)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import BENCH_SCALE, BENCH_RANK, attach_rows, run_once
+from repro.experiments import table3
+
+
+def test_bench_table3(benchmark):
+    """Re-run the Table III driver and record its rows."""
+    result = run_once(benchmark, table3.run, scale=BENCH_SCALE)
+    attach_rows(benchmark, result)
+    assert result.rows

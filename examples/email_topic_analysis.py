@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Email-conversation analysis with CP decomposition (the intro's use case).
+
+The paper motivates sparse tensors with multi-aspect data such as email
+(sender x recipient x time).  This example builds an Enron-like synthetic
+email tensor with a few planted communication "communities", decomposes it
+with CPD-ALS on top of the HB-CSF MTTKRP, and reports which senders /
+recipients / weeks dominate each latent component — the kind of
+conversation-detection workload the introduction cites.
+
+Run with::
+
+    python examples/email_topic_analysis.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro.tensor.coo import CooTensor
+from repro.util.prng import default_rng
+
+
+def build_email_tensor(num_people: int = 400, num_weeks: int = 52,
+                       num_communities: int = 4, emails: int = 20_000,
+                       seed: int = 7) -> tuple[CooTensor, np.ndarray]:
+    """Synthetic (sender, recipient, week) email-count tensor.
+
+    Each community is a group of people who email each other heavily during
+    its own active period; background traffic is uniform noise.
+    """
+    rng = default_rng(seed)
+    members = [rng.choice(num_people, size=num_people // num_communities,
+                          replace=False) for _ in range(num_communities)]
+    active_weeks = [rng.choice(num_weeks, size=num_weeks // num_communities,
+                               replace=False) for _ in range(num_communities)]
+
+    senders, recipients, weeks = [], [], []
+    community_emails = int(emails * 0.8) // num_communities
+    for c in range(num_communities):
+        senders.append(rng.choice(members[c], size=community_emails))
+        recipients.append(rng.choice(members[c], size=community_emails))
+        weeks.append(rng.choice(active_weeks[c], size=community_emails))
+    background = emails - num_communities * community_emails
+    senders.append(rng.integers(0, num_people, background))
+    recipients.append(rng.integers(0, num_people, background))
+    weeks.append(rng.integers(0, num_weeks, background))
+
+    indices = np.column_stack([np.concatenate(senders),
+                               np.concatenate(recipients),
+                               np.concatenate(weeks)])
+    values = np.ones(indices.shape[0])
+    tensor = CooTensor(indices, values, (num_people, num_people, num_weeks),
+                       sum_duplicates=True)
+    membership = np.full(num_people, -1)
+    for c, people in enumerate(members):
+        membership[people] = c
+    return tensor, membership
+
+
+def main() -> None:
+    tensor, membership = build_email_tensor()
+    print(f"email tensor: {tensor} (sender x recipient x week)")
+
+    stats = repro.mode_stats(tensor, 0)
+    print(f"  senders with email: {stats.num_slices}, "
+          f"stdev emails/sender: {stats.nnz_per_slice_std:.1f}")
+
+    rank = 4
+    result = repro.cp_als(tensor, rank=rank, n_iters=40, tol=1e-5,
+                          format="hb-csf", rng=3)
+    print(f"\nCPD-ALS rank {rank}: fit={result.final_fit:.3f} after "
+          f"{result.iterations} iterations")
+
+    # Which planted community does each component capture?
+    print("\ncomponent -> dominant community among its top-20 senders")
+    recovered = set()
+    for r in range(rank):
+        top_senders = np.argsort(result.factors[0][:, r])[-20:]
+        communities = membership[top_senders]
+        communities = communities[communities >= 0]
+        if communities.size:
+            dominant = int(np.bincount(communities).argmax())
+            purity = float(np.mean(communities == dominant))
+            recovered.add(dominant)
+            print(f"  component {r}: community {dominant} "
+                  f"(purity {purity:.0%})")
+        else:
+            print(f"  component {r}: background traffic")
+    print(f"\nrecovered {len(recovered)} of 4 planted communities")
+
+    # The MTTKRP inside that decomposition is exactly the kernel the paper
+    # optimises; show what the GPU model predicts for it.
+    gpu = repro.simulate_mttkrp(tensor, mode=0, rank=32, format="hb-csf")
+    cpu = repro.SplattMttkrp(tensor, tiled=False).simulate(0, rank=32)
+    print(f"\nmode-0 MTTKRP, R=32: HB-CSF on P100 {gpu.time_seconds * 1e6:.0f} us "
+          f"vs SPLATT on 28-core CPU {cpu.time_seconds * 1e6:.0f} us "
+          f"({cpu.time_seconds / gpu.time_seconds:.1f}x)")
+
+
+if __name__ == "__main__":
+    main()

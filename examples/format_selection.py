@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Format selection: which sparse-tensor format should I use for my tensor?
+
+The paper's practical message is that the right format depends on the
+tensor's nonzero distribution and on how many CPD iterations you plan to
+run (pre-processing amortisation, Figures 9 and 10).  This example takes a
+dataset name, inspects its structure, compares storage and simulated GPU
+execution time of every format, and prints a recommendation.
+
+Run with::
+
+    python examples/format_selection.py            # defaults to darpa
+    python examples/format_selection.py fr_m 50    # dataset, planned iterations
+"""
+
+from __future__ import annotations
+
+import sys
+
+import repro
+from repro.core.mttkrp import MttkrpPlan
+from repro.experiments.fig10 import iterations_to_amortise
+
+
+def analyse(name: str, planned_iterations: int) -> None:
+    tensor = repro.load_dataset(name, scale=0.5)
+    print(f"dataset {name}: {tensor}")
+
+    # --- structure ------------------------------------------------------ #
+    print("\nper-mode structure (what drives load imbalance):")
+    for mode in range(tensor.order):
+        report = repro.load_balance_report(tensor, mode)
+        stats = repro.mode_stats(tensor, mode)
+        print(f"  mode {mode}: slices={stats.num_slices:7d} "
+              f"fibers={stats.num_fibers:7d} "
+              f"singleton fibers={stats.singleton_fiber_fraction:5.0%} "
+              f"slice imbalance={report.slice_imbalance:6.1f}x "
+              f"fiber imbalance={report.fiber_imbalance:6.1f}x")
+
+    # --- storage --------------------------------------------------------- #
+    cmp = repro.storage_comparison(tensor, name=name)
+    print("\nindex storage (words per nonzero, all-mode representations):")
+    for key, value in cmp.as_row().items():
+        if key != "tensor":
+            print(f"  {key:22s} {value}")
+
+    # --- simulated execution time per format ----------------------------- #
+    print("\nsimulated P100 time for one full MTTKRP sweep (all modes, R=32):")
+    sweep_times = {}
+    for fmt in ("csf", "b-csf", "hb-csf", "coo", "f-coo"):
+        total = sum(repro.simulate_mttkrp(tensor, m, 32, fmt).time_seconds
+                    for m in range(tensor.order))
+        sweep_times[fmt] = total
+        print(f"  {fmt:8s} {total * 1e6:10.1f} us")
+    best_fmt = min(sweep_times, key=sweep_times.get)
+
+    # --- amortisation ----------------------------------------------------- #
+    print("\npre-processing cost (measured) and amortisation vs CSF:")
+    csf_plan = MttkrpPlan(tensor, format="csf")
+    verdicts = {}
+    for fmt in ("b-csf", "hb-csf"):
+        plan = MttkrpPlan(tensor, format=fmt)
+        iters = iterations_to_amortise(plan.preprocessing_seconds,
+                                       sweep_times[fmt],
+                                       csf_plan.preprocessing_seconds,
+                                       sweep_times["csf"])
+        verdicts[fmt] = iters
+        print(f"  {fmt:8s} preprocessing {plan.preprocessing_seconds * 1e3:7.1f} ms, "
+              f"pays off after ~{iters} CPD iterations")
+
+    # --- recommendation --------------------------------------------------- #
+    print(f"\nrecommendation for ~{planned_iterations} CPD iterations:")
+    if verdicts.get("hb-csf", float("inf")) <= planned_iterations:
+        choice = "hb-csf"
+    elif verdicts.get("b-csf", float("inf")) <= planned_iterations:
+        choice = "b-csf"
+    else:
+        choice = best_fmt
+    print(f"  use {choice!r} (fastest sweep: {best_fmt!r}, "
+          f"{sweep_times[best_fmt] * 1e6:.0f} us)")
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "darpa"
+    iterations = int(sys.argv[2]) if len(sys.argv) > 2 else 20
+    if name not in repro.dataset_names():
+        raise SystemExit(f"unknown dataset {name!r}; choose from "
+                         f"{', '.join(repro.dataset_names())}")
+    analyse(name, iterations)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,13 @@
+"""Setuptools shim.
+
+The execution environment for this reproduction is fully offline and ships
+setuptools 65 without the ``wheel`` package, so PEP-660 editable installs
+(which must build a wheel) cannot work.  Keeping a ``setup.py`` and omitting
+the ``[build-system]`` table from ``pyproject.toml`` lets
+``pip install -e .`` fall back to the legacy ``setup.py develop`` path,
+which needs nothing beyond setuptools itself.
+"""
+
+from setuptools import setup
+
+setup()

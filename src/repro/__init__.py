@@ -1,0 +1,95 @@
+"""repro — reproduction of "Load-Balanced Sparse MTTKRP on GPUs" (IPDPS'19).
+
+The package implements the paper's contributions (the B-CSF and HB-CSF
+sparse-tensor formats and their load-balanced MTTKRP) together with every
+substrate the evaluation depends on: COO/CSF tensors, synthetic stand-ins
+for the FROSTT / HaTen2 datasets, a GPU execution-model simulator standing
+in for the Tesla P100, CPU and GPU baselines (SPLATT, HiCOO, ParTI, F-COO),
+CPD-ALS, and one experiment driver per table / figure.
+
+Quick start
+-----------
+>>> import repro
+>>> tensor = repro.load_dataset("nell2", scale=0.2)
+>>> factors = repro.init_factors(tensor, rank=16, rng=0)
+>>> y = repro.mttkrp(tensor, factors, mode=0, format="hb-csf")
+>>> result = repro.simulate_mttkrp(tensor, mode=0, rank=16, format="hb-csf")
+>>> result.gflops > 0
+True
+
+See ``examples/`` for end-to-end scripts and ``repro.experiments`` for the
+table/figure drivers.
+"""
+
+from repro.tensor import (
+    CooTensor,
+    CsfTensor,
+    build_csf,
+    load_dataset,
+    dataset_names,
+    random_coo,
+    power_law_tensor,
+    PowerLawSpec,
+    read_tns,
+    write_tns,
+    mode_stats,
+    Reordering,
+    random_relabel,
+    relabel_mode_by_density,
+    zorder_sort,
+)
+from repro.core import (
+    SplitConfig,
+    BcsfTensor,
+    build_bcsf,
+    CslGroup,
+    build_csl_group,
+    HbcsfTensor,
+    build_hbcsf,
+    partition_slices,
+    mttkrp,
+    MttkrpPlan,
+    FORMATS,
+)
+from repro.gpusim import (
+    DeviceSpec,
+    TESLA_P100,
+    TESLA_V100,
+    LaunchConfig,
+    simulate_mttkrp,
+    KernelResult,
+)
+from repro.baselines import (
+    SplattMttkrp,
+    HicooMttkrp,
+    PartiGpuMttkrp,
+    FcooGpuMttkrp,
+)
+from repro.cpd import cp_als, CpdResult, init_factors
+from repro.analysis import storage_comparison, load_balance_report
+from repro.experiments import run_experiment, EXPERIMENTS
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # tensors
+    "CooTensor", "CsfTensor", "build_csf", "load_dataset", "dataset_names",
+    "random_coo", "power_law_tensor", "PowerLawSpec", "read_tns", "write_tns",
+    "mode_stats", "Reordering", "random_relabel", "relabel_mode_by_density",
+    "zorder_sort",
+    # core formats / MTTKRP
+    "SplitConfig", "BcsfTensor", "build_bcsf", "CslGroup", "build_csl_group",
+    "HbcsfTensor", "build_hbcsf", "partition_slices", "mttkrp", "MttkrpPlan",
+    "FORMATS",
+    # GPU simulation
+    "DeviceSpec", "TESLA_P100", "TESLA_V100", "LaunchConfig",
+    "simulate_mttkrp", "KernelResult",
+    # baselines
+    "SplattMttkrp", "HicooMttkrp", "PartiGpuMttkrp", "FcooGpuMttkrp",
+    # CPD
+    "cp_als", "CpdResult", "init_factors",
+    # analysis / experiments
+    "storage_comparison", "load_balance_report", "run_experiment",
+    "EXPERIMENTS",
+    "__version__",
+]

@@ -1,0 +1,44 @@
+"""Storage, operation-count and load-balance analysis.
+
+These modules implement the closed-form accounting of Sections III and V
+(index-storage words and operation counts per format) and the load-balance
+statistics of Section IV (standard deviation of nonzeros per slice / fiber),
+which the experiment drivers combine into Table II and Figure 16.
+"""
+
+from repro.analysis.storage import (
+    FormatStorage,
+    coo_storage_words,
+    csf_storage_words,
+    csl_storage_words,
+    fcoo_storage_words,
+    hbcsf_storage_words,
+    hicoo_storage_words,
+    storage_comparison,
+)
+from repro.analysis.opcount import (
+    coo_operations,
+    csf_operations,
+    csl_operations,
+    hbcsf_operations,
+    operation_comparison,
+)
+from repro.analysis.loadbalance import LoadBalanceReport, load_balance_report
+
+__all__ = [
+    "FormatStorage",
+    "coo_storage_words",
+    "csf_storage_words",
+    "csl_storage_words",
+    "fcoo_storage_words",
+    "hbcsf_storage_words",
+    "hicoo_storage_words",
+    "storage_comparison",
+    "coo_operations",
+    "csf_operations",
+    "csl_operations",
+    "hbcsf_operations",
+    "operation_comparison",
+    "LoadBalanceReport",
+    "load_balance_report",
+]

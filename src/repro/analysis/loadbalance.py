@@ -1,0 +1,90 @@
+"""Load-balance statistics (Section IV / Table II).
+
+The paper's analysis ties GPU-CSF's poor performance on some tensors to two
+quantities: the standard deviation of nonzeros per slice (inter-thread-block
+imbalance) and per fiber (inter-warp imbalance).  This module computes those
+plus a few derived indicators the experiment drivers print next to the
+simulated occupancy / sm_efficiency numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.splitting import SplitConfig, slice_block_bins, split_long_fibers
+from repro.tensor.coo import CooTensor
+from repro.tensor.csf import build_csf
+from repro.tensor.stats import mode_stats
+
+__all__ = ["LoadBalanceReport", "load_balance_report"]
+
+
+@dataclass(frozen=True)
+class LoadBalanceReport:
+    """Imbalance indicators for one tensor / mode, before and after splitting."""
+
+    mode: int
+    stdev_nnz_per_slice: float
+    stdev_nnz_per_fiber: float
+    max_nnz_per_slice: int
+    max_nnz_per_fiber: int
+    slice_imbalance: float
+    fiber_imbalance: float
+    stdev_nnz_per_fiber_after_split: float
+    max_nnz_per_fiber_after_split: int
+    blocks_before_split: int
+    blocks_after_split: int
+
+    def as_row(self) -> dict[str, float | int]:
+        return {
+            "mode": self.mode,
+            "stdev nnz/slc": round(self.stdev_nnz_per_slice, 1),
+            "stdev nnz/fbr": round(self.stdev_nnz_per_fiber, 1),
+            "max nnz/slc": self.max_nnz_per_slice,
+            "max nnz/fbr": self.max_nnz_per_fiber,
+            "slc imbalance": round(self.slice_imbalance, 2),
+            "fbr imbalance": round(self.fiber_imbalance, 2),
+            "stdev nnz/fbr (split)": round(self.stdev_nnz_per_fiber_after_split, 1),
+            "blocks (split)": self.blocks_after_split,
+        }
+
+
+def load_balance_report(tensor: CooTensor, mode: int,
+                        config: SplitConfig | None = None) -> LoadBalanceReport:
+    """Compute imbalance indicators for a CSF representation at ``mode``.
+
+    ``slice_imbalance`` / ``fiber_imbalance`` are max-to-mean ratios — the
+    factor by which the largest work unit exceeds the average, i.e. how much
+    longer the worst thread block / warp runs than a perfectly balanced one.
+    """
+    config = config or SplitConfig()
+    ms = mode_stats(tensor, mode)
+    csf = build_csf(tensor, mode)
+
+    fiber_nnz = csf.nnz_per_fiber()
+    slice_nnz = csf.nnz_per_slice()
+    mean_fiber = float(fiber_nnz.mean()) if fiber_nnz.size else 0.0
+    mean_slice = float(slice_nnz.mean()) if slice_nnz.size else 0.0
+
+    split_csf, _ = split_long_fibers(csf, config.fiber_threshold)
+    split_fiber_nnz = split_csf.nnz_per_fiber()
+    blocks_after = int(slice_block_bins(split_csf.nnz_per_slice(),
+                                        config.block_nnz).sum())
+
+    return LoadBalanceReport(
+        mode=mode,
+        stdev_nnz_per_slice=ms.nnz_per_slice_std,
+        stdev_nnz_per_fiber=ms.nnz_per_fiber_std,
+        max_nnz_per_slice=ms.nnz_per_slice_max,
+        max_nnz_per_fiber=ms.nnz_per_fiber_max,
+        slice_imbalance=(ms.nnz_per_slice_max / mean_slice) if mean_slice else 0.0,
+        fiber_imbalance=(ms.nnz_per_fiber_max / mean_fiber) if mean_fiber else 0.0,
+        stdev_nnz_per_fiber_after_split=float(np.std(split_fiber_nnz))
+        if split_fiber_nnz.size else 0.0,
+        max_nnz_per_fiber_after_split=int(split_fiber_nnz.max())
+        if split_fiber_nnz.size else 0,
+        blocks_before_split=csf.num_slices,
+        blocks_after_split=blocks_after,
+    )

@@ -1,0 +1,70 @@
+"""Operation-count accounting (Sections II-C, III and V).
+
+Counts are floating-point operations for one MTTKRP at rank ``R``:
+
+* COO performs the full Hadamard product per nonzero: ``N · M · R``
+  (``3 M R`` for third order);
+* CSF factors the last-mode contribution per fiber: ``2 R (M + F)``, which
+  degenerates to ``~4 M R`` when ``F ≈ M`` and to ``~2 M R`` when
+  ``F ≪ M``;
+* CSL behaves like COO on its slices but skips the per-fiber reduction
+  CSF would add;
+* HB-CSF is the sum of its groups and therefore always lands in the
+  ``2 M R`` – ``3 M R`` band the paper quotes.
+"""
+
+from __future__ import annotations
+
+from repro.core.hybrid import HbcsfTensor, build_hbcsf
+from repro.core.splitting import SplitConfig
+from repro.tensor.coo import CooTensor
+from repro.tensor.csf import build_csf
+
+__all__ = [
+    "coo_operations",
+    "csf_operations",
+    "csl_operations",
+    "hbcsf_operations",
+    "operation_comparison",
+]
+
+
+def coo_operations(nnz: int, order: int, rank: int) -> float:
+    """``N · M · R`` (Algorithm 2)."""
+    return float(order) * nnz * rank
+
+
+def csf_operations(nnz: int, num_fibers: int, rank: int) -> float:
+    """``2 R (M + F)`` (Section III-B, factored Equation 8)."""
+    return 2.0 * rank * (nnz + num_fibers)
+
+
+def csl_operations(nnz: int, order: int, rank: int) -> float:
+    """CSL performs the Hadamard product per nonzero but no per-fiber work."""
+    return float(order) * nnz * rank
+
+
+def hbcsf_operations(hbcsf: HbcsfTensor, rank: int) -> float:
+    """Sum of the three groups' operation counts."""
+    order = hbcsf.order
+    ops = coo_operations(hbcsf.coo_group.nnz, order, rank)
+    ops += csl_operations(hbcsf.csl_group.nnz, order, rank)
+    if hbcsf.bcsf_group is not None:
+        ops += csf_operations(hbcsf.bcsf_group.nnz,
+                              hbcsf.bcsf_group.num_fiber_segments, rank)
+    return ops
+
+
+def operation_comparison(tensor: CooTensor, mode: int, rank: int = 32,
+                         config: SplitConfig | None = None) -> dict[str, float]:
+    """Operation counts of every format for one mode (per Section III/V)."""
+    csf = build_csf(tensor, mode)
+    hbcsf = build_hbcsf(tensor, mode, config or SplitConfig.disabled())
+    m, n = tensor.nnz, tensor.order
+    return {
+        "coo": coo_operations(m, n, rank),
+        "csf": csf_operations(m, csf.num_fibers, rank),
+        "hb-csf": hbcsf_operations(hbcsf, rank),
+        "lower_bound_2MR": 2.0 * m * rank,
+        "upper_bound_NMR": float(n) * m * rank,
+    }

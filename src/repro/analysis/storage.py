@@ -1,0 +1,124 @@
+"""Index-storage accounting for every format (Sections III, V and VI-F).
+
+All counts are in 32-bit index *words*, matching the paper's convention of
+4-byte unsigned indices and excluding the numerical values (which cost the
+same in every format).  For the mode-oriented formats (CSF, B-CSF, HB-CSF,
+F-COO) the paper stores one representation per mode (ALLMODE /
+strong mode orientation, Section VI-F), so the comparison functions report
+both per-mode and all-mode totals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.hicoo import build_hicoo
+from repro.core.hybrid import build_hbcsf
+from repro.core.splitting import SplitConfig
+from repro.gpusim.kernels.fcoo_kernel import fcoo_storage_words as _fcoo_words
+from repro.tensor.coo import CooTensor
+from repro.tensor.csf import build_csf
+
+__all__ = [
+    "FormatStorage",
+    "coo_storage_words",
+    "csf_storage_words",
+    "csl_storage_words",
+    "fcoo_storage_words",
+    "hicoo_storage_words",
+    "hbcsf_storage_words",
+    "storage_comparison",
+]
+
+
+def coo_storage_words(tensor: CooTensor) -> int:
+    """COO stores every mode index for every nonzero: ``N · M`` words."""
+    return tensor.order * tensor.nnz
+
+
+def csf_storage_words(tensor: CooTensor, mode: int) -> int:
+    """CSF rooted at ``mode``: ``2·(nodes per internal level) + M`` words
+    (``2S + 2F + M`` for a third-order tensor, Section III-B)."""
+    return build_csf(tensor, mode).index_storage_words()
+
+
+def csl_storage_words(num_slices: int, nnz: int, order: int) -> int:
+    """CSL: slice pointers + indices plus ``N-1`` indices per nonzero."""
+    return 2 * num_slices + (order - 1) * nnz
+
+
+def fcoo_storage_words(tensor: CooTensor, mode: int | None = None) -> float:
+    """F-COO for one mode: product-mode indices plus bit-flag arrays."""
+    return _fcoo_words(tensor.nnz, tensor.order)
+
+
+def hicoo_storage_words(tensor: CooTensor, block_bits: int = 7) -> float:
+    """HiCOO: measured from the actual superblock structure."""
+    return build_hicoo(tensor, block_bits).index_storage_words()
+
+
+def hbcsf_storage_words(tensor: CooTensor, mode: int,
+                        config: SplitConfig | None = None) -> int:
+    """HB-CSF rooted at ``mode``: sum of its COO / CSL / B-CSF groups."""
+    return build_hbcsf(tensor, mode, config or SplitConfig.disabled()
+                       ).index_storage_words()
+
+
+@dataclass(frozen=True)
+class FormatStorage:
+    """Per-format storage for one tensor (Figure 16 data)."""
+
+    tensor_name: str
+    nnz: int
+    order: int
+    #: per-mode words for the mode-oriented formats
+    csf_per_mode: dict[int, int]
+    hbcsf_per_mode: dict[int, int]
+    fcoo_per_mode: dict[int, float]
+    coo_words: int
+    hicoo_words: float
+
+    @property
+    def csf_total(self) -> int:
+        return sum(self.csf_per_mode.values())
+
+    @property
+    def hbcsf_total(self) -> int:
+        return sum(self.hbcsf_per_mode.values())
+
+    @property
+    def fcoo_total(self) -> float:
+        return sum(self.fcoo_per_mode.values())
+
+    def as_row(self) -> dict[str, float]:
+        """Row of Figure 16 (all-mode totals, in words per nonzero)."""
+        m = max(self.nnz, 1)
+        return {
+            "tensor": self.tensor_name,
+            "fcoo_words_per_nnz": round(self.fcoo_total / m, 3),
+            "csf_words_per_nnz": round(self.csf_total / m, 3),
+            "hbcsf_words_per_nnz": round(self.hbcsf_total / m, 3),
+            "coo_words_per_nnz": round(self.coo_words / m, 3),
+            "hicoo_words_per_nnz": round(self.hicoo_words / m, 3),
+        }
+
+
+def storage_comparison(tensor: CooTensor, name: str = "tensor",
+                       modes: list[int] | None = None,
+                       config: SplitConfig | None = None) -> FormatStorage:
+    """Compute the Figure 16 storage comparison for one tensor."""
+    if modes is None:
+        modes = list(range(tensor.order))
+    csf = {m: csf_storage_words(tensor, m) for m in modes}
+    hb = {m: hbcsf_storage_words(tensor, m, config) for m in modes}
+    fcoo = {m: fcoo_storage_words(tensor, m) for m in modes}
+    return FormatStorage(
+        tensor_name=name,
+        nnz=tensor.nnz,
+        order=tensor.order,
+        csf_per_mode=csf,
+        hbcsf_per_mode=hb,
+        fcoo_per_mode=fcoo,
+        coo_words=coo_storage_words(tensor),
+        hicoo_words=hicoo_storage_words(tensor),
+    )

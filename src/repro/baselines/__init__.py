@@ -1,0 +1,31 @@
+"""Re-implementations of the frameworks the paper compares against.
+
+All baselines compute numerically exact MTTKRP results (validated against
+the dense reference) and report performance through cost models:
+
+* :mod:`repro.baselines.cpu_model` — the 28-core Broadwell execution model
+  shared by the CPU baselines;
+* :mod:`repro.baselines.splatt`    — SPLATT's CSF-MTTKRP (ALLMODE), with and
+  without cache tiling;
+* :mod:`repro.baselines.hicoo`     — HiCOO's blocked-COO MTTKRP;
+* :mod:`repro.baselines.parti`     — ParTI!'s COO GPU MTTKRP (atomic adds);
+* :mod:`repro.baselines.fcoo`      — F-COO's segmented-scan GPU MTTKRP.
+"""
+
+from repro.baselines.cpu_model import CpuSpec, XEON_E5_2680_V4, CpuKernelResult
+from repro.baselines.splatt import SplattMttkrp
+from repro.baselines.hicoo import HicooMttkrp, HicooTensor, build_hicoo
+from repro.baselines.parti import PartiGpuMttkrp
+from repro.baselines.fcoo import FcooGpuMttkrp
+
+__all__ = [
+    "CpuSpec",
+    "XEON_E5_2680_V4",
+    "CpuKernelResult",
+    "SplattMttkrp",
+    "HicooMttkrp",
+    "HicooTensor",
+    "build_hicoo",
+    "PartiGpuMttkrp",
+    "FcooGpuMttkrp",
+]

@@ -1,0 +1,80 @@
+"""ParTI! baseline: COO MTTKRP on the GPU with atomic accumulation.
+
+ParTI! (Li et al.) stores the tensor in plain COO, parallelises over
+nonzeros and combines contributions to the same output row with atomic adds
+(Related Work, Section VII).  Exact results come from the COO kernel; the
+performance model is the atomic-COO GPU workload of
+:mod:`repro.gpusim.kernels.coo_kernel`.  Like the original framework, the
+baseline only supports third-order tensors (the missing 4-D bars of
+Figure 14).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.gpusim.api import atomic_conflict_factor
+from repro.gpusim.costs import CostModel, DEFAULT_COSTS
+from repro.gpusim.device import DeviceSpec, TESLA_P100
+from repro.gpusim.executor import simulate_kernel
+from repro.gpusim.kernels.coo_kernel import build_coo_workload
+from repro.gpusim.launch import LaunchConfig
+from repro.gpusim.metrics import KernelResult
+from repro.kernels.coo_mttkrp import coo_mttkrp
+from repro.tensor.coo import CooTensor
+from repro.util.errors import ValidationError
+
+__all__ = ["PartiGpuMttkrp"]
+
+
+@dataclass
+class PartiGpuMttkrp:
+    """ParTI!-style COO GPU MTTKRP baseline."""
+
+    tensor: CooTensor
+    device: DeviceSpec = TESLA_P100
+    launch: LaunchConfig = field(default_factory=LaunchConfig)
+    costs: CostModel = DEFAULT_COSTS
+    preprocessing_seconds: float = field(default=0.0, init=False)
+    supported: bool = field(default=True, init=False)
+
+    def __post_init__(self) -> None:
+        # ParTI's GPU MTTKRP supports only third-order tensors.
+        self.supported = self.tensor.order == 3
+        start = time.perf_counter()
+        # COO needs only a mode-major sort as preprocessing.
+        self._sorted = {m: self.tensor.sorted_by_modes(
+            tuple([m] + [x for x in range(self.tensor.order) if x != m]))
+            for m in range(self.tensor.order)}
+        self.preprocessing_seconds = time.perf_counter() - start
+
+    @property
+    def name(self) -> str:
+        return "parti-gpu"
+
+    def _check(self) -> None:
+        if not self.supported:
+            raise ValidationError(
+                "ParTI-GPU supports only third-order tensors (the paper's "
+                "Figure 14 omits 4-D datasets for the same reason)"
+            )
+
+    def mttkrp(self, factors: list[np.ndarray], mode: int,
+               out: np.ndarray | None = None) -> np.ndarray:
+        self._check()
+        return coo_mttkrp(self._sorted[mode], factors, mode, out=out)
+
+    def index_storage_words(self) -> int:
+        """COO keeps all mode indices for every nonzero: ``N * M`` words."""
+        return self.tensor.order * self.tensor.nnz
+
+    def simulate(self, mode: int, rank: int = 32) -> KernelResult:
+        self._check()
+        factor = atomic_conflict_factor(self.tensor, mode)
+        workload = build_coo_workload(self.tensor, mode, rank, self.launch,
+                                      self.costs, atomic_conflict_factor=factor,
+                                      name="parti-coo")
+        return simulate_kernel(workload, self.device)

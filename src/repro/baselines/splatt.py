@@ -1,0 +1,145 @@
+"""SPLATT baseline: CSF-MTTKRP on the multicore CPU (Smith et al.).
+
+The paper compares against SPLATT 1.1.0 in its strongest configuration
+(Section VI-A): ``ALLMODE`` (one CSF representation per mode, so every
+MTTKRP runs root-mode without recursion) with the cache ``tiling`` option
+both on and off (Figures 11 and 12).
+
+This module re-implements that baseline: exact MTTKRP through the CSF
+kernel, an ALLMODE preprocessing step whose wall-clock time feeds Figures 9
+and 10, and a 28-thread cost model in which each slice is one schedulable
+task — which is exactly why SPLATT scales poorly on short modes (few slices,
+Figure 7) and on heavily skewed tensors.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.baselines.cpu_model import (
+    CpuCostModel,
+    CpuKernelResult,
+    CpuSpec,
+    XEON_E5_2680_V4,
+    simulate_cpu_kernel,
+)
+from repro.kernels.csf_mttkrp import csf_mttkrp
+from repro.tensor.coo import CooTensor
+from repro.tensor.csf import CsfTensor, build_csf
+from repro.util.errors import ValidationError
+
+__all__ = ["SplattMttkrp"]
+
+#: Extra work factor the tiling transformation introduces (tile bookkeeping,
+#: synchronisation between tile sweeps, worse vectorisation of short tiles).
+#: The paper observes tiling frequently *hurts* ALLMODE performance
+#: (Section VI-E); this factor is why the measured speedups over
+#: SPLATT-tiled (Figure 11) are several times larger than over
+#: SPLATT-nontiled (Figure 12).
+TILING_COMPUTE_FACTOR = 2.4
+#: ...in exchange for better cache behaviour on the factor-row reads.
+TILING_TRAFFIC_FACTOR = 0.6
+#: Tiling roughly triples the preprocessing cost (Figure 9).
+TILING_PREPROCESS_FACTOR = 3.0
+
+
+@dataclass
+class SplattMttkrp:
+    """SPLATT ALLMODE CSF-MTTKRP with an optional tiling flag.
+
+    Attributes
+    ----------
+    tensor:
+        Input COO tensor.
+    tiled:
+        Whether the cache-tiling optimisation is enabled.
+    cpu:
+        CPU model (defaults to the paper's 28-core Broadwell).
+    preprocessing_seconds:
+        Wall-clock time spent building the per-mode CSF representations
+        (scaled by :data:`TILING_PREPROCESS_FACTOR` when tiled).
+    """
+
+    tensor: CooTensor
+    tiled: bool = False
+    cpu: CpuSpec = XEON_E5_2680_V4
+    costs: CpuCostModel = field(default_factory=CpuCostModel)
+    modes: tuple[int, ...] | None = None
+    representations: dict[int, CsfTensor] = field(default_factory=dict, init=False)
+    preprocessing_seconds: float = field(default=0.0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.modes is None:
+            self.modes = tuple(range(self.tensor.order))
+        start = time.perf_counter()
+        for m in self.modes:
+            self.representations[m] = build_csf(self.tensor, m)
+        elapsed = time.perf_counter() - start
+        self.preprocessing_seconds = elapsed * (
+            TILING_PREPROCESS_FACTOR if self.tiled else 1.0
+        )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def name(self) -> str:
+        return "splatt-tiled" if self.tiled else "splatt-nontiled"
+
+    def representation(self, mode: int) -> CsfTensor:
+        if mode not in self.representations:
+            raise ValidationError(f"mode {mode} not prepared (modes={self.modes})")
+        return self.representations[mode]
+
+    def mttkrp(self, factors: list[np.ndarray], mode: int,
+               out: np.ndarray | None = None) -> np.ndarray:
+        """Numerically exact mode-``mode`` MTTKRP (Algorithm 3)."""
+        return csf_mttkrp(self.representation(mode), factors, out=out)
+
+    def index_storage_words(self) -> int:
+        """Index words across all ALLMODE representations."""
+        return sum(rep.index_storage_words() for rep in self.representations.values())
+
+    # ------------------------------------------------------------------ #
+    def simulate(self, mode: int, rank: int = 32) -> CpuKernelResult:
+        """Cost-model execution time of one mode-``mode`` MTTKRP."""
+        csf = self.representation(mode)
+        c = self.costs
+        scale = c.scale(rank)
+
+        nnz_per_slice = csf.nnz_per_slice().astype(np.float64)
+        fibers_per_slice = csf.fibers_per_slice().astype(np.float64)
+        upper_levels = max(1, csf.order - 2)
+        per_nnz = c.nnz_load + (c.row_load + c.row_fma) * scale
+        per_fiber = (c.fiber_overhead
+                     + upper_levels * (c.row_load + c.row_fma) * scale)
+        per_slice = c.slice_overhead + c.row_write * scale
+        task_cycles = (nnz_per_slice * per_nnz
+                       + fibers_per_slice * per_fiber
+                       + per_slice)
+
+        flops = 2.0 * rank * (csf.nnz + csf.num_fibers)
+        streamed = (csf.index_storage_words() * 4.0 + csf.nnz * 4.0
+                    + csf.num_slices * rank * 4.0)
+        reused = float((csf.nnz + csf.num_fibers) * rank * 4.0)
+        distinct_rows = sum(int(np.unique(csf.fids[level]).shape[0])
+                            for level in range(1, csf.order))
+        working_set = float(distinct_rows * rank * 4.0)
+
+        if self.tiled:
+            task_cycles = task_cycles * TILING_COMPUTE_FACTOR
+            reused = reused * TILING_TRAFFIC_FACTOR
+
+        return simulate_cpu_kernel(
+            name=f"{self.name}/mode{mode}",
+            task_cycles=task_cycles,
+            flops=flops,
+            streamed_bytes=streamed,
+            reused_bytes=reused,
+            working_set_bytes=working_set,
+            cpu=self.cpu,
+        )
+
+    def simulate_all_modes(self, rank: int = 32) -> dict[int, CpuKernelResult]:
+        return {m: self.simulate(m, rank) for m in self.modes}

@@ -1,0 +1,34 @@
+"""The paper's contribution: B-CSF, CSL and HB-CSF formats and MTTKRP.
+
+* :mod:`repro.core.splitting` — fiber splitting (``fbr-split``) and slice
+  splitting (``slc-split``) from Section IV;
+* :mod:`repro.core.bcsf`      — the Balanced-CSF container;
+* :mod:`repro.core.csl`       — the Compressed SLice container (Section V-A);
+* :mod:`repro.core.hybrid`    — the HB-CSF partitioner and container
+  (Algorithm 5);
+* :mod:`repro.core.mttkrp`    — the public MTTKRP entry point with format
+  dispatch and the ALLMODE plan used by CPD-ALS.
+"""
+
+from repro.core.splitting import SplitConfig, split_long_fibers, slice_block_bins
+from repro.core.bcsf import BcsfTensor, build_bcsf
+from repro.core.csl import CslGroup, build_csl_group
+from repro.core.hybrid import HbcsfTensor, SlicePartition, build_hbcsf, partition_slices
+from repro.core.mttkrp import MttkrpPlan, mttkrp, FORMATS
+
+__all__ = [
+    "SplitConfig",
+    "split_long_fibers",
+    "slice_block_bins",
+    "BcsfTensor",
+    "build_bcsf",
+    "CslGroup",
+    "build_csl_group",
+    "HbcsfTensor",
+    "SlicePartition",
+    "build_hbcsf",
+    "partition_slices",
+    "MttkrpPlan",
+    "mttkrp",
+    "FORMATS",
+]

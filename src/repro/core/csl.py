@@ -1,0 +1,181 @@
+"""CSL: the Compressed SLice format (Section V-A of the paper).
+
+CSL targets slices in which *every* fiber holds exactly one nonzero.  For
+such slices the fiber-pointer level of CSF is pure overhead: the slice
+pointer can address the nonzeros directly, which saves both the two fiber
+arrays (storage) and the per-fiber reduction (operations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.kernels.csl_mttkrp import csl_mttkrp
+from repro.tensor.coo import CooTensor, INDEX_DTYPE, VALUE_DTYPE, csf_mode_ordering
+from repro.tensor.csf import CsfTensor
+from repro.util.errors import TensorFormatError, ValidationError
+
+__all__ = ["CslGroup", "build_csl_group"]
+
+
+@dataclass(frozen=True)
+class CslGroup:
+    """A group of slices stored in CSL form.
+
+    Attributes
+    ----------
+    shape:
+        Shape of the full tensor (original mode order).
+    mode_order:
+        CSF mode ordering (root first) that ``rest_indices`` columns follow.
+    slice_ptr:
+        ``(num_slices + 1,)`` pointers into the nonzero arrays.
+    slice_inds:
+        ``(num_slices,)`` root-mode index of each slice.
+    rest_indices:
+        ``(nnz, order - 1)`` non-root indices per nonzero.
+    values:
+        ``(nnz,)`` values.
+    """
+
+    shape: tuple[int, ...]
+    mode_order: tuple[int, ...]
+    slice_ptr: np.ndarray
+    slice_inds: np.ndarray
+    rest_indices: np.ndarray
+    values: np.ndarray
+
+    @property
+    def order(self) -> int:
+        return len(self.shape)
+
+    @property
+    def root_mode(self) -> int:
+        return self.mode_order[0]
+
+    @property
+    def num_slices(self) -> int:
+        return int(self.slice_inds.shape[0])
+
+    @property
+    def nnz(self) -> int:
+        return int(self.values.shape[0])
+
+    def nnz_per_slice(self) -> np.ndarray:
+        return np.diff(self.slice_ptr).astype(INDEX_DTYPE)
+
+    def mttkrp(self, factors: list[np.ndarray], out: np.ndarray) -> np.ndarray:
+        """Accumulate this group's MTTKRP contribution into ``out``."""
+        return csl_mttkrp(self.slice_ptr, self.slice_inds, self.rest_indices,
+                          self.values, factors, self.mode_order, out)
+
+    def index_storage_words(self) -> int:
+        """32-bit index words: ``2 S`` for the slice arrays plus ``(N-1)``
+        indices per nonzero (Figure 3: the ``fbr_ptr`` array is gone)."""
+        return 2 * self.num_slices + (self.order - 1) * self.nnz
+
+    def to_coo(self) -> CooTensor:
+        """Expand to COO (original mode order), mostly for testing."""
+        if self.nnz == 0:
+            return CooTensor.empty(self.shape)
+        root_col = np.repeat(self.slice_inds, np.diff(self.slice_ptr))
+        cols = [None] * self.order
+        cols[self.mode_order[0]] = root_col
+        for c, m in enumerate(self.mode_order[1:]):
+            cols[m] = self.rest_indices[:, c]
+        idx = np.stack(cols, axis=1).astype(INDEX_DTYPE)
+        return CooTensor(idx, self.values, self.shape, validate=False)
+
+    def validate(self) -> None:
+        if self.slice_ptr.shape[0] != self.num_slices + 1:
+            raise TensorFormatError("slice_ptr length must be num_slices + 1")
+        if self.num_slices and (self.slice_ptr[0] != 0
+                                or np.any(np.diff(self.slice_ptr) <= 0)):
+            raise TensorFormatError("slice_ptr must be strictly increasing from 0")
+        if self.num_slices and int(self.slice_ptr[-1]) != self.nnz:
+            raise TensorFormatError("slice_ptr does not cover all nonzeros")
+        if self.rest_indices.shape != (self.nnz, self.order - 1):
+            raise TensorFormatError("rest_indices has the wrong shape")
+
+
+def empty_csl_group(shape: tuple[int, ...], mode_order: tuple[int, ...]) -> CslGroup:
+    order = len(shape)
+    return CslGroup(
+        shape=shape,
+        mode_order=mode_order,
+        slice_ptr=np.zeros(1, dtype=INDEX_DTYPE),
+        slice_inds=np.zeros(0, dtype=INDEX_DTYPE),
+        rest_indices=np.zeros((0, order - 1), dtype=INDEX_DTYPE),
+        values=np.zeros(0, dtype=VALUE_DTYPE),
+    )
+
+
+def build_csl_group(csf: CsfTensor, slice_mask: np.ndarray | None = None) -> CslGroup:
+    """Build a CSL group from (a subset of) the slices of a CSF tree.
+
+    Parameters
+    ----------
+    csf:
+        Source CSF representation.
+    slice_mask:
+        Boolean mask over the CSF's slices selecting which ones to store;
+        ``None`` selects all slices.  Every selected slice must consist of
+        singleton fibers only, otherwise CSL cannot represent it.
+    """
+    num_slices = csf.num_slices
+    if slice_mask is None:
+        slice_mask = np.ones(num_slices, dtype=bool)
+    slice_mask = np.asarray(slice_mask, dtype=bool)
+    if slice_mask.shape[0] != num_slices:
+        raise ValidationError(
+            f"slice_mask has {slice_mask.shape[0]} entries for {num_slices} slices"
+        )
+    mode_order = csf.mode_order
+    if not slice_mask.any() or csf.nnz == 0:
+        return empty_csl_group(csf.shape, mode_order)
+
+    # Eligibility: all fibers of the selected slices are singleton.
+    fiber_nnz = csf.nnz_per_fiber()
+    slice_of_fiber = csf.slice_of_fiber()
+    offending = slice_mask[slice_of_fiber] & (fiber_nnz != 1)
+    if offending.any():
+        raise ValidationError(
+            "CSL requires every fiber of the selected slices to hold exactly "
+            f"one nonzero; {int(offending.sum())} fibers violate this"
+        )
+
+    # Select the leaves of the chosen slices.
+    leaf_slice = csf.node_index_of_leaf(0)
+    keep = slice_mask[leaf_slice]
+    kept_slice_of_leaf = leaf_slice[keep]
+
+    # Build per-leaf non-root coordinates in mode_order[1:].
+    order = csf.order
+    rest_cols = []
+    for level in range(1, order - 1):
+        ancestor = csf.node_index_of_leaf(level)
+        rest_cols.append(csf.fids[level][ancestor][keep])
+    rest_cols.append(csf.fids[-1][keep])
+    rest_indices = (np.stack(rest_cols, axis=1).astype(INDEX_DTYPE)
+                    if rest_cols else np.zeros((int(keep.sum()), 0), dtype=INDEX_DTYPE))
+
+    # Group by slice (leaves are already stored slice-contiguously).
+    kept_slices = np.flatnonzero(slice_mask)
+    counts = np.zeros(num_slices, dtype=np.int64)
+    np.add.at(counts, kept_slice_of_leaf, 1)
+    counts = counts[kept_slices]
+    slice_ptr = np.concatenate([[0], np.cumsum(counts)]).astype(INDEX_DTYPE)
+    slice_inds = csf.fids[0][kept_slices].astype(INDEX_DTYPE)
+
+    group = CslGroup(
+        shape=csf.shape,
+        mode_order=mode_order,
+        slice_ptr=slice_ptr,
+        slice_inds=slice_inds,
+        rest_indices=rest_indices,
+        values=csf.values[keep].copy(),
+    )
+    group.validate()
+    return group

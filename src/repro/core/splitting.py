@@ -1,0 +1,164 @@
+"""Fiber and slice splitting (Section IV of the paper).
+
+Two complementary techniques balance the work a CSF tree hands to the GPU:
+
+* **fbr-split** — a fiber with more nonzeros than ``fiber_threshold`` is cut
+  into fiber-segments of at most that many nonzeros, so no single warp owns
+  a disproportionate share of a thread block's work (Section IV-B, Figure
+  2b).  The paper finds a threshold of 128 works best (Section VI-B).
+* **slc-split** — instead of physically splitting heavy slices the paper
+  adopts Ashari-style binning: a slice whose nonzero count is ``k`` times
+  the thread-block capacity is assigned ``k`` thread blocks (Section IV-A,
+  Figure 2c).  :func:`slice_block_bins` computes that assignment; the
+  partial results of the extra blocks are combined with atomic adds, whose
+  cost the GPU model charges explicitly.
+
+Both transformations preserve MTTKRP semantics exactly: a split fiber's
+segments carry the same ``(slice, fiber)`` coordinates, so their partial
+sums accumulate to the same output rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.tensor.coo import INDEX_DTYPE
+from repro.tensor.csf import CsfTensor
+from repro.util.errors import ValidationError
+
+__all__ = ["SplitConfig", "split_long_fibers", "slice_block_bins"]
+
+#: Fiber-split threshold the paper finds empirically best (Section VI-B).
+DEFAULT_FIBER_THRESHOLD = 128
+
+#: Thread-block size used throughout the paper's evaluation (Section IV-A).
+DEFAULT_BLOCK_NNZ = 512
+
+
+@dataclass(frozen=True)
+class SplitConfig:
+    """Knobs for B-CSF construction.
+
+    Attributes
+    ----------
+    fiber_threshold:
+        Maximum nonzeros per fiber-segment; ``None`` disables fbr-split.
+    block_nnz:
+        Nonzero capacity used for slice binning (the paper uses the thread
+        block size, 512); ``None`` disables slc-split.
+    """
+
+    fiber_threshold: int | None = DEFAULT_FIBER_THRESHOLD
+    block_nnz: int | None = DEFAULT_BLOCK_NNZ
+
+    def __post_init__(self) -> None:
+        if self.fiber_threshold is not None and self.fiber_threshold < 1:
+            raise ValidationError(
+                f"fiber_threshold must be >= 1 or None, got {self.fiber_threshold}"
+            )
+        if self.block_nnz is not None and self.block_nnz < 1:
+            raise ValidationError(
+                f"block_nnz must be >= 1 or None, got {self.block_nnz}"
+            )
+
+    @classmethod
+    def disabled(cls) -> "SplitConfig":
+        """No splitting at all (plain GPU-CSF; the Table II baseline)."""
+        return cls(fiber_threshold=None, block_nnz=None)
+
+    @classmethod
+    def fiber_only(cls, threshold: int = DEFAULT_FIBER_THRESHOLD) -> "SplitConfig":
+        """Only fbr-split (the middle bar of Figure 5)."""
+        return cls(fiber_threshold=threshold, block_nnz=None)
+
+
+def split_long_fibers(
+    csf: CsfTensor, threshold: int | None
+) -> tuple[CsfTensor, np.ndarray]:
+    """Apply fbr-split to a CSF tree.
+
+    Fibers (level ``N-2`` nodes) with more than ``threshold`` nonzeros are
+    replaced by consecutive fiber-segments of at most ``threshold`` leaves,
+    all carrying the original fiber's index.  Leaf data is untouched; only
+    the last pointer level and the fiber-level id arrays change, so the
+    transformation costs O(F) — the paper notes it can be folded into CSF
+    construction at negligible cost (Section IV-B).
+
+    Returns
+    -------
+    (split_csf, segment_of_fiber):
+        ``split_csf`` is a new :class:`CsfTensor`;
+        ``segment_of_fiber[s]`` gives, for every fiber-segment ``s`` of the
+        new tree, the index of the original fiber it came from.
+    """
+    num_fibers = csf.num_fibers
+    identity = np.arange(num_fibers, dtype=INDEX_DTYPE)
+    if threshold is None or csf.nnz == 0:
+        return csf, identity
+
+    if threshold < 1:
+        raise ValidationError(f"fiber threshold must be >= 1, got {threshold}")
+
+    fiber_nnz = csf.nnz_per_fiber()
+    n_segments = np.ceil(fiber_nnz / threshold).astype(np.int64)
+    n_segments = np.maximum(n_segments, 1)
+    if int(n_segments.sum()) == num_fibers:
+        return csf, identity  # nothing to split
+
+    # Original fiber of every segment.
+    segment_of_fiber = np.repeat(np.arange(num_fibers, dtype=np.int64), n_segments)
+
+    # New leaf pointers: within an original fiber starting at ``start`` with
+    # segments of size <= threshold, segment s starts at start + s*threshold.
+    old_leaf_ptr = csf.fptr[-1]
+    starts = old_leaf_ptr[:-1]
+    seg_rank = _segment_ranks(n_segments)
+    new_starts = starts[segment_of_fiber] + seg_rank * threshold
+    new_leaf_ptr = np.append(new_starts, csf.nnz).astype(INDEX_DTYPE)
+
+    # Fiber-level ids are replicated per segment.
+    new_fiber_ids = csf.fids[-2][segment_of_fiber].astype(INDEX_DTYPE)
+
+    # The level above the fibers must re-point at the expanded segment list.
+    new_fptr = [p.copy() for p in csf.fptr]
+    new_fids = [f.copy() for f in csf.fids]
+    new_fids[-2] = new_fiber_ids
+    new_fptr[-1] = new_leaf_ptr
+    if csf.order >= 3:
+        parent_ptr = csf.fptr[-2]
+        # new child count of each parent = sum of segments of its fibers
+        seg_csum = np.concatenate([[0], np.cumsum(n_segments)])
+        new_fptr[-2] = seg_csum[parent_ptr].astype(INDEX_DTYPE)
+
+    split = CsfTensor(csf.shape, csf.mode_order, new_fptr, new_fids, csf.values)
+    return split, segment_of_fiber.astype(INDEX_DTYPE)
+
+
+def _segment_ranks(n_segments: np.ndarray) -> np.ndarray:
+    """For counts ``[2, 1, 3]`` return ``[0, 1, 0, 0, 1, 2]``."""
+    total = int(n_segments.sum())
+    if total == 0:
+        return np.zeros(0, dtype=np.int64)
+    ids = np.arange(total, dtype=np.int64)
+    starts = np.repeat(np.concatenate([[0], np.cumsum(n_segments)[:-1]]), n_segments)
+    return ids - starts
+
+
+def slice_block_bins(
+    slice_nnz: np.ndarray, block_nnz: int | None
+) -> np.ndarray:
+    """Number of thread blocks assigned to each slice (slc-split binning).
+
+    Following Ashari et al.'s binning (Section IV-A): a slice with ``k *
+    block_nnz`` nonzeros is processed by ``k`` thread blocks.  With
+    ``block_nnz=None`` every slice gets exactly one block (no slc-split).
+    """
+    slice_nnz = np.asarray(slice_nnz, dtype=np.int64)
+    if block_nnz is None:
+        return np.ones(slice_nnz.shape[0], dtype=np.int64)
+    if block_nnz < 1:
+        raise ValidationError(f"block_nnz must be >= 1, got {block_nnz}")
+    bins = np.ceil(slice_nnz / block_nnz).astype(np.int64)
+    return np.maximum(bins, 1)

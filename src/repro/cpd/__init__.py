@@ -1,0 +1,22 @@
+"""CP decomposition (CPD-ALS) built on top of the MTTKRP kernels.
+
+MTTKRP is the bottleneck the paper optimises *because* CPD-ALS calls it for
+every mode in every iteration (Algorithm 1).  This subpackage provides that
+surrounding algorithm so the library is usable end-to-end, and so the
+amortisation analysis of Figures 9 and 10 (preprocessing cost vs. number of
+iterations) has a concrete consumer.
+"""
+
+from repro.cpd.init import init_factors
+from repro.cpd.fit import cp_norm, cp_fit, tensor_norm, cp_innerprod
+from repro.cpd.als import CpdResult, cp_als
+
+__all__ = [
+    "init_factors",
+    "cp_norm",
+    "cp_fit",
+    "cp_innerprod",
+    "tensor_norm",
+    "CpdResult",
+    "cp_als",
+]

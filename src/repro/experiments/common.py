@@ -1,0 +1,107 @@
+"""Shared containers and helpers for the experiment drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.gpusim.device import DeviceSpec, TESLA_P100
+from repro.tensor.coo import CooTensor
+from repro.tensor.datasets import load_dataset
+
+__all__ = [
+    "ExperimentResult",
+    "format_table",
+    "geometric_mean",
+    "load_experiment_tensor",
+    "DEFAULT_RANK",
+]
+
+#: The paper uses rank 32 for every experiment (Section VI-A).
+DEFAULT_RANK = 32
+
+
+def format_table(rows: Sequence[dict], columns: Sequence[str] | None = None) -> str:
+    """Render a list of dict rows as a fixed-width text table."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    str_rows = [[_fmt(r.get(c, "")) for c in columns] for r in rows]
+    widths = [max(len(str(c)), *(len(row[i]) for row in str_rows))
+              for i, c in enumerate(columns)]
+    header = "  ".join(str(c).ljust(w) for c, w in zip(columns, widths))
+    sep = "  ".join("-" * w for w in widths)
+    body = "\n".join("  ".join(v.ljust(w) for v, w in zip(row, widths))
+                     for row in str_rows)
+    return f"{header}\n{sep}\n{body}"
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    vals = np.asarray([v for v in values if v > 0], dtype=np.float64)
+    if vals.size == 0:
+        return 0.0
+    return float(np.exp(np.mean(np.log(vals))))
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one experiment driver.
+
+    Attributes
+    ----------
+    experiment_id:
+        ``"table2"``, ``"fig5"``, ... — matches the paper artefact.
+    title:
+        Human-readable description.
+    rows:
+        One dict per table row / figure bar group.
+    columns:
+        Column order for rendering (defaults to the first row's keys).
+    notes:
+        Caveats, e.g. where scaled-down datasets limit a speedup.
+    summary:
+        Aggregates (geometric means etc.).
+    """
+
+    experiment_id: str
+    title: str
+    rows: list[dict] = field(default_factory=list)
+    columns: list[str] | None = None
+    notes: list[str] = field(default_factory=list)
+    summary: dict = field(default_factory=dict)
+
+    def to_text(self) -> str:
+        parts = [f"== {self.experiment_id}: {self.title} =="]
+        parts.append(format_table(self.rows, self.columns))
+        if self.summary:
+            parts.append("summary: " + ", ".join(
+                f"{k}={_fmt(v)}" for k, v in self.summary.items()))
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        return "\n".join(parts)
+
+    def row_for(self, key_column: str, key: str) -> dict:
+        for row in self.rows:
+            if row.get(key_column) == key:
+                return row
+        raise KeyError(f"no row with {key_column} == {key!r}")
+
+
+def load_experiment_tensor(name: str, scale: float = 1.0,
+                           seed: int | None = None) -> CooTensor:
+    """Load a dataset recipe for an experiment run (thin wrapper, kept so
+    experiment modules have one import site to patch in tests)."""
+    return load_dataset(name, scale=scale, seed=seed)

@@ -1,0 +1,24 @@
+"""Figure 11 — speedup of HB-CSF over splatt-tiled (paper average: ~35x).
+
+Thin wrapper around :func:`repro.experiments.speedups.speedup_experiment`;
+see that module for the methodology shared by Figures 11-15.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.speedups import speedup_experiment
+
+__all__ = ["run"]
+
+
+def run(scale: float = 1.0, rank: int = 32, seed: int | None = None,
+        **kwargs):
+    return speedup_experiment(
+        experiment_id="fig11",
+        baseline_name="splatt-tiled",
+        paper_average=35,
+        scale=scale,
+        rank=rank,
+        seed=seed,
+        **kwargs,
+    )

@@ -1,0 +1,24 @@
+"""Figure 12 — speedup of HB-CSF over splatt-nontiled (paper average: ~9x).
+
+Thin wrapper around :func:`repro.experiments.speedups.speedup_experiment`;
+see that module for the methodology shared by Figures 11-15.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.speedups import speedup_experiment
+
+__all__ = ["run"]
+
+
+def run(scale: float = 1.0, rank: int = 32, seed: int | None = None,
+        **kwargs):
+    return speedup_experiment(
+        experiment_id="fig12",
+        baseline_name="splatt-nontiled",
+        paper_average=9,
+        scale=scale,
+        rank=rank,
+        seed=seed,
+        **kwargs,
+    )

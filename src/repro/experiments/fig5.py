@@ -1,0 +1,54 @@
+"""Figure 5 — effect of fiber splitting and slice splitting (mode 1).
+
+Three bars per third-order dataset: the unsplit GPU-CSF baseline, fbr-split
+only, and fbr-split + slc-split (full B-CSF).  The paper's headline is that
+darpa gains the most (~22x) because it has the most skewed slices/fibers.
+"""
+
+from __future__ import annotations
+
+from repro.core.splitting import SplitConfig
+from repro.experiments.common import DEFAULT_RANK, ExperimentResult, load_experiment_tensor
+from repro.gpusim.api import simulate_mttkrp
+from repro.gpusim.device import DeviceSpec, TESLA_P100
+from repro.tensor.datasets import THREE_D_DATASETS
+
+__all__ = ["run"]
+
+
+def run(scale: float = 1.0, rank: int = DEFAULT_RANK, mode: int = 0,
+        fiber_threshold: int = 128, block_nnz: int = 512,
+        device: DeviceSpec = TESLA_P100,
+        seed: int | None = None) -> ExperimentResult:
+    rows = []
+    best_gain = ("", 0.0)
+    for name in THREE_D_DATASETS:
+        tensor = load_experiment_tensor(name, scale=scale, seed=seed)
+        unsplit = simulate_mttkrp(tensor, mode, rank, "b-csf", device=device,
+                                  config=SplitConfig.disabled())
+        fbr_only = simulate_mttkrp(tensor, mode, rank, "b-csf", device=device,
+                                   config=SplitConfig.fiber_only(fiber_threshold))
+        full = simulate_mttkrp(tensor, mode, rank, "b-csf", device=device,
+                               config=SplitConfig(fiber_threshold, block_nnz))
+        gain = unsplit.time_seconds / full.time_seconds
+        if gain > best_gain[1]:
+            best_gain = (name, gain)
+        rows.append({
+            "tensor": name,
+            "no split (GFLOPs)": round(unsplit.gflops, 1),
+            "fbr-split (GFLOPs)": round(fbr_only.gflops, 1),
+            "fbr+slc-split (GFLOPs)": round(full.gflops, 1),
+            "speedup from splitting": round(gain, 2),
+        })
+    return ExperimentResult(
+        experiment_id="fig5",
+        title=f"B-CSF fiber/slice splitting, mode {mode}, R={rank}, "
+              f"threshold={fiber_threshold}",
+        rows=rows,
+        summary={"largest_gain": f"{best_gain[0]} ({best_gain[1]:.1f}x)"},
+        notes=[
+            "the paper reports a 22x gain for darpa at full scale; the "
+            "scaled-down synthetic darpa caps the achievable gain (its heavy "
+            "slice is bounded by the total nonzero budget)",
+        ],
+    )

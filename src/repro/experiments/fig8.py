@@ -1,0 +1,52 @@
+"""Figure 8 — ParTI-COO-GPU vs. B-CSF vs. HB-CSF (mode 1).
+
+The paper's point: plain COO occasionally beats even the optimised B-CSF
+(on flickr-3d and freebase, where the average work per slice is tiny), but
+HB-CSF — which routes exactly those slices to its COO / CSL kernels — is
+consistently the best.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import DEFAULT_RANK, ExperimentResult, load_experiment_tensor
+from repro.gpusim.api import simulate_mttkrp
+from repro.gpusim.device import DeviceSpec, TESLA_P100
+from repro.tensor.datasets import THREE_D_DATASETS
+
+__all__ = ["run"]
+
+
+def run(scale: float = 1.0, rank: int = DEFAULT_RANK, mode: int = 0,
+        datasets: tuple[str, ...] = THREE_D_DATASETS,
+        device: DeviceSpec = TESLA_P100,
+        seed: int | None = None) -> ExperimentResult:
+    rows = []
+    hb_always_best = True
+    coo_wins_somewhere = False
+    for name in datasets:
+        tensor = load_experiment_tensor(name, scale=scale, seed=seed)
+        coo = simulate_mttkrp(tensor, mode, rank, "parti", device=device)
+        bcsf = simulate_mttkrp(tensor, mode, rank, "b-csf", device=device)
+        hbcsf = simulate_mttkrp(tensor, mode, rank, "hb-csf", device=device)
+        best_time = min(coo.time_seconds, bcsf.time_seconds, hbcsf.time_seconds)
+        if hbcsf.time_seconds > best_time * 1.02:
+            hb_always_best = False
+        if coo.time_seconds < bcsf.time_seconds:
+            coo_wins_somewhere = True
+        rows.append({
+            "tensor": name,
+            "parti-coo (GFLOPs)": round(coo.gflops, 1),
+            "b-csf (GFLOPs)": round(bcsf.gflops, 1),
+            "hb-csf (GFLOPs)": round(hbcsf.gflops, 1),
+            "coo beats b-csf": coo.time_seconds < bcsf.time_seconds,
+            "hb-csf best": hbcsf.time_seconds <= best_time * 1.02,
+        })
+    return ExperimentResult(
+        experiment_id="fig8",
+        title=f"ParTI-COO vs. B-CSF vs. HB-CSF, mode {mode}, R={rank}",
+        rows=rows,
+        summary={
+            "hbcsf_always_best_or_tied": hb_always_best,
+            "coo_beats_bcsf_somewhere": coo_wins_somewhere,
+        },
+    )

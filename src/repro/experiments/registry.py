@@ -1,0 +1,79 @@
+"""Experiment registry and command-line entry point.
+
+Usage::
+
+    python -m repro.experiments.registry table2
+    python -m repro.experiments.registry fig5 fig8 --scale 0.5
+    python -m repro.experiments.registry all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro.experiments import (
+    fig5, fig6, fig7, fig8, fig9, fig10, fig11, fig12, fig13, fig14, fig15,
+    fig16, table2, table3,
+)
+from repro.experiments.common import ExperimentResult
+from repro.util.errors import ValidationError
+
+__all__ = ["EXPERIMENTS", "run_experiment", "main"]
+
+#: experiment id -> run() callable
+EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
+    "table2": table2.run,
+    "table3": table3.run,
+    "fig5": fig5.run,
+    "fig6": fig6.run,
+    "fig7": fig7.run,
+    "fig8": fig8.run,
+    "fig9": fig9.run,
+    "fig10": fig10.run,
+    "fig11": fig11.run,
+    "fig12": fig12.run,
+    "fig13": fig13.run,
+    "fig14": fig14.run,
+    "fig15": fig15.run,
+    "fig16": fig16.run,
+}
+
+
+def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
+    """Run one experiment by id (``"table2"``, ``"fig5"``, ...)."""
+    key = experiment_id.strip().lower()
+    if key not in EXPERIMENTS:
+        raise ValidationError(
+            f"unknown experiment {experiment_id!r}; available: "
+            f"{', '.join(sorted(EXPERIMENTS))}"
+        )
+    return EXPERIMENTS[key](**kwargs)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Regenerate the paper's tables and figures")
+    parser.add_argument("experiments", nargs="+",
+                        help="experiment ids (table2, fig5, ...) or 'all'")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="nonzero-budget multiplier for the synthetic datasets")
+    parser.add_argument("--rank", type=int, default=32, help="CP rank R")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="override the dataset seeds")
+    args = parser.parse_args(argv)
+
+    ids = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
+    for experiment_id in ids:
+        kwargs = {"scale": args.scale, "seed": args.seed}
+        if experiment_id not in ("table3", "fig9", "fig16"):
+            kwargs["rank"] = args.rank
+        result = run_experiment(experiment_id, **kwargs)
+        print(result.to_text())
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

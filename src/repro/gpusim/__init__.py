@@ -1,0 +1,38 @@
+"""GPU execution-model simulator.
+
+The paper's measurements come from CUDA kernels on an NVIDIA Tesla P100.
+This subpackage is the substitution for that hardware: an analytical
+simulator of the GPU execution model (thread blocks scheduled onto SMs,
+warps inside blocks, per-warp cycle accounting, atomic-update penalties and
+a global-memory / L2 traffic model).  Each sparse-tensor format contributes
+a *work-decomposition model* (:mod:`repro.gpusim.kernels`) that mirrors how
+the corresponding CUDA kernel distributes slices, fibers and nonzeros over
+blocks and warps; the executor then derives kernel time, GFLOPs, achieved
+occupancy and SM efficiency from that decomposition.
+
+The absolute numbers are model-derived, but the *relative* behaviour — which
+format wins on which nonzero distribution, and why — is driven by exactly
+the same work-distribution statistics as on real hardware, which is what the
+paper's analysis (Table II, Figures 5-8) attributes its results to.
+"""
+
+from repro.gpusim.device import DeviceSpec, TESLA_P100, TESLA_V100, device_by_name
+from repro.gpusim.launch import LaunchConfig
+from repro.gpusim.workload import WarpWork, BlockWork, KernelWorkload
+from repro.gpusim.executor import simulate_kernel
+from repro.gpusim.metrics import KernelResult
+from repro.gpusim.api import simulate_mttkrp
+
+__all__ = [
+    "DeviceSpec",
+    "TESLA_P100",
+    "TESLA_V100",
+    "device_by_name",
+    "LaunchConfig",
+    "WarpWork",
+    "BlockWork",
+    "KernelWorkload",
+    "simulate_kernel",
+    "KernelResult",
+    "simulate_mttkrp",
+]

@@ -1,0 +1,163 @@
+"""High-level simulation entry point.
+
+:func:`simulate_mttkrp` takes a tensor (or an already-built format object),
+a target mode, a rank and a format name and returns the simulated
+:class:`~repro.gpusim.metrics.KernelResult` for one MTTKRP execution on the
+chosen device — the quantity every figure of the paper's evaluation is built
+from.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.bcsf import BcsfTensor, build_bcsf
+from repro.core.csl import CslGroup
+from repro.core.hybrid import HbcsfTensor, build_hbcsf
+from repro.core.splitting import SplitConfig
+from repro.gpusim.costs import CostModel, DEFAULT_COSTS
+from repro.gpusim.device import DeviceSpec, TESLA_P100
+from repro.gpusim.executor import simulate_kernel
+from repro.gpusim.kernels.coo_kernel import build_coo_workload
+from repro.gpusim.kernels.csf_kernel import build_bcsf_workload, build_csf_workload
+from repro.gpusim.kernels.csl_kernel import build_csl_workload
+from repro.gpusim.kernels.fcoo_kernel import build_fcoo_workload
+from repro.gpusim.kernels.hbcsf_kernel import build_hbcsf_workloads
+from repro.gpusim.launch import LaunchConfig
+from repro.gpusim.memory import MemoryModel
+from repro.gpusim.metrics import KernelResult
+from repro.tensor.coo import CooTensor
+from repro.tensor.csf import CsfTensor, build_csf
+from repro.util.errors import ValidationError
+
+__all__ = ["simulate_mttkrp", "GPU_FORMATS", "atomic_conflict_factor"]
+
+#: Format names accepted by :func:`simulate_mttkrp`.
+GPU_FORMATS = ("csf", "b-csf", "hb-csf", "coo", "parti", "f-coo")
+
+
+def atomic_conflict_factor(tensor: CooTensor, mode: int) -> float:
+    """Contention multiplier for atomic COO kernels.
+
+    Output rows that receive many nonzeros serialise their atomic updates;
+    the factor grows gently with the mean number of nonzeros per output row.
+    """
+    if tensor.nnz == 0:
+        return 1.0
+    _, counts = tensor.slice_keys(mode)
+    mean = float(counts.mean()) if counts.size else 1.0
+    return 1.0 + min(8.0, mean / 32.0)
+
+
+def _normalise(fmt: str) -> str:
+    key = fmt.strip().lower().replace("_", "-")
+    aliases = {"bcsf": "b-csf", "hbcsf": "hb-csf", "hybrid": "hb-csf",
+               "gpu-csf": "csf", "fcoo": "f-coo", "coo-atomic": "coo"}
+    key = aliases.get(key, key)
+    if key not in GPU_FORMATS:
+        raise ValidationError(
+            f"unknown GPU format {fmt!r}; choose one of {', '.join(GPU_FORMATS)}"
+        )
+    return key
+
+
+def simulate_mttkrp(
+    tensor,
+    mode: int = 0,
+    rank: int = 32,
+    format: str = "hb-csf",
+    device: DeviceSpec = TESLA_P100,
+    launch: LaunchConfig | None = None,
+    config: SplitConfig | None = None,
+    costs: CostModel = DEFAULT_COSTS,
+    memory_model: MemoryModel | None = None,
+) -> KernelResult:
+    """Simulate one mode-``mode`` MTTKRP on ``device``.
+
+    Parameters
+    ----------
+    tensor:
+        A :class:`CooTensor`, or an already-built :class:`CsfTensor`,
+        :class:`BcsfTensor` or :class:`HbcsfTensor` (in which case
+        ``format`` defaults to the matching kernel and ``mode`` must agree
+        with the structure's root mode).
+    mode:
+        Target mode.
+    rank:
+        Factor-matrix rank ``R`` (the paper uses 32 everywhere).
+    format:
+        ``"csf"`` (the unsplit GPU-CSF baseline), ``"b-csf"``, ``"hb-csf"``,
+        ``"coo"``/``"parti"`` (atomic COO) or ``"f-coo"``.
+    device / launch / config / costs / memory_model:
+        Hardware, launch geometry, splitting configuration and cost-model
+        overrides.
+    """
+    launch = launch or LaunchConfig()
+    memory_model = memory_model or MemoryModel()
+
+    # Pre-built structures carry their own format.
+    if isinstance(tensor, HbcsfTensor):
+        workloads = build_hbcsf_workloads(tensor, rank, launch, costs)
+        if not workloads:
+            from repro.gpusim.workload import empty_workload
+
+            return simulate_kernel(empty_workload("hb-csf", launch), device,
+                                   memory_model)
+        # The three group kernels are independent, so they are issued in
+        # separate CUDA streams and fill the GPU together; model that as a
+        # single merged launch (one launch overhead, shared SM pool).
+        merged = workloads[0]
+        for extra in workloads[1:]:
+            merged = merged.merged_with(extra)
+        merged.name = "hb-csf"
+        # The groups reference largely overlapping factor rows and share L2,
+        # so summing their per-group distinct working sets overstates the
+        # footprint; the largest group's working set is the better estimate.
+        from repro.gpusim.workload import MemoryTraffic
+
+        merged.traffic = MemoryTraffic(
+            streamed_bytes=merged.traffic.streamed_bytes,
+            factor_read_bytes=merged.traffic.factor_read_bytes,
+            factor_distinct_bytes=max(w.traffic.factor_distinct_bytes
+                                      for w in workloads),
+        )
+        result = simulate_kernel(merged, device, memory_model)
+        parts = [simulate_kernel(w, device, memory_model) for w in workloads]
+        result.details["parts"] = [p.as_row() for p in parts]
+        return result
+    if isinstance(tensor, BcsfTensor):
+        return simulate_kernel(build_bcsf_workload(tensor, rank, launch, costs),
+                               device, memory_model)
+    if isinstance(tensor, CslGroup):
+        return simulate_kernel(build_csl_workload(tensor, rank, launch, costs),
+                               device, memory_model)
+    if isinstance(tensor, CsfTensor):
+        return simulate_kernel(build_csf_workload(tensor, rank, launch, costs),
+                               device, memory_model)
+
+    if not isinstance(tensor, CooTensor):
+        raise ValidationError(
+            f"cannot simulate MTTKRP for object of type {type(tensor).__name__}"
+        )
+
+    key = _normalise(format)
+    if key == "csf":
+        wl = build_csf_workload(build_csf(tensor, mode), rank, launch, costs)
+        return simulate_kernel(wl, device, memory_model)
+    if key == "b-csf":
+        bcsf = build_bcsf(tensor, mode, config)
+        return simulate_kernel(build_bcsf_workload(bcsf, rank, launch, costs),
+                               device, memory_model)
+    if key == "hb-csf":
+        hbcsf = build_hbcsf(tensor, mode, config)
+        return simulate_mttkrp(hbcsf, mode, rank, format, device, launch,
+                               config, costs, memory_model)
+    if key in ("coo", "parti"):
+        factor = atomic_conflict_factor(tensor, mode)
+        wl = build_coo_workload(tensor, mode, rank, launch, costs,
+                                atomic_conflict_factor=factor,
+                                name="parti-coo")
+        return simulate_kernel(wl, device, memory_model)
+    # f-coo
+    wl = build_fcoo_workload(tensor, mode, rank, launch, costs)
+    return simulate_kernel(wl, device, memory_model)

@@ -1,0 +1,66 @@
+"""Per-operation cycle costs used by the kernel work-decomposition models.
+
+These constants are the calibration surface of the simulator.  They are not
+fitted to the paper's absolute numbers; they encode the *relative* cost of
+the warp-level primitives every kernel is built from, which is what
+determines which format wins on which nonzero distribution.
+
+Accounting convention
+---------------------
+The factor-matrix rank dimension is mapped onto the lanes of a warp (an
+R-element row operation is ``ceil(R / 32)`` warp-wide instructions), so all
+costs below are cycles for one warp-wide operation:
+
+* ``row_load`` / ``row_fma`` — gather / multiply-accumulate one R-element
+  factor row (per ``rank_unit``);
+* ``nnz_load`` — fetch one nonzero's leaf index and value (coalesced);
+* ``atomic_row`` — atomically add an R-element row into global memory
+  (per ``rank_unit``), before any conflict multiplier;
+* the remaining constants are per-fiber / per-slice bookkeeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CostModel", "DEFAULT_COSTS"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Cycle costs for warp-level primitives (see module docstring)."""
+
+    #: fetching one nonzero's leaf index + value (coalesced stream).
+    nnz_load: float = 4.0
+    #: gathering one R-element factor row (per rank unit).
+    row_load: float = 16.0
+    #: multiply-accumulate of one R-element row (per rank unit).
+    row_fma: float = 4.0
+    #: per-fiber bookkeeping: fiber index + pointer loads, loop setup.
+    fiber_overhead: float = 16.0
+    #: warp/block-level reduction of an R-element accumulator.
+    warp_reduce: float = 10.0
+    #: writing an R-element output row without atomics (per rank unit).
+    row_write: float = 8.0
+    #: per-slice bookkeeping inside a block (slice index + pointer loads).
+    slice_overhead: float = 12.0
+    #: atomically adding an R-element row (per rank unit, conflict-free).
+    atomic_row: float = 16.0
+    #: extra segmented-scan work per nonzero (F-COO): flag handling plus the
+    #: two-level scan passes that replace the atomic accumulation.
+    segscan_per_nnz: float = 32.0
+    #: segmented-scan partial-result fix-up, per segment boundary.
+    segscan_boundary: float = 16.0
+
+    def rank_units(self, rank: int, warp_size: int = 32) -> int:
+        """Number of warp-wide passes needed to cover an R-element row."""
+        return max(1, -(-int(rank) // int(warp_size)))
+
+    def row_op(self, rank: int, warp_size: int = 32) -> float:
+        """Cycles to load and multiply-accumulate one factor row."""
+        ru = self.rank_units(rank, warp_size)
+        return ru * (self.row_load + self.row_fma)
+
+
+#: Costs used everywhere unless an experiment overrides them.
+DEFAULT_COSTS = CostModel()

@@ -1,0 +1,145 @@
+"""GPU device specifications.
+
+The default device mirrors the paper's evaluation platform: an NVIDIA Tesla
+P100 (Pascal) with 56 SMs, 16 GB of HBM2 at 732 GB/s, a 4 MB L2 cache and a
+peak single-precision rate of 9.3 TFLOP/s (Section VI-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.errors import ValidationError
+
+__all__ = ["DeviceSpec", "TESLA_P100", "TESLA_V100", "GENERIC_GPU", "device_by_name"]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Architectural parameters consumed by the execution model.
+
+    Attributes
+    ----------
+    name:
+        Human-readable device name.
+    num_sms:
+        Number of streaming multiprocessors.
+    warp_size:
+        Threads per warp (32 on every NVIDIA architecture).
+    max_threads_per_block:
+        CUDA limit (1024).
+    max_warps_per_sm:
+        Resident-warp limit per SM (64 on Pascal/Volta).
+    max_blocks_per_sm:
+        Resident-block limit per SM (32 on Pascal/Volta).
+    warp_issue_per_cycle:
+        Warp instructions an SM can issue per cycle (number of warp
+        schedulers); bounds throughput when many warps are resident.
+    clock_ghz:
+        SM clock used to convert cycles to seconds.
+    peak_gflops:
+        Peak single-precision rate, for roofline-style reporting.
+    mem_bandwidth_gbps:
+        Peak global-memory bandwidth in GB/s.
+    l2_size_bytes:
+        L2 cache capacity, used by the hit-rate model.
+    dram_latency_cycles / l2_latency_cycles:
+        Access latencies charged when latency cannot be hidden.
+    atomic_cycles:
+        Cost of one 32-bit global atomic add (conflict-free).
+    block_overhead_cycles:
+        Fixed cost of scheduling/launching one thread block (work
+        distribution, pointer loads); dominates for ultra-light blocks.
+    dispatch_cycles_per_block:
+        Global work-distributor throughput: a kernel with B blocks cannot
+        finish in fewer than ``B * dispatch_cycles_per_block`` cycles, which
+        is what throttles kernels that launch one near-empty block per slice
+        (the freebase tensors).
+    kernel_launch_overhead_us:
+        Host-side launch latency per kernel.
+    """
+
+    name: str
+    num_sms: int
+    warp_size: int = 32
+    max_threads_per_block: int = 1024
+    max_warps_per_sm: int = 64
+    max_blocks_per_sm: int = 32
+    warp_issue_per_cycle: int = 4
+    clock_ghz: float = 1.3
+    peak_gflops: float = 9_300.0
+    mem_bandwidth_gbps: float = 732.0
+    l2_size_bytes: int = 4 * 1024 * 1024
+    dram_latency_cycles: int = 400
+    l2_latency_cycles: int = 80
+    atomic_cycles: float = 12.0
+    block_overhead_cycles: float = 40.0
+    dispatch_cycles_per_block: float = 2.0
+    kernel_launch_overhead_us: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.num_sms <= 0 or self.warp_size <= 0:
+            raise ValidationError("device must have positive SM count and warp size")
+        if self.clock_ghz <= 0 or self.mem_bandwidth_gbps <= 0:
+            raise ValidationError("device clock and bandwidth must be positive")
+
+    @property
+    def max_resident_warps(self) -> int:
+        return self.num_sms * self.max_warps_per_sm
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        return cycles / (self.clock_ghz * 1e9)
+
+    def seconds_to_cycles(self, seconds: float) -> float:
+        return seconds * self.clock_ghz * 1e9
+
+
+#: The paper's evaluation GPU (Section VI-A).
+TESLA_P100 = DeviceSpec(
+    name="Tesla P100 (Pascal)",
+    num_sms=56,
+    clock_ghz=1.303,
+    peak_gflops=9_300.0,
+    mem_bandwidth_gbps=732.0,
+    l2_size_bytes=4 * 1024 * 1024,
+)
+
+#: A newer device for what-if studies (not used by the paper).
+TESLA_V100 = DeviceSpec(
+    name="Tesla V100 (Volta)",
+    num_sms=80,
+    clock_ghz=1.38,
+    peak_gflops=15_700.0,
+    mem_bandwidth_gbps=900.0,
+    l2_size_bytes=6 * 1024 * 1024,
+)
+
+#: A deliberately small device useful in unit tests (few SMs so imbalance
+#: effects are visible with tiny tensors).
+GENERIC_GPU = DeviceSpec(
+    name="generic-8sm",
+    num_sms=8,
+    clock_ghz=1.0,
+    peak_gflops=1_000.0,
+    mem_bandwidth_gbps=100.0,
+    l2_size_bytes=1 * 1024 * 1024,
+)
+
+_REGISTRY = {
+    "p100": TESLA_P100,
+    "tesla-p100": TESLA_P100,
+    "v100": TESLA_V100,
+    "tesla-v100": TESLA_V100,
+    "generic": GENERIC_GPU,
+    "generic-8sm": GENERIC_GPU,
+}
+
+
+def device_by_name(name: str) -> DeviceSpec:
+    """Look up a device preset by (case-insensitive) name."""
+    key = name.strip().lower()
+    if key not in _REGISTRY:
+        raise ValidationError(
+            f"unknown device {name!r}; available: {', '.join(sorted(set(_REGISTRY)))}"
+        )
+    return _REGISTRY[key]

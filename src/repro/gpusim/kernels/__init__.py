@@ -1,0 +1,28 @@
+"""Per-format GPU work-decomposition models.
+
+Each module mirrors how the corresponding CUDA kernel distributes work:
+
+* :mod:`csf_kernel`  — GPU-CSF (one block per slice, one warp per fiber) and
+  B-CSF (fiber segments + slice binning + atomics), Section IV;
+* :mod:`csl_kernel`  — CSL slices (nonzero-parallel, no fiber level),
+  Section V-A;
+* :mod:`coo_kernel`  — nonzero-parallel COO with atomic accumulation
+  (ParTI-style);
+* :mod:`fcoo_kernel` — F-COO with segmented scans instead of atomics;
+* :mod:`hbcsf_kernel` — the three-launch composition used by HB-CSF.
+"""
+
+from repro.gpusim.kernels.csf_kernel import build_csf_workload, build_bcsf_workload
+from repro.gpusim.kernels.csl_kernel import build_csl_workload
+from repro.gpusim.kernels.coo_kernel import build_coo_workload
+from repro.gpusim.kernels.fcoo_kernel import build_fcoo_workload
+from repro.gpusim.kernels.hbcsf_kernel import build_hbcsf_workloads
+
+__all__ = [
+    "build_csf_workload",
+    "build_bcsf_workload",
+    "build_csl_workload",
+    "build_coo_workload",
+    "build_fcoo_workload",
+    "build_hbcsf_workloads",
+]

@@ -1,0 +1,135 @@
+"""Shared helpers for the kernel work-decomposition models."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpusim.costs import CostModel, DEFAULT_COSTS
+from repro.gpusim.launch import LaunchConfig
+from repro.gpusim.workload import KernelWorkload, MemoryTraffic
+from repro.util.errors import ValidationError
+
+__all__ = [
+    "per_block_warp_stats",
+    "chunked_parallel_blocks",
+    "factor_traffic",
+    "INDEX_BYTES",
+    "VALUE_BYTES",
+]
+
+#: The paper stores indices as 32-bit unsigned integers and values as
+#: 32-bit floats (Section VI-A).
+INDEX_BYTES = 4
+VALUE_BYTES = 4
+
+
+def per_block_warp_stats(
+    work_cycles: np.ndarray,
+    block_of_item: np.ndarray,
+    num_blocks: int,
+    warps_per_block: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Distribute work items (fibers) over each block's warps round-robin.
+
+    Parameters
+    ----------
+    work_cycles:
+        Cycles of each item (e.g. one fiber's processing cost).
+    block_of_item:
+        Block id of each item; items of the same block must be contiguous
+        and block ids non-decreasing (the natural CSF traversal order).
+    num_blocks:
+        Total number of blocks (>= ``block_of_item.max() + 1``).
+    warps_per_block:
+        Warps available in each block; item ``r`` of a block goes to warp
+        ``r % warps_per_block`` — the cyclic distribution the paper's
+        kernels use (Figure 2).
+
+    Returns
+    -------
+    (warps_used, max_warp_cycles, sum_warp_cycles): per-block arrays.
+    """
+    work_cycles = np.asarray(work_cycles, dtype=np.float64)
+    block_of_item = np.asarray(block_of_item, dtype=np.int64)
+    if work_cycles.shape != block_of_item.shape:
+        raise ValidationError("work_cycles and block_of_item must align")
+    if block_of_item.size and np.any(np.diff(block_of_item) < 0):
+        raise ValidationError("block ids must be non-decreasing")
+    n_items = work_cycles.shape[0]
+    if num_blocks <= 0:
+        if n_items:
+            raise ValidationError("items given but num_blocks is zero")
+        z = np.zeros(0, dtype=np.float64)
+        return z, z.copy(), z.copy()
+
+    if n_items == 0:
+        z = np.zeros(num_blocks, dtype=np.float64)
+        return z, z.copy(), z.copy()
+
+    # rank of each item within its block: block start positions come from a
+    # searchsorted over the (sorted) block ids
+    starts = np.searchsorted(block_of_item, np.arange(num_blocks), side="left")
+    rank = np.arange(n_items, dtype=np.int64) - starts[block_of_item]
+    warp = rank % warps_per_block
+
+    key = block_of_item * warps_per_block + warp
+    per_warp = np.bincount(key, weights=work_cycles,
+                           minlength=num_blocks * warps_per_block)
+    per_warp = per_warp.reshape(num_blocks, warps_per_block)
+    items_per_warp = np.bincount(key, minlength=num_blocks * warps_per_block)
+    items_per_warp = items_per_warp.reshape(num_blocks, warps_per_block)
+
+    warps_used = (items_per_warp > 0).sum(axis=1).astype(np.float64)
+    max_warp = per_warp.max(axis=1)
+    sum_warp = per_warp.sum(axis=1)
+    return warps_used, max_warp, sum_warp
+
+
+def chunked_parallel_blocks(
+    nnz: int,
+    launch: LaunchConfig,
+    cycles_per_chunk: float,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-block warp stats for nonzero-parallel kernels (COO / F-COO / CSL).
+
+    Nonzeros are assigned to threads contiguously; every warp processes its
+    32-nonzero chunks one after another, so the work is balanced by
+    construction.  Returns ``(warps_used, max_warp_cycles, sum_warp_cycles)``.
+    """
+    if nnz <= 0:
+        z = np.zeros(0, dtype=np.float64)
+        return z, z.copy(), z.copy()
+    threads = launch.threads_per_block
+    warp_size = launch.warp_size
+    warps_per_block = launch.warps_per_block
+    num_blocks = -(-nnz // threads)
+    full_blocks = nnz // threads
+
+    warps_used = np.full(num_blocks, warps_per_block, dtype=np.float64)
+    max_warp = np.full(num_blocks, cycles_per_chunk, dtype=np.float64)
+    sum_warp = np.full(num_blocks, cycles_per_chunk * warps_per_block,
+                       dtype=np.float64)
+
+    # the last (partial) block may use fewer warps
+    tail = nnz - full_blocks * threads
+    if tail > 0:
+        tail_warps = -(-tail // warp_size)
+        warps_used[-1] = tail_warps
+        sum_warp[-1] = cycles_per_chunk * tail_warps
+    return warps_used, max_warp, sum_warp
+
+
+def factor_traffic(
+    nnz_row_reads: dict[int, float],
+    distinct_rows: dict[int, int],
+    rank: int,
+) -> tuple[float, float]:
+    """Factor-matrix read traffic: ``(read_bytes, distinct_bytes)``.
+
+    ``nnz_row_reads[m]`` is how many times a row of factor ``m`` is read;
+    ``distinct_rows[m]`` how many distinct rows are touched.
+    """
+    row_bytes = rank * VALUE_BYTES
+    reads = sum(nnz_row_reads.values()) * row_bytes
+    distinct = sum(distinct_rows.values()) * row_bytes
+    return float(reads), float(distinct)

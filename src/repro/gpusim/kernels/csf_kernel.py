@@ -1,0 +1,168 @@
+"""Work-decomposition models for the CSF-family kernels (GPU-CSF and B-CSF).
+
+Work distribution follows Section IV of the paper:
+
+* each *slice* is handled by one thread block (GPU-CSF) or, after slc-split
+  binning, by ``ceil(slice_nnz / block_nnz)`` blocks (B-CSF);
+* the *fibers* (or fiber-segments) of a block are distributed cyclically
+  over the block's warps;
+* the *nonzeros* of a fiber are processed by the warp's threads in chunks
+  of 32, accumulated with a warp-level reduction, scaled by the fiber's
+  factor row and added to the slice's output row.
+
+Extra blocks assigned to the same slice combine their partial rows with
+atomic adds (the cost the paper accepts in exchange for concurrency).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.bcsf import BcsfTensor
+from repro.gpusim.costs import CostModel, DEFAULT_COSTS
+from repro.gpusim.kernels.common import (
+    INDEX_BYTES,
+    VALUE_BYTES,
+    factor_traffic,
+    per_block_warp_stats,
+)
+from repro.gpusim.launch import LaunchConfig
+from repro.gpusim.workload import KernelWorkload, MemoryTraffic
+from repro.tensor.csf import CsfTensor
+
+__all__ = ["build_csf_workload", "build_bcsf_workload", "csf_flops"]
+
+
+def csf_flops(nnz: int, num_fibers: int, rank: int) -> float:
+    """Operation count of the factored CSF algorithm: ``2 R (M + F)``."""
+    return 2.0 * rank * (nnz + num_fibers)
+
+
+def _fiber_cycles(fiber_nnz: np.ndarray, rank: int, order: int,
+                  launch: LaunchConfig, costs: CostModel) -> np.ndarray:
+    """Warp cycles to process one fiber of ``fiber_nnz`` nonzeros.
+
+    The warp walks the fiber's nonzeros, streaming one leaf-factor row per
+    nonzero into a register accumulator (rank mapped onto lanes), then pays
+    the per-fiber epilogue: reduce, scale by one factor row per internal
+    level above the leaves, write/accumulate into the slice row.
+    """
+    ru = costs.rank_units(rank, launch.warp_size)
+    per_nnz = costs.nnz_load + ru * (costs.row_load + costs.row_fma)
+    upper_levels = max(1, order - 2)
+    finish = (costs.warp_reduce
+              + upper_levels * ru * (costs.row_load + costs.row_fma)
+              + ru * costs.row_write)
+    return fiber_nnz * per_nnz + costs.fiber_overhead + finish
+
+
+def _csf_traffic(csf: CsfTensor, rank: int) -> MemoryTraffic:
+    """Kernel-wide memory traffic for a CSF-family kernel."""
+    nnz = csf.nnz
+    num_fibers = csf.num_fibers
+    num_slices = csf.num_slices
+    # indices + pointers streamed once; output rows written once per slice.
+    streamed = (csf.index_storage_words() * INDEX_BYTES
+                + nnz * VALUE_BYTES
+                + num_slices * rank * VALUE_BYTES)
+    reads = {"leaf": float(nnz)}
+    distinct = {"leaf": int(np.unique(csf.fids[-1]).shape[0]) if nnz else 0}
+    # one row read per internal node per level below the root
+    for level in range(1, csf.order - 1):
+        reads[f"level{level}"] = float(csf.fids[level].shape[0])
+        distinct[f"level{level}"] = int(np.unique(csf.fids[level]).shape[0])
+    read_bytes, distinct_bytes = factor_traffic(reads, distinct, rank)
+    return MemoryTraffic(streamed_bytes=float(streamed),
+                         factor_read_bytes=read_bytes,
+                         factor_distinct_bytes=distinct_bytes)
+
+
+def build_csf_workload(
+    csf: CsfTensor,
+    rank: int,
+    launch: LaunchConfig | None = None,
+    costs: CostModel = DEFAULT_COSTS,
+) -> KernelWorkload:
+    """GPU-CSF: one thread block per slice, no splitting (Table II baseline)."""
+    launch = launch or LaunchConfig()
+    num_slices = csf.num_slices
+    fiber_nnz = csf.nnz_per_fiber()
+    block_of_fiber = csf.slice_of_fiber()
+    cycles = _fiber_cycles(fiber_nnz, rank, csf.order, launch, costs)
+    warps_used, max_warp, sum_warp = per_block_warp_stats(
+        cycles, block_of_fiber, num_slices, launch.warps_per_block
+    )
+    slice_extra = costs.slice_overhead + costs.rank_units(rank) * costs.row_write
+    return KernelWorkload(
+        name="gpu-csf",
+        launch=launch,
+        warps_used=warps_used,
+        max_warp_cycles=max_warp + slice_extra,
+        sum_warp_cycles=sum_warp + slice_extra,
+        atomics=np.zeros(num_slices, dtype=np.float64),
+        flops=csf_flops(csf.nnz, csf.num_fibers, rank),
+        traffic=_csf_traffic(csf, rank),
+    )
+
+
+def build_bcsf_workload(
+    bcsf: BcsfTensor,
+    rank: int,
+    launch: LaunchConfig | None = None,
+    costs: CostModel = DEFAULT_COSTS,
+) -> KernelWorkload:
+    """B-CSF: fiber segments + slc-split binning + atomic combination."""
+    launch = launch or LaunchConfig()
+    csf = bcsf.csf
+    num_slices = csf.num_slices
+    if num_slices == 0:
+        from repro.gpusim.workload import empty_workload
+
+        return empty_workload("b-csf", launch)
+
+    fiber_nnz = csf.nnz_per_fiber()
+    slice_of_fiber = csf.slice_of_fiber()
+    blocks_per_slice = np.asarray(bcsf.blocks_per_slice, dtype=np.int64)
+
+    # Global block id of each fiber-segment: the slice's first block plus the
+    # bin index of the segment's starting nonzero within the slice.
+    first_block_of_slice = np.concatenate([[0], np.cumsum(blocks_per_slice)[:-1]])
+    nnz_before_fiber = np.concatenate([[0], np.cumsum(fiber_nnz)[:-1]])
+    slice_nnz = csf.nnz_per_slice()
+    nnz_before_slice = np.concatenate([[0], np.cumsum(slice_nnz)[:-1]])
+    offset_in_slice = nnz_before_fiber - nnz_before_slice[slice_of_fiber]
+
+    block_nnz = bcsf.config.block_nnz
+    if block_nnz is None:
+        bin_of_fiber = np.zeros(fiber_nnz.shape[0], dtype=np.int64)
+    else:
+        bin_of_fiber = offset_in_slice // block_nnz
+        bin_of_fiber = np.minimum(bin_of_fiber, blocks_per_slice[slice_of_fiber] - 1)
+    block_of_fiber = first_block_of_slice[slice_of_fiber] + bin_of_fiber
+    num_blocks = int(blocks_per_slice.sum())
+
+    cycles = _fiber_cycles(fiber_nnz, rank, csf.order, launch, costs)
+    warps_used, max_warp, sum_warp = per_block_warp_stats(
+        cycles, block_of_fiber, num_blocks, launch.warps_per_block
+    )
+
+    # Atomics: every block of a multi-block slice updates the output row
+    # atomically (rank_units 32-wide atomic transactions per block).
+    ru = costs.rank_units(rank, launch.warp_size)
+    atomics = np.zeros(num_blocks, dtype=np.float64)
+    multi = blocks_per_slice > 1
+    if multi.any():
+        slice_of_block = np.repeat(np.arange(num_slices), blocks_per_slice)
+        atomics[multi[slice_of_block]] = float(ru)
+
+    slice_extra = costs.slice_overhead + ru * costs.row_write
+    return KernelWorkload(
+        name="b-csf",
+        launch=launch,
+        warps_used=warps_used,
+        max_warp_cycles=max_warp + slice_extra,
+        sum_warp_cycles=sum_warp + slice_extra,
+        atomics=atomics,
+        flops=csf_flops(csf.nnz, csf.num_fibers, rank),
+        traffic=_csf_traffic(csf, rank),
+    )

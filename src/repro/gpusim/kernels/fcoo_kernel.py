@@ -1,0 +1,98 @@
+"""Work-decomposition model for F-COO MTTKRP (Liu et al., the FCOO baseline).
+
+F-COO processes nonzeros in parallel like COO but replaces atomic updates
+with a parallel segmented scan: per-thread partial products are combined
+within and across thread blocks using flag arrays that mark fiber / slice
+boundaries.  The model charges the Hadamard work of COO, no atomics, plus
+the extra segmented-scan passes and the cross-block fix-up kernel — which is
+why F-COO lands close to, and usually a little below, the COO-atomic
+baseline at rank 32 (Figures 14 and 15).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpusim.costs import CostModel, DEFAULT_COSTS
+from repro.gpusim.kernels.common import (
+    INDEX_BYTES,
+    VALUE_BYTES,
+    chunked_parallel_blocks,
+    factor_traffic,
+)
+from repro.gpusim.launch import LaunchConfig
+from repro.gpusim.workload import KernelWorkload, MemoryTraffic, empty_workload
+from repro.tensor.coo import CooTensor
+
+__all__ = ["build_fcoo_workload", "fcoo_storage_words", "fcoo_flops"]
+
+
+def fcoo_flops(nnz: int, order: int, rank: int) -> float:
+    """Same useful operation count as COO (the scan work is overhead)."""
+    return float(order) * rank * nnz
+
+
+def fcoo_storage_words(nnz: int, order: int) -> float:
+    """Index storage of F-COO in 32-bit words.
+
+    F-COO keeps the product-mode indices per nonzero (``order - 1`` words)
+    plus two boolean flag arrays (bit flags, i.e. ``1/32`` word each) and a
+    start-index array per partition (amortised to ~``1/16`` word per
+    nonzero); see Section VI-F.
+    """
+    return (order - 1) * nnz + 2 * nnz / 32.0 + nnz / 16.0
+
+
+def build_fcoo_workload(
+    tensor: CooTensor,
+    mode: int,
+    rank: int,
+    launch: LaunchConfig | None = None,
+    costs: CostModel = DEFAULT_COSTS,
+) -> KernelWorkload:
+    launch = launch or LaunchConfig()
+    nnz = tensor.nnz
+    if nnz == 0:
+        return empty_workload("f-coo", launch)
+    order = tensor.order
+    ru = costs.rank_units(rank, launch.warp_size)
+
+    # Per nonzero: the COO Hadamard work plus the segmented-scan passes that
+    # replace the atomic accumulation.
+    per_nnz = (costs.nnz_load
+               + (order - 1) * ru * (costs.row_load + costs.row_fma)
+               + ru * costs.segscan_per_nnz)
+    per_chunk = launch.warp_size * per_nnz
+    warps_used, max_warp, sum_warp = chunked_parallel_blocks(nnz, launch, per_chunk)
+    num_blocks = warps_used.shape[0]
+
+    # Cross-block segment fix-up: one boundary per block plus one per slice
+    # of the target mode, handled by a small follow-up kernel folded in here.
+    num_segments = tensor.num_slices(mode)
+    boundary_cycles = costs.segscan_boundary * (num_segments + num_blocks) / max(1, num_blocks)
+    max_warp = max_warp + boundary_cycles
+    sum_warp = sum_warp + boundary_cycles
+
+    # F-COO materialises per-thread partial products for the two-level
+    # segmented reduction, which costs an extra pass over an R-wide array.
+    streamed = (fcoo_storage_words(nnz, order) * INDEX_BYTES + nnz * VALUE_BYTES
+                + num_segments * rank * VALUE_BYTES
+                + nnz * rank * VALUE_BYTES
+                + num_blocks * rank * VALUE_BYTES)
+    reads = {m: float(nnz) for m in range(order) if m != mode}
+    distinct = {m: int(np.unique(tensor.indices[:, m]).shape[0])
+                for m in range(order) if m != mode}
+    read_bytes, distinct_bytes = factor_traffic(reads, distinct, rank)
+
+    return KernelWorkload(
+        name="f-coo",
+        launch=launch,
+        warps_used=warps_used,
+        max_warp_cycles=max_warp,
+        sum_warp_cycles=sum_warp,
+        atomics=np.zeros(num_blocks, dtype=np.float64),
+        flops=fcoo_flops(nnz, order, rank),
+        traffic=MemoryTraffic(streamed_bytes=float(streamed),
+                              factor_read_bytes=read_bytes,
+                              factor_distinct_bytes=distinct_bytes),
+    )

@@ -1,0 +1,47 @@
+"""Work decomposition for HB-CSF: up to three kernel launches.
+
+Algorithm 5 executes the COO, CSL and B-CSF kernels over their respective
+slice groups.  This module builds one workload per non-empty group; the API
+layer simulates them back-to-back and combines the results.
+
+The COO group of HB-CSF contains only single-nonzero slices, so its atomic
+updates are conflict-free by construction (no two nonzeros share an output
+row) — ``atomic_conflict_factor`` is therefore 1.
+"""
+
+from __future__ import annotations
+
+from repro.core.hybrid import HbcsfTensor
+from repro.gpusim.costs import CostModel, DEFAULT_COSTS
+from repro.gpusim.kernels.coo_kernel import build_coo_workload
+from repro.gpusim.kernels.csf_kernel import build_bcsf_workload
+from repro.gpusim.kernels.csl_kernel import build_csl_workload
+from repro.gpusim.launch import LaunchConfig
+from repro.gpusim.workload import KernelWorkload
+
+__all__ = ["build_hbcsf_workloads"]
+
+
+def build_hbcsf_workloads(
+    hbcsf: HbcsfTensor,
+    rank: int,
+    launch: LaunchConfig | None = None,
+    costs: CostModel = DEFAULT_COSTS,
+) -> list[KernelWorkload]:
+    """One workload per non-empty HB-CSF group, in execution order."""
+    launch = launch or LaunchConfig()
+    workloads: list[KernelWorkload] = []
+    if hbcsf.coo_group.nnz:
+        wl = build_coo_workload(hbcsf.coo_group, hbcsf.root_mode, rank, launch,
+                                costs, atomic_conflict_factor=1.0,
+                                name="hb-csf/coo")
+        workloads.append(wl)
+    if hbcsf.csl_group.nnz:
+        wl = build_csl_workload(hbcsf.csl_group, rank, launch, costs)
+        wl.name = "hb-csf/csl"
+        workloads.append(wl)
+    if hbcsf.bcsf_group is not None and hbcsf.bcsf_group.nnz:
+        wl = build_bcsf_workload(hbcsf.bcsf_group, rank, launch, costs)
+        wl.name = "hb-csf/b-csf"
+        workloads.append(wl)
+    return workloads

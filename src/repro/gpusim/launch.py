@@ -1,0 +1,50 @@
+"""Kernel launch configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpusim.device import DeviceSpec
+from repro.util.errors import ValidationError
+
+__all__ = ["LaunchConfig"]
+
+
+@dataclass(frozen=True)
+class LaunchConfig:
+    """Threads-per-block choice for a kernel launch.
+
+    The paper uses 512-thread blocks for its CSF-family kernels
+    (Section IV-A) and tunes block sizes for the COO baselines
+    (Section VI-A).
+    """
+
+    threads_per_block: int = 512
+    warp_size: int = 32
+
+    def __post_init__(self) -> None:
+        if self.threads_per_block < self.warp_size:
+            raise ValidationError(
+                f"threads_per_block ({self.threads_per_block}) must be at least "
+                f"one warp ({self.warp_size})"
+            )
+        if self.threads_per_block % self.warp_size != 0:
+            raise ValidationError(
+                "threads_per_block must be a multiple of the warp size"
+            )
+
+    @property
+    def warps_per_block(self) -> int:
+        return self.threads_per_block // self.warp_size
+
+    def validate_for(self, device: DeviceSpec) -> None:
+        if self.threads_per_block > device.max_threads_per_block:
+            raise ValidationError(
+                f"{self.threads_per_block} threads/block exceeds the device "
+                f"limit of {device.max_threads_per_block}"
+            )
+        if self.warp_size != device.warp_size:
+            raise ValidationError(
+                f"launch warp size {self.warp_size} does not match device warp "
+                f"size {device.warp_size}"
+            )

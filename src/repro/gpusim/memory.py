@@ -1,0 +1,72 @@
+"""Global-memory / L2 traffic model.
+
+MTTKRP is usually bandwidth-bound, so the executor combines the compute
+critical path with a memory time derived from the traffic each kernel
+generates.  The only non-trivial part is the factor-matrix rows: indices and
+values are streamed exactly once, but the rows of B and C are re-read every
+time a nonzero references them, and how many of those reads hit in L2
+depends on whether the referenced working set fits.
+
+The model below is deliberately simple (a single working-set ratio), but it
+responds to the right inputs: tensors whose nonzeros concentrate on few rows
+(nell2, ch-cr) get high hit rates, hyper-sparse tensors that touch millions
+of distinct rows (nell1, darpa) get low ones — matching the L2 column of
+Table II.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpusim.device import DeviceSpec
+from repro.gpusim.workload import MemoryTraffic
+
+__all__ = ["MemoryModel", "MemoryEstimate"]
+
+
+@dataclass(frozen=True)
+class MemoryEstimate:
+    """Result of the memory model for one kernel."""
+
+    dram_bytes: float
+    l2_hit_rate: float
+    memory_seconds: float
+
+
+@dataclass(frozen=True)
+class MemoryModel:
+    """Turns a :class:`MemoryTraffic` summary into DRAM bytes and time.
+
+    Attributes
+    ----------
+    random_access_efficiency:
+        Fraction of peak bandwidth achievable for the factor-row gathers
+        (they are 128-byte transactions at random row addresses, which do
+        not reach the streaming peak).
+    streaming_efficiency:
+        Fraction of peak bandwidth for the perfectly coalesced index /
+        value / output streams.
+    """
+
+    random_access_efficiency: float = 0.55
+    streaming_efficiency: float = 0.85
+
+    def estimate(self, traffic: MemoryTraffic, device: DeviceSpec) -> MemoryEstimate:
+        distinct = max(traffic.factor_distinct_bytes, 1.0)
+        reads = max(traffic.factor_read_bytes, distinct)
+
+        # Reuse available in the reference stream: 1 - distinct/reads is the
+        # best possible hit rate (every row misses once).  How much of it is
+        # realised depends on whether the distinct rows fit in L2.
+        best_hit = 1.0 - distinct / reads
+        fit = min(1.0, device.l2_size_bytes / distinct)
+        l2_hit_rate = best_hit * fit
+
+        factor_dram = traffic.factor_read_bytes * (1.0 - l2_hit_rate)
+        dram_bytes = traffic.streamed_bytes + factor_dram
+
+        bw = device.mem_bandwidth_gbps * 1e9
+        seconds = (traffic.streamed_bytes / (bw * self.streaming_efficiency)
+                   + factor_dram / (bw * self.random_access_efficiency))
+        return MemoryEstimate(dram_bytes=dram_bytes, l2_hit_rate=l2_hit_rate,
+                              memory_seconds=seconds)

@@ -1,0 +1,158 @@
+"""Work-decomposition containers handed from format models to the executor.
+
+A :class:`KernelWorkload` is a *summary* of how one CUDA kernel launch would
+distribute its work: one entry per thread block with the block's warp-level
+cycle profile (maximum and total warp cycles — enough to know whether the
+block is bound by its slowest warp or by issue throughput), its atomic-add
+count, plus kernel-wide floating-point and memory-traffic totals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.gpusim.launch import LaunchConfig
+from repro.util.errors import ValidationError
+
+__all__ = ["WarpWork", "BlockWork", "MemoryTraffic", "KernelWorkload"]
+
+
+@dataclass(frozen=True)
+class WarpWork:
+    """Cycle count of a single warp (only used by small / test workloads)."""
+
+    cycles: float
+
+
+@dataclass(frozen=True)
+class BlockWork:
+    """Explicit per-block description (convenience constructor for tests)."""
+
+    warp_cycles: tuple[float, ...]
+    atomics: float = 0.0
+
+    def max_cycles(self) -> float:
+        return max(self.warp_cycles) if self.warp_cycles else 0.0
+
+    def sum_cycles(self) -> float:
+        return float(sum(self.warp_cycles))
+
+
+@dataclass(frozen=True)
+class MemoryTraffic:
+    """Kernel-wide global-memory traffic estimate (bytes).
+
+    ``streamed_bytes`` are touched once with no reuse (indices, values,
+    output rows); ``factor_read_bytes`` are factor-matrix row reads, which
+    enjoy L2 reuse; ``factor_distinct_bytes`` is the corresponding working
+    set (distinct rows).
+    """
+
+    streamed_bytes: float = 0.0
+    factor_read_bytes: float = 0.0
+    factor_distinct_bytes: float = 0.0
+
+    def total_read_bytes(self) -> float:
+        return self.streamed_bytes + self.factor_read_bytes
+
+
+@dataclass
+class KernelWorkload:
+    """Per-block work summary for one kernel launch.
+
+    Attributes
+    ----------
+    name:
+        Kernel name (for reports).
+    launch:
+        Launch configuration used to build the decomposition.
+    warps_used:
+        ``(num_blocks,)`` number of warps that actually received work.
+    max_warp_cycles:
+        ``(num_blocks,)`` cycle count of each block's slowest warp.
+    sum_warp_cycles:
+        ``(num_blocks,)`` total warp cycles per block (throughput bound).
+    atomics:
+        ``(num_blocks,)`` 32-bit atomic operations issued by each block.
+    flops:
+        Useful floating-point operations of the whole kernel (for GFLOPs).
+    traffic:
+        Global-memory traffic estimate.
+    """
+
+    name: str
+    launch: LaunchConfig
+    warps_used: np.ndarray
+    max_warp_cycles: np.ndarray
+    sum_warp_cycles: np.ndarray
+    atomics: np.ndarray
+    flops: float
+    traffic: MemoryTraffic = field(default_factory=MemoryTraffic)
+
+    def __post_init__(self) -> None:
+        n = self.num_blocks
+        for attr in ("warps_used", "max_warp_cycles", "sum_warp_cycles", "atomics"):
+            arr = np.asarray(getattr(self, attr), dtype=np.float64)
+            setattr(self, attr, arr)
+            if arr.shape != (n,):
+                raise ValidationError(
+                    f"{attr} must be a 1-D array with one entry per block"
+                )
+        if np.any(self.max_warp_cycles < 0) or np.any(self.sum_warp_cycles < 0):
+            raise ValidationError("warp cycle counts must be non-negative")
+        if np.any(self.sum_warp_cycles + 1e-9 < self.max_warp_cycles):
+            raise ValidationError("sum of warp cycles cannot be below the maximum")
+
+    @property
+    def num_blocks(self) -> int:
+        return int(np.asarray(self.max_warp_cycles).shape[0])
+
+    @property
+    def total_warp_cycles(self) -> float:
+        return float(np.sum(self.sum_warp_cycles))
+
+    @classmethod
+    def from_blocks(
+        cls,
+        name: str,
+        launch: LaunchConfig,
+        blocks: list[BlockWork],
+        flops: float = 0.0,
+        traffic: MemoryTraffic | None = None,
+    ) -> "KernelWorkload":
+        """Build a workload from explicit :class:`BlockWork` items (tests)."""
+        warps = np.array([len(b.warp_cycles) for b in blocks], dtype=np.float64)
+        mx = np.array([b.max_cycles() for b in blocks], dtype=np.float64)
+        sm = np.array([b.sum_cycles() for b in blocks], dtype=np.float64)
+        at = np.array([b.atomics for b in blocks], dtype=np.float64)
+        return cls(name=name, launch=launch, warps_used=warps, max_warp_cycles=mx,
+                   sum_warp_cycles=sm, atomics=at, flops=flops,
+                   traffic=traffic or MemoryTraffic())
+
+    def merged_with(self, other: "KernelWorkload", name: str | None = None) -> "KernelWorkload":
+        """Concatenate two workloads launched back-to-back (same stream)."""
+        return KernelWorkload(
+            name=name or f"{self.name}+{other.name}",
+            launch=self.launch,
+            warps_used=np.concatenate([self.warps_used, other.warps_used]),
+            max_warp_cycles=np.concatenate([self.max_warp_cycles, other.max_warp_cycles]),
+            sum_warp_cycles=np.concatenate([self.sum_warp_cycles, other.sum_warp_cycles]),
+            atomics=np.concatenate([self.atomics, other.atomics]),
+            flops=self.flops + other.flops,
+            traffic=MemoryTraffic(
+                streamed_bytes=self.traffic.streamed_bytes + other.traffic.streamed_bytes,
+                factor_read_bytes=self.traffic.factor_read_bytes + other.traffic.factor_read_bytes,
+                factor_distinct_bytes=self.traffic.factor_distinct_bytes
+                + other.traffic.factor_distinct_bytes,
+            ),
+        )
+
+
+def empty_workload(name: str, launch: LaunchConfig) -> KernelWorkload:
+    """A workload with no blocks (empty tensors / empty groups)."""
+    z = np.zeros(0, dtype=np.float64)
+    return KernelWorkload(name=name, launch=launch, warps_used=z.copy(),
+                          max_warp_cycles=z.copy(), sum_warp_cycles=z.copy(),
+                          atomics=z.copy(), flops=0.0)

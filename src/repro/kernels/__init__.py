@@ -1,0 +1,19 @@
+"""Numerically exact MTTKRP kernels (vectorized NumPy).
+
+These kernels implement Algorithms 2-4 of the paper on the host.  They play
+two roles:
+
+1. they are the *functional* implementation — every format in
+   :mod:`repro.core` computes its MTTKRP output through these routines, so
+   results are always exact and comparable bit-for-bit;
+2. their loop structure mirrors the GPU kernels modelled by
+   :mod:`repro.gpusim`, so the work decomposition used for performance
+   modelling is the same one that produced the numbers.
+"""
+
+from repro.kernels.khatri_rao import khatri_rao
+from repro.kernels.coo_mttkrp import coo_mttkrp
+from repro.kernels.csf_mttkrp import csf_mttkrp
+from repro.kernels.csl_mttkrp import csl_mttkrp
+
+__all__ = ["khatri_rao", "coo_mttkrp", "csf_mttkrp", "csl_mttkrp"]

@@ -1,0 +1,60 @@
+"""COO MTTKRP (Algorithm 2 of the paper), vectorized.
+
+For every nonzero ``X[i0, ..., i_{N-1}]`` the kernel forms the elementwise
+(Hadamard) product of the corresponding rows of all factor matrices except
+the target mode's, scales it by the value and accumulates it into the output
+row of the target mode.  The scatter-accumulate (``np.add.at``) is the
+vectorized equivalent of the atomic adds the GPU COO kernels (ParTI) issue.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor.coo import CooTensor
+from repro.tensor.dense import _check_factors
+from repro.util.errors import DimensionError
+
+__all__ = ["coo_mttkrp"]
+
+
+def coo_mttkrp(
+    tensor: CooTensor,
+    factors: list[np.ndarray],
+    mode: int,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Mode-``mode`` MTTKRP of a COO tensor.
+
+    Parameters
+    ----------
+    tensor:
+        Input sparse tensor.
+    factors:
+        One factor matrix per mode; ``factors[mode]`` is ignored (only its
+        shape is checked) exactly as in the paper's Algorithm 2.
+    mode:
+        Target mode.
+    out:
+        Optional pre-allocated ``(shape[mode], R)`` output; accumulated into
+        (not cleared), mirroring the GPU kernels' atomic accumulation.
+    """
+    rank = _check_factors(tensor.shape, factors, mode)
+    rows = tensor.shape[mode]
+    if out is None:
+        out = np.zeros((rows, rank), dtype=np.float64)
+    elif out.shape != (rows, rank):
+        raise DimensionError(
+            f"out has shape {out.shape}, expected {(rows, rank)}"
+        )
+
+    if tensor.nnz == 0:
+        return out
+
+    acc = tensor.values[:, None] * np.ones((1, rank), dtype=np.float64)
+    for m in range(tensor.order):
+        if m == mode:
+            continue
+        acc *= np.asarray(factors[m], dtype=np.float64)[tensor.indices[:, m]]
+    np.add.at(out, tensor.indices[:, mode], acc)
+    return out

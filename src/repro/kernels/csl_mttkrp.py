@@ -1,0 +1,69 @@
+"""CSL MTTKRP (Algorithm 4 of the paper), generalized to any order.
+
+CSL (compressed slice) stores, for slices whose fibers all hold exactly one
+nonzero, a slice pointer that addresses the nonzeros directly — the fiber
+level is skipped.  Per nonzero the kernel forms the Hadamard product of the
+non-root factor rows (like COO) but the root index is read once per slice
+and the per-slice partial sums need no atomics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.csf_mttkrp import segment_sum
+from repro.util.errors import DimensionError, TensorFormatError
+
+__all__ = ["csl_mttkrp"]
+
+
+def csl_mttkrp(
+    slice_ptr: np.ndarray,
+    slice_inds: np.ndarray,
+    rest_indices: np.ndarray,
+    values: np.ndarray,
+    factors: list[np.ndarray],
+    mode_order: tuple[int, ...],
+    out: np.ndarray,
+) -> np.ndarray:
+    """MTTKRP over a CSL-stored group of slices, accumulated into ``out``.
+
+    Parameters
+    ----------
+    slice_ptr:
+        ``(num_slices + 1,)`` pointers into the nonzero arrays.
+    slice_inds:
+        ``(num_slices,)`` root-mode index of each stored slice.
+    rest_indices:
+        ``(nnz, order - 1)`` indices of the non-root modes, ordered as
+        ``mode_order[1:]``.
+    values:
+        ``(nnz,)`` nonzero values.
+    factors:
+        One factor matrix per mode, in *original* mode order.
+    mode_order:
+        CSF mode ordering (root first) that ``rest_indices`` columns follow.
+    out:
+        ``(shape[root], R)`` output, accumulated into.
+    """
+    num_slices = slice_inds.shape[0]
+    if slice_ptr.shape[0] != num_slices + 1:
+        raise TensorFormatError("slice_ptr must have len(slice_inds) + 1 entries")
+    nnz = values.shape[0]
+    if rest_indices.shape != (nnz, len(mode_order) - 1):
+        raise DimensionError(
+            f"rest_indices has shape {rest_indices.shape}, expected "
+            f"{(nnz, len(mode_order) - 1)}"
+        )
+    if num_slices == 0 or nnz == 0:
+        return out
+    if int(slice_ptr[-1]) != nnz:
+        raise TensorFormatError("slice_ptr does not cover all nonzeros")
+
+    rank = out.shape[1]
+    acc = values[:, None] * np.ones((1, rank), dtype=np.float64)
+    for col, m in enumerate(mode_order[1:]):
+        acc *= np.asarray(factors[m], dtype=np.float64)[rest_indices[:, col]]
+    per_slice = segment_sum(acc, slice_ptr)
+    np.add.at(out, slice_inds, per_slice)
+    return out

@@ -1,0 +1,33 @@
+"""Khatri-Rao product (column-wise Kronecker product).
+
+Needed by CPD-ALS (Equation 3 of the paper) for the small ``R x R`` Gram
+system; the *large* Khatri-Rao product ``(C ⊙ B)`` is never materialised —
+that is the whole point of the sparse MTTKRP kernels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.errors import DimensionError
+
+__all__ = ["khatri_rao"]
+
+
+def khatri_rao(matrices: list[np.ndarray]) -> np.ndarray:
+    """Khatri-Rao product of ``matrices``.
+
+    The row index of the *last* matrix varies fastest, matching
+    :func:`repro.tensor.dense.matricize`.
+    """
+    if not matrices:
+        raise DimensionError("khatri_rao requires at least one matrix")
+    mats = [np.ascontiguousarray(m, dtype=np.float64) for m in matrices]
+    rank = mats[0].shape[1]
+    for m in mats:
+        if m.ndim != 2 or m.shape[1] != rank:
+            raise DimensionError("all Khatri-Rao factors must be 2-D with equal rank")
+    out = mats[0]
+    for mat in mats[1:]:
+        out = (out[:, None, :] * mat[None, :, :]).reshape(-1, rank)
+    return out

@@ -1,0 +1,59 @@
+"""Sparse-tensor substrate: COO / CSF containers, I/O, synthetic datasets.
+
+This subpackage provides everything the paper's formats are built *on top
+of*: an N-order coordinate tensor, the CSF hierarchical structure (per-mode,
+as used by SPLATT's ALLMODE configuration), mode-n matricization, FROSTT
+``.tns`` I/O, synthetic tensor generators, and the structural statistics
+(nonzeros per slice / fiber, their standard deviations) that drive the
+paper's load-balance analysis.
+"""
+
+from repro.tensor.coo import CooTensor
+from repro.tensor.csf import CsfTensor, build_csf
+from repro.tensor.dense import dense_mttkrp, matricize, to_dense
+from repro.tensor.random_gen import (
+    random_coo,
+    power_law_tensor,
+    PowerLawSpec,
+)
+from repro.tensor.datasets import (
+    DatasetRecipe,
+    DATASETS,
+    PAPER_REFERENCE,
+    load_dataset,
+    dataset_names,
+)
+from repro.tensor.stats import TensorStats, mode_stats, tensor_stats
+from repro.tensor.io import read_tns, write_tns
+from repro.tensor.reorder import (
+    Reordering,
+    random_relabel,
+    relabel_mode_by_density,
+    zorder_sort,
+)
+
+__all__ = [
+    "CooTensor",
+    "CsfTensor",
+    "build_csf",
+    "dense_mttkrp",
+    "matricize",
+    "to_dense",
+    "random_coo",
+    "power_law_tensor",
+    "PowerLawSpec",
+    "DatasetRecipe",
+    "DATASETS",
+    "PAPER_REFERENCE",
+    "load_dataset",
+    "dataset_names",
+    "TensorStats",
+    "mode_stats",
+    "tensor_stats",
+    "read_tns",
+    "write_tns",
+    "Reordering",
+    "random_relabel",
+    "relabel_mode_by_density",
+    "zorder_sort",
+]

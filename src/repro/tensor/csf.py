@@ -1,0 +1,282 @@
+"""Compressed Sparse Fiber (CSF) representation.
+
+CSF (Smith et al., SPLATT) generalises doubly-compressed CSR to tensors: a
+tensor rooted at a given mode is stored as a tree with one level per mode.
+Level 0 nodes are the non-empty *slices*, level ``N-2`` nodes are the
+non-empty *fibers* and the leaves are the nonzeros.
+
+This module stores the tree with SPLATT-style arrays:
+
+* ``fids[level]``  - the index (coordinate along that level's mode) of every
+  node at ``level``;
+* ``fptr[level]``  - for ``level < N-1``, node ``n`` owns children
+  ``fptr[level][n] : fptr[level][n+1]`` at ``level+1``;
+* ``values``       - leaf values, aligned with ``fids[N-1]``.
+
+Following the paper (and SPLATT's ALLMODE configuration) a separate CSF is
+built per root mode; MTTKRP for mode ``n`` always uses the representation
+rooted at ``n``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.tensor.coo import CooTensor, INDEX_DTYPE, VALUE_DTYPE, csf_mode_ordering
+from repro.util.errors import DimensionError, TensorFormatError
+
+__all__ = ["CsfTensor", "build_csf"]
+
+
+@dataclass(frozen=True)
+class CsfTensor:
+    """A CSF tree for one root mode.
+
+    Attributes
+    ----------
+    shape:
+        Shape of the underlying tensor in its *original* mode order.
+    mode_order:
+        Permutation mapping tree level -> original mode (root first).
+    fptr:
+        List of ``order - 1`` pointer arrays; ``fptr[l][n]`` is the first
+        child of node ``n`` of level ``l``.
+    fids:
+        List of ``order`` index arrays; ``fids[l][n]`` is the coordinate of
+        node ``n`` along mode ``mode_order[l]``.
+    values:
+        Leaf values aligned with ``fids[-1]``.
+    """
+
+    shape: tuple[int, ...]
+    mode_order: tuple[int, ...]
+    fptr: list[np.ndarray]
+    fids: list[np.ndarray]
+    values: np.ndarray
+
+    # ------------------------------------------------------------------ #
+    # properties
+    # ------------------------------------------------------------------ #
+    @property
+    def order(self) -> int:
+        return len(self.shape)
+
+    @property
+    def root_mode(self) -> int:
+        return self.mode_order[0]
+
+    @property
+    def nnz(self) -> int:
+        return int(self.values.shape[0])
+
+    @property
+    def num_slices(self) -> int:
+        """Number of non-empty slices (level-0 nodes); the paper's ``S``."""
+        return int(self.fids[0].shape[0])
+
+    @property
+    def num_fibers(self) -> int:
+        """Number of non-empty fibers (level ``N-2`` nodes); the paper's ``F``."""
+        return int(self.fids[-2].shape[0])
+
+    def nnz_per_fiber(self) -> np.ndarray:
+        """Leaf count of every fiber (level ``N-2`` node)."""
+        return np.diff(self.fptr[-1]).astype(INDEX_DTYPE)
+
+    def nnz_per_slice(self) -> np.ndarray:
+        """Leaf count of every slice (level-0 node)."""
+        counts = np.diff(self.fptr[-1]).astype(np.int64)
+        for level in range(self.order - 3, -1, -1):
+            ptr = self.fptr[level]
+            counts = np.add.reduceat(counts, ptr[:-1]) if counts.size else counts
+            # reduceat misbehaves on empty segments; CSF never has empty
+            # internal nodes by construction, so segments are non-empty.
+        return counts.astype(INDEX_DTYPE)
+
+    def fibers_per_slice(self) -> np.ndarray:
+        """Number of level ``N-2`` nodes under each slice."""
+        counts = np.ones(self.fids[-2].shape[0], dtype=np.int64)
+        for level in range(self.order - 3, -1, -1):
+            ptr = self.fptr[level]
+            counts = np.add.reduceat(counts, ptr[:-1]) if counts.size else counts
+        return counts.astype(INDEX_DTYPE)
+
+    def slice_of_fiber(self) -> np.ndarray:
+        """Map each fiber (level ``N-2`` node) to its slice (level-0 node)."""
+        owner = np.arange(self.fids[-2].shape[0], dtype=np.int64)
+        for level in range(self.order - 3, -1, -1):
+            ptr = self.fptr[level]
+            parent = np.repeat(
+                np.arange(ptr.shape[0] - 1, dtype=np.int64), np.diff(ptr)
+            )
+            owner = parent[owner] if level < self.order - 3 else parent
+        if self.order == 2:  # pragma: no cover - matrices not used in paper
+            return owner
+        return owner
+
+    def node_index_of_leaf(self, level: int) -> np.ndarray:
+        """For each leaf, the id of its ancestor node at ``level``."""
+        if not 0 <= level < self.order - 1:
+            raise DimensionError(f"level {level} is not an internal level")
+        ids = np.arange(self.nnz, dtype=np.int64)
+        for l in range(self.order - 2, level - 1, -1):
+            ptr = self.fptr[l]
+            parent = np.repeat(np.arange(ptr.shape[0] - 1, dtype=np.int64), np.diff(ptr))
+            ids = parent[ids]
+        return ids
+
+    # ------------------------------------------------------------------ #
+    # conversions / checks
+    # ------------------------------------------------------------------ #
+    def to_coo(self) -> CooTensor:
+        """Expand back to a COO tensor (inverse of :func:`build_csf`)."""
+        order = self.order
+        cols = [None] * order
+        # Leaf-level coordinates are stored directly.
+        leaf_ids = self.fids[-1]
+        cols[self.mode_order[-1]] = leaf_ids
+        # Walk up: replicate each internal node's coordinate over its leaves.
+        for level in range(order - 2, -1, -1):
+            ancestor = self.node_index_of_leaf(level)
+            cols[self.mode_order[level]] = self.fids[level][ancestor]
+        indices = np.stack(cols, axis=1).astype(INDEX_DTYPE)
+        return CooTensor(indices, self.values, self.shape, validate=False)
+
+    def validate(self) -> None:
+        """Check structural invariants; raise :class:`TensorFormatError`."""
+        if len(self.fids) != self.order or len(self.fptr) != self.order - 1:
+            raise TensorFormatError("level-array count does not match order")
+        expected_nodes = None
+        for level in range(self.order - 1):
+            ptr = self.fptr[level]
+            ids = self.fids[level]
+            if ptr.shape[0] != ids.shape[0] + 1:
+                raise TensorFormatError(
+                    f"level {level}: pointer array must have len(fids)+1 entries"
+                )
+            if expected_nodes is not None and ids.shape[0] != expected_nodes:
+                raise TensorFormatError(
+                    f"level {level}: expected {expected_nodes} nodes, got {ids.shape[0]}"
+                )
+            if ptr.shape[0] and (ptr[0] != 0 or np.any(np.diff(ptr) < 0)):
+                raise TensorFormatError(f"level {level}: pointers must be monotone from 0")
+            if np.any(np.diff(ptr) == 0):
+                raise TensorFormatError(f"level {level}: empty internal node")
+            expected_nodes = int(ptr[-1]) if ptr.shape[0] else 0
+        if self.fids[-1].shape[0] != (expected_nodes or 0):
+            raise TensorFormatError("leaf count does not match last pointer array")
+        if self.values.shape[0] != self.fids[-1].shape[0]:
+            raise TensorFormatError("values not aligned with leaves")
+        for level, mode in enumerate(self.mode_order):
+            ids = self.fids[level]
+            if ids.size and (ids.min() < 0 or ids.max() >= self.shape[mode]):
+                raise TensorFormatError(
+                    f"level {level} indices out of bounds for mode {mode}"
+                )
+
+    def index_storage_words(self) -> int:
+        """Number of 32-bit index words required (Section III-B accounting).
+
+        For a third-order tensor this is ``2S + 2F + M``; in general every
+        internal level stores an index and a pointer per node and the leaf
+        level stores one index per nonzero.
+        """
+        words = 0
+        for level in range(self.order - 1):
+            words += 2 * int(self.fids[level].shape[0])
+        words += self.nnz
+        return int(words)
+
+
+def build_csf(tensor: CooTensor, root_mode: int = 0,
+              mode_order: Sequence[int] | None = None) -> CsfTensor:
+    """Build a CSF tree from a COO tensor.
+
+    Parameters
+    ----------
+    tensor:
+        Input tensor.
+    root_mode:
+        Mode stored at the root (level 0).  MTTKRP for this mode can then be
+        computed without atomics across slices.
+    mode_order:
+        Optional explicit level -> mode permutation (root first).  Overrides
+        ``root_mode`` when given.
+    """
+    if mode_order is None:
+        mode_order = csf_mode_ordering(tensor.order, root_mode)
+    else:
+        mode_order = tuple(int(m) for m in mode_order)
+        if sorted(mode_order) != list(range(tensor.order)):
+            raise DimensionError(
+                f"{mode_order} is not a permutation of 0..{tensor.order - 1}"
+            )
+    if tensor.order < 2:
+        raise DimensionError("CSF requires an order >= 2 tensor")
+
+    sorted_t = tensor.deduplicated().sorted_by_modes(mode_order)
+    idx = sorted_t.indices
+    vals = sorted_t.values
+    order = tensor.order
+
+    fids: list[np.ndarray] = []
+    fptr: list[np.ndarray] = []
+
+    if sorted_t.nnz == 0:
+        for level in range(order - 1):
+            fids.append(np.zeros(0, dtype=INDEX_DTYPE))
+            fptr.append(np.zeros(1, dtype=INDEX_DTYPE))
+        fids.append(np.zeros(0, dtype=INDEX_DTYPE))
+        return CsfTensor(tensor.shape, mode_order, fptr, fids,
+                         np.zeros(0, dtype=VALUE_DTYPE))
+
+    # ``group`` maps each nonzero to its node id at the current level.
+    # At level l the node identity is the tuple of coordinates of modes
+    # mode_order[0..l]; because the nonzeros are lexicographically sorted we
+    # can detect node boundaries with a running "new node" flag.
+    nnz = sorted_t.nnz
+    new_node = np.zeros(nnz, dtype=bool)
+    new_node[0] = True
+    leaf_parent_ptr_prev: np.ndarray | None = None
+    for level in range(order - 1):
+        col = idx[:, mode_order[level]]
+        if level == 0:
+            boundary = np.empty(nnz, dtype=bool)
+            boundary[0] = True
+            boundary[1:] = col[1:] != col[:-1]
+        else:
+            boundary = new_node.copy()
+            boundary[1:] |= col[1:] != col[:-1]
+        # Node starts at this level (cumulative with coarser levels).
+        new_node = boundary
+        starts = np.flatnonzero(boundary)
+        fids.append(col[starts].astype(INDEX_DTYPE))
+        if level == 0:
+            # pointer array filled in the next iteration / after the loop
+            level_starts = [starts]
+        else:
+            level_starts.append(starts)
+
+    # Leaf level indices.
+    fids.append(idx[:, mode_order[-1]].astype(INDEX_DTYPE))
+
+    # Pointer arrays: fptr[l][n] = index (in level l+1's node list) of the
+    # first child of node n.  Children of level-l nodes are the level-(l+1)
+    # nodes; both are identified by their start position in the sorted
+    # nonzero stream, so a searchsorted over the child starts suffices.
+    for level in range(order - 2):
+        parent_starts = level_starts[level]
+        child_starts = level_starts[level + 1]
+        ptr = np.searchsorted(child_starts, parent_starts)
+        ptr = np.append(ptr, child_starts.shape[0]).astype(INDEX_DTYPE)
+        fptr.append(ptr)
+    # Last internal level points straight into the leaves.
+    last_starts = level_starts[order - 2]
+    ptr = np.append(last_starts, nnz).astype(INDEX_DTYPE)
+    fptr.append(ptr)
+
+    csf = CsfTensor(tensor.shape, mode_order, fptr, fids, vals.copy())
+    return csf

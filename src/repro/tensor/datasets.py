@@ -1,0 +1,347 @@
+"""Synthetic stand-ins for the paper's evaluation datasets.
+
+The paper evaluates on 12 tensors from FROSTT and HaTen2 (Table III), which
+range from 3M to 144M nonzeros.  Those files are not redistributable here
+and would be far too large for a pure-Python reproduction, so each dataset
+gets a :class:`~repro.tensor.random_gen.PowerLawSpec` *recipe* that matches
+the structural regime the paper attributes to it:
+
+* ``deli`` / ``nell1`` / ``flick-3d`` — long modes, power-law slices,
+  short-to-singleton fibers;
+* ``nell2`` — small dimensions, very heavy slices (huge stdev of nonzeros
+  per slice);
+* ``fr_m`` / ``fr_s`` (freebase) — hyper-sparse: millions of nearly empty
+  slices, all fibers singleton, tiny last mode;
+* ``darpa`` — few slices, extremely heavy slices *and* extremely heavy
+  fibers (the pathological load-imbalance case);
+* 4-D tensors ``nips``, ``enron``, ``ch-cr``, ``flick-4d``, ``uber``.
+
+Every recipe is scaled down (default ≈3–6·10⁴ nonzeros) but preserves the
+*ratios* that drive load imbalance: stdev/mean of nonzeros per slice and
+per fiber, singleton-fiber fraction, and relative mode lengths.  The
+``PAPER_REFERENCE`` table records the original Table II / Table III numbers
+so experiment reports can print paper-vs-measured side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.tensor.coo import CooTensor
+from repro.tensor.random_gen import PowerLawSpec, power_law_tensor
+from repro.util.errors import ValidationError
+
+__all__ = [
+    "DatasetRecipe",
+    "DATASETS",
+    "PAPER_REFERENCE",
+    "dataset_names",
+    "load_dataset",
+]
+
+
+@dataclass(frozen=True)
+class DatasetRecipe:
+    """A named synthetic dataset recipe."""
+
+    name: str
+    spec: PowerLawSpec
+    description: str
+    order: int
+
+    def generate(self, scale: float = 1.0, seed: int | None = None) -> CooTensor:
+        """Generate the tensor, optionally rescaling the nonzero budget."""
+        spec = self.spec
+        if scale != 1.0:
+            if scale <= 0:
+                raise ValidationError(f"scale must be positive, got {scale}")
+            spec = spec.with_nnz(max(64, int(round(spec.nnz * scale))))
+        if seed is not None:
+            spec = spec.with_seed(seed)
+        return power_law_tensor(spec)
+
+
+@dataclass(frozen=True)
+class PaperNumbers:
+    """Numbers reported by the paper for one dataset (original scale)."""
+
+    dimensions: tuple[int, ...]
+    nnz: int
+    density: float
+    # Table II (mode-1 GPU-CSF on P100); None for datasets not in Table II.
+    gpu_csf_gflops: float | None = None
+    achieved_occupancy_pct: float | None = None
+    sm_efficiency_pct: float | None = None
+    l2_hit_rate_pct: float | None = None
+    stdev_nnz_per_slice: float | None = None
+    stdev_nnz_per_fiber: float | None = None
+
+
+# --------------------------------------------------------------------- #
+# Paper-reported reference numbers (Tables II and III).
+# --------------------------------------------------------------------- #
+_K = 1_000
+_M = 1_000_000
+
+PAPER_REFERENCE: dict[str, PaperNumbers] = {
+    "deli": PaperNumbers((533 * _K, 17 * _M, 2 * _M), 140 * _M, 6.14e-12,
+                         90, 60, 70, 62, 1_011, 4),
+    "nell1": PaperNumbers((3 * _M, 2 * _M, 25 * _M), 144 * _M, 9.05e-13,
+                          33, 32, 44, 20, 1_314, 61),
+    "nell2": PaperNumbers((12 * _K, 9 * _K, 29 * _K), 77 * _M, 9.05e-13,
+                          13, 10, 26, 83, 27_983, 203),
+    "flick-3d": PaperNumbers((320 * _K, 28 * _M, 2 * _M), 113 * _M, 7.80e-12,
+                             46, 53, 37, 67, 1_851, 4),
+    "fr_m": PaperNumbers((23 * _M, 23 * _M, 166), 99 * _M, 1.10e-09,
+                         18, 65, 27, 28, 105, 0),
+    "fr_s": PaperNumbers((39 * _M, 39 * _M, 532), 140 * _M, 1.73e-10,
+                         24, 67, 34, 28, 90, 0),
+    "darpa": PaperNumbers((22 * _K, 22 * _K, 23 * _M), 28 * _M, 2.37e-09,
+                          2, 4, 12, 4, 25_849, 8_588),
+    "nips": PaperNumbers((2 * _K, 3 * _K, 14 * _K, 17), 3 * _M, 3.85e-04),
+    "enron": PaperNumbers((6 * _K, 6 * _K, 244 * _K, 1 * _K), 5 * _M, 1.83e-06),
+    "ch-cr": PaperNumbers((6 * _K, 24, 77, 32), 54 * _M, 1.48e-01),
+    "flick-4d": PaperNumbers((320 * _K, 28 * _M, 2 * _M, 731), 113 * _M, 1.07e-14),
+    "uber": PaperNumbers((183, 24, 1 * _K, 2 * _K), 3 * _M, 5.37e-10),
+}
+
+
+# --------------------------------------------------------------------- #
+# Scaled-down synthetic recipes.
+#
+# Nonzero budgets are ~3-6e4 so the full experiment suite runs in seconds on
+# a laptop; shapes keep the original mode-length *ratios* (clipped so the
+# scaled tensors are neither trivially dense nor empty per slice).
+# --------------------------------------------------------------------- #
+DATASETS: dict[str, DatasetRecipe] = {}
+
+
+def _register(name: str, spec: PowerLawSpec, description: str) -> None:
+    DATASETS[name] = DatasetRecipe(
+        name=name, spec=spec, description=description, order=len(spec.shape)
+    )
+
+
+_register(
+    "deli",
+    PowerLawSpec(
+        shape=(2_000, 60_000, 8_000),
+        nnz=50_000,
+        fiber_alpha=3.0,
+        max_fiber_nnz=12,
+        slice_alpha=0.85,
+        seed=101,
+        name="deli",
+    ),
+    "delicious-3d regime: long modes, moderate slice skew, short fibers",
+)
+
+_register(
+    "nell1",
+    PowerLawSpec(
+        shape=(12_000, 8_000, 90_000),
+        nnz=50_000,
+        fiber_alpha=2.1,
+        max_fiber_nnz=64,
+        slice_alpha=0.95,
+        num_heavy_slices=3,
+        heavy_slice_fraction=0.12,
+        seed=102,
+        name="nell1",
+    ),
+    "nell-1 regime: hyper-sparse, high slice skew, mixed fiber lengths",
+)
+
+_register(
+    "nell2",
+    PowerLawSpec(
+        shape=(350, 280, 4_000),
+        nnz=60_000,
+        fiber_alpha=1.6,
+        max_fiber_nnz=2_000,
+        slice_alpha=0.6,
+        num_heavy_slices=3,
+        heavy_slice_fraction=0.45,
+        seed=103,
+        name="nell2",
+    ),
+    "nell-2 regime: small dimensions, a few extremely heavy slices",
+)
+
+_register(
+    "flick-3d",
+    PowerLawSpec(
+        shape=(25_000, 100_000, 10_000),
+        nnz=50_000,
+        fiber_alpha=6.0,
+        max_fiber_nnz=2,
+        slice_alpha=0.8,
+        singleton_fiber_fraction=0.9,
+        seed=104,
+        name="flick-3d",
+    ),
+    "flickr-3d regime: essentially every fiber has a single nonzero",
+)
+
+_register(
+    "fr_m",
+    PowerLawSpec(
+        shape=(60_000, 60_000, 40),
+        nnz=45_000,
+        fiber_alpha=8.0,
+        max_fiber_nnz=1,
+        slice_alpha=0.55,
+        singleton_fiber_fraction=1.0,
+        seed=105,
+        name="fr_m",
+    ),
+    "freebase-music regime: millions of tiny slices, all singleton fibers",
+)
+
+_register(
+    "fr_s",
+    PowerLawSpec(
+        shape=(80_000, 80_000, 120),
+        nnz=50_000,
+        fiber_alpha=8.0,
+        max_fiber_nnz=1,
+        slice_alpha=0.55,
+        singleton_fiber_fraction=1.0,
+        seed=106,
+        name="fr_s",
+    ),
+    "freebase-sampled regime: hyper-sparse, all singleton fibers",
+)
+
+_register(
+    "darpa",
+    PowerLawSpec(
+        shape=(700, 700, 120_000),
+        nnz=60_000,
+        fiber_alpha=1.5,
+        max_fiber_nnz=4_000,
+        singleton_fiber_fraction=0.3,
+        slice_alpha=0.7,
+        num_heavy_slices=2,
+        heavy_slice_fraction=0.5,
+        seed=107,
+        name="darpa",
+    ),
+    "darpa regime: few slices, extremely heavy slices AND fibers",
+)
+
+_register(
+    "nips",
+    PowerLawSpec(
+        shape=(700, 900, 4_000, 17),
+        nnz=30_000,
+        fiber_alpha=2.4,
+        max_fiber_nnz=17,
+        slice_alpha=0.8,
+        seed=108,
+        name="nips",
+    ),
+    "nips 4-d regime: moderate skew, small last mode",
+)
+
+_register(
+    "enron",
+    PowerLawSpec(
+        shape=(1_800, 1_800, 60_000, 300),
+        nnz=35_000,
+        fiber_alpha=2.2,
+        max_fiber_nnz=50,
+        slice_alpha=0.9,
+        num_heavy_slices=2,
+        heavy_slice_fraction=0.1,
+        seed=109,
+        name="enron",
+    ),
+    "enron 4-d regime: email tensor, skewed senders",
+)
+
+_register(
+    "ch-cr",
+    PowerLawSpec(
+        shape=(1_500, 24, 77, 32),
+        nnz=55_000,
+        fiber_alpha=1.7,
+        max_fiber_nnz=32,
+        slice_alpha=0.5,
+        seed=110,
+        name="ch-cr",
+    ),
+    "chicago-crime 4-d regime: high density, short modes",
+)
+
+_register(
+    "flick-4d",
+    PowerLawSpec(
+        shape=(25_000, 100_000, 10_000, 200),
+        nnz=50_000,
+        fiber_alpha=6.0,
+        max_fiber_nnz=2,
+        slice_alpha=0.8,
+        singleton_fiber_fraction=0.9,
+        seed=111,
+        name="flick-4d",
+    ),
+    "flickr-4d regime: flickr-3d plus a short date mode",
+)
+
+_register(
+    "uber",
+    PowerLawSpec(
+        shape=(183, 24, 500, 800),
+        nnz=30_000,
+        fiber_alpha=2.0,
+        max_fiber_nnz=64,
+        slice_alpha=0.5,
+        seed=112,
+        name="uber",
+    ),
+    "uber 4-d regime: small first modes, moderate skew",
+)
+
+
+#: Datasets that appear in the paper's 3-D GPU experiments (Table II,
+#: Figures 5, 8, 14, 15).
+THREE_D_DATASETS: tuple[str, ...] = (
+    "deli", "nell1", "nell2", "flick-3d", "fr_m", "fr_s", "darpa",
+)
+
+#: All datasets of Table III, in the paper's order.
+ALL_DATASETS: tuple[str, ...] = THREE_D_DATASETS + (
+    "nips", "enron", "ch-cr", "flick-4d", "uber",
+)
+
+
+def dataset_names(order: int | None = None) -> list[str]:
+    """Names of available dataset recipes, optionally filtered by order."""
+    names = list(ALL_DATASETS)
+    if order is not None:
+        names = [n for n in names if DATASETS[n].order == order]
+    return names
+
+
+def load_dataset(name: str, scale: float = 1.0,
+                 seed: int | None = None) -> CooTensor:
+    """Generate the synthetic stand-in for dataset ``name``.
+
+    Parameters
+    ----------
+    name:
+        One of :func:`dataset_names`.
+    scale:
+        Multiplier applied to the recipe's nonzero budget (1.0 = default
+        benchmark size, ~0.1 is plenty for unit tests).
+    seed:
+        Override the recipe's fixed seed (for robustness studies).
+    """
+    try:
+        recipe = DATASETS[name]
+    except KeyError:
+        raise ValidationError(
+            f"unknown dataset {name!r}; available: {', '.join(ALL_DATASETS)}"
+        ) from None
+    return recipe.generate(scale=scale, seed=seed)

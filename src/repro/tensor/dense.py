@@ -1,0 +1,129 @@
+"""Dense helpers: matricization and the brute-force MTTKRP references.
+
+These routines are intentionally simple and obviously correct; every sparse
+kernel in the package is validated against them.  Two independent reference
+implementations are provided (unfolding + Khatri-Rao, and a direct einsum
+contraction) so the references also validate each other.
+"""
+
+from __future__ import annotations
+
+import string
+
+import numpy as np
+
+from repro.tensor.coo import CooTensor
+from repro.util.errors import DimensionError
+
+__all__ = [
+    "to_dense",
+    "matricize",
+    "khatri_rao_dense",
+    "dense_mttkrp",
+    "einsum_mttkrp",
+]
+
+
+def to_dense(tensor: CooTensor | np.ndarray) -> np.ndarray:
+    """Return a dense ndarray for either a dense input or a COO tensor."""
+    if isinstance(tensor, CooTensor):
+        return tensor.to_dense()
+    return np.asarray(tensor, dtype=np.float64)
+
+
+def matricize(tensor: CooTensor | np.ndarray, mode: int) -> np.ndarray:
+    """Mode-``n`` matricization (unfolding) of a dense or COO tensor.
+
+    Follows the Kolda & Bader convention used by the paper: element
+    ``(i_0, ..., i_{N-1})`` maps to row ``i_mode`` and a column index in
+    which the *first* non-mode index varies fastest.
+    """
+    dense = to_dense(tensor)
+    order = dense.ndim
+    if not 0 <= mode < order:
+        raise DimensionError(f"mode {mode} out of range for order {order}")
+    rest = [m for m in range(order) if m != mode]
+    # NumPy reshape (row-major) makes the last axis vary fastest, so put the
+    # first non-mode axis last.
+    moved = np.transpose(dense, [mode] + rest[::-1])
+    return moved.reshape(dense.shape[mode], -1)
+
+
+def khatri_rao_dense(matrices: list[np.ndarray]) -> np.ndarray:
+    """Khatri-Rao (column-wise Kronecker) product of a list of matrices.
+
+    In the result, the row index of the *last* matrix in the list varies
+    fastest — matching :func:`matricize`, so that
+    ``matricize(X, n) @ khatri_rao_dense([A_m for m in rest[::-1]])`` is the
+    textbook mode-``n`` MTTKRP.
+    """
+    if not matrices:
+        raise DimensionError("khatri_rao_dense requires at least one matrix")
+    mats = [np.asarray(m, dtype=np.float64) for m in matrices]
+    ranks = {m.shape[1] for m in mats}
+    if len(ranks) != 1:
+        raise DimensionError(f"all factors must share a rank, got {sorted(ranks)}")
+    result = mats[0]
+    for mat in mats[1:]:
+        result = (result[:, None, :] * mat[None, :, :]).reshape(-1, mat.shape[1])
+    return result
+
+
+def _check_factors(shape: tuple[int, ...], factors: list[np.ndarray], mode: int) -> int:
+    order = len(shape)
+    if len(factors) != order:
+        raise DimensionError(f"expected {order} factor matrices, got {len(factors)}")
+    if not 0 <= mode < order:
+        raise DimensionError(f"mode {mode} out of range for order {order}")
+    ranks = set()
+    for m, f in enumerate(factors):
+        f = np.asarray(f)
+        if f.ndim != 2:
+            raise DimensionError(f"factor {m} must be 2-D")
+        if f.shape[0] != shape[m]:
+            raise DimensionError(
+                f"factor {m} has {f.shape[0]} rows, expected {shape[m]}"
+            )
+        ranks.add(f.shape[1])
+    if len(ranks) != 1:
+        raise DimensionError(f"all factors must share a rank, got {sorted(ranks)}")
+    return ranks.pop()
+
+
+def dense_mttkrp(tensor: CooTensor | np.ndarray, factors: list[np.ndarray],
+                 mode: int) -> np.ndarray:
+    """Brute-force MTTKRP via unfolding: ``X_(n) (⊙_{m != n} A_m)``.
+
+    Cost is ``O(prod(shape) * R)``; correctness oracle only.
+    """
+    dense = to_dense(tensor)
+    _check_factors(dense.shape, factors, mode)
+    rest = [m for m in range(dense.ndim) if m != mode]
+    unfolded = matricize(dense, mode)
+    kr = khatri_rao_dense([factors[m] for m in rest[::-1]])
+    return unfolded @ kr
+
+
+def einsum_mttkrp(tensor: CooTensor | np.ndarray, factors: list[np.ndarray],
+                  mode: int) -> np.ndarray:
+    """Second, independent MTTKRP reference via a direct einsum contraction.
+
+    ``Y[i, r] = sum over other indices of X[..] * prod_{m != mode} A_m[i_m, r]``.
+    """
+    dense = to_dense(tensor)
+    _check_factors(dense.shape, factors, mode)
+    order = dense.ndim
+    if order > 17:
+        # letter 'r' is reserved for the rank axis
+        raise DimensionError("einsum reference supports order <= 17")
+    letters = string.ascii_lowercase
+    tensor_sub = letters[:order]
+    operands: list[np.ndarray] = [dense]
+    subs = [tensor_sub]
+    for m in range(order):
+        if m == mode:
+            continue
+        operands.append(np.asarray(factors[m], dtype=np.float64))
+        subs.append(letters[m] + "r")
+    expr = ",".join(subs) + "->" + letters[mode] + "r"
+    return np.einsum(expr, *operands)

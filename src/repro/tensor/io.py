@@ -1,0 +1,100 @@
+"""FROSTT-style ``.tns`` text I/O.
+
+The FROSTT repository (the source of most tensors in the paper) distributes
+tensors as whitespace-separated text: one nonzero per line, 1-based indices
+followed by the value.  This module reads and writes that format so users
+can run the library on the real datasets when they have them, and on the
+synthetic stand-ins otherwise.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from typing import IO, Sequence
+
+import numpy as np
+
+from repro.tensor.coo import CooTensor, INDEX_DTYPE, VALUE_DTYPE
+from repro.util.errors import ValidationError
+
+__all__ = ["read_tns", "write_tns"]
+
+
+def read_tns(path_or_file: str | os.PathLike | IO[str],
+             shape: Sequence[int] | None = None) -> CooTensor:
+    """Read a FROSTT ``.tns`` file into a :class:`CooTensor`.
+
+    Parameters
+    ----------
+    path_or_file:
+        File path or open text file.  Lines starting with ``#`` and blank
+        lines are ignored.
+    shape:
+        Optional explicit shape; inferred from the maximum index per mode
+        when omitted.
+    """
+    if hasattr(path_or_file, "read"):
+        return _read_stream(path_or_file, shape)  # type: ignore[arg-type]
+    with open(path_or_file, "r", encoding="utf-8") as fh:
+        return _read_stream(fh, shape)
+
+
+def _read_stream(stream: IO[str], shape: Sequence[int] | None) -> CooTensor:
+    rows: list[list[float]] = []
+    order: int | None = None
+    for lineno, line in enumerate(stream, start=1):
+        line = line.strip()
+        if not line or line.startswith(("#", "%")):
+            continue
+        parts = line.split()
+        if order is None:
+            order = len(parts) - 1
+            if order < 1:
+                raise ValidationError(
+                    f"line {lineno}: expected at least one index and a value"
+                )
+        if len(parts) != order + 1:
+            raise ValidationError(
+                f"line {lineno}: expected {order + 1} fields, got {len(parts)}"
+            )
+        try:
+            rows.append([float(p) for p in parts])
+        except ValueError as exc:
+            raise ValidationError(f"line {lineno}: {exc}") from exc
+    if order is None:
+        raise ValidationError("empty .tns stream and no shape given")
+    data = np.asarray(rows, dtype=np.float64)
+    indices = data[:, :order].astype(INDEX_DTYPE) - 1  # FROSTT is 1-based
+    if indices.size and indices.min() < 0:
+        raise ValidationError(".tns indices must be >= 1")
+    values = data[:, order].astype(VALUE_DTYPE)
+    return CooTensor(indices, values, shape)
+
+
+def write_tns(tensor: CooTensor, path_or_file: str | os.PathLike | IO[str]) -> None:
+    """Write a :class:`CooTensor` in FROSTT ``.tns`` format (1-based indices)."""
+    if hasattr(path_or_file, "write"):
+        _write_stream(tensor, path_or_file)  # type: ignore[arg-type]
+        return
+    with open(path_or_file, "w", encoding="utf-8") as fh:
+        _write_stream(tensor, fh)
+
+
+def _write_stream(tensor: CooTensor, stream: IO[str]) -> None:
+    idx = tensor.indices + 1
+    for row, val in zip(idx, tensor.values):
+        stream.write(" ".join(str(int(i)) for i in row))
+        stream.write(f" {val:.17g}\n")
+
+
+def dumps_tns(tensor: CooTensor) -> str:
+    """Serialise to a ``.tns`` string (convenience for tests / examples)."""
+    buf = io.StringIO()
+    _write_stream(tensor, buf)
+    return buf.getvalue()
+
+
+def loads_tns(text: str, shape: Sequence[int] | None = None) -> CooTensor:
+    """Parse a ``.tns`` string (convenience for tests / examples)."""
+    return _read_stream(io.StringIO(text), shape)

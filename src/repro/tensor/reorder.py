@@ -1,0 +1,160 @@
+"""Tensor reordering (the paper's future-work direction, Section VIII).
+
+The conclusion notes that the HB-CSF optimisations are complementary to
+reordering methods (Z-order sorting, partitioning-based relabelling).  This
+module implements the light-weight members of that family so they can be
+composed with any format in this library:
+
+* :func:`relabel_mode_by_density` — renumber one mode's indices so the
+  heaviest slices get the smallest ids (improves locality of the output
+  rows and groups heavy slices together for scheduling);
+* :func:`random_relabel` — random renumbering, the usual baseline that
+  destroys any accidental locality;
+* :func:`zorder_sort` — reorder the *nonzeros* in Morton (Z-curve) order,
+  which is what HiCOO-style blocked formats want as a pre-pass;
+* :class:`Reordering` — records the permutations so factor matrices and
+  MTTKRP outputs can be mapped back to the original index space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.tensor.coo import CooTensor, INDEX_DTYPE
+from repro.util.errors import DimensionError, ValidationError
+from repro.util.prng import default_rng
+
+__all__ = [
+    "Reordering",
+    "relabel_mode_by_density",
+    "random_relabel",
+    "zorder_sort",
+    "morton_keys",
+]
+
+
+@dataclass(frozen=True)
+class Reordering:
+    """A per-mode relabelling of tensor indices.
+
+    ``perms[m][old_index] = new_index``; modes without an entry are left
+    unchanged.  ``apply`` relabels a tensor, ``apply_to_factor`` /
+    ``restore_factor`` move factor matrices (and MTTKRP outputs) between the
+    two index spaces.
+    """
+
+    shape: tuple[int, ...]
+    perms: dict[int, np.ndarray] = field(default_factory=dict)
+
+    def validate(self) -> None:
+        for mode, perm in self.perms.items():
+            if not 0 <= mode < len(self.shape):
+                raise DimensionError(f"mode {mode} out of range")
+            if perm.shape != (self.shape[mode],):
+                raise ValidationError(
+                    f"permutation for mode {mode} has length {perm.shape[0]}, "
+                    f"expected {self.shape[mode]}"
+                )
+            if not np.array_equal(np.sort(perm), np.arange(self.shape[mode])):
+                raise ValidationError(f"mode {mode} relabelling is not a permutation")
+
+    def apply(self, tensor: CooTensor) -> CooTensor:
+        """Relabel the tensor's indices."""
+        if tensor.shape != self.shape:
+            raise DimensionError(
+                f"tensor shape {tensor.shape} does not match reordering shape "
+                f"{self.shape}"
+            )
+        indices = tensor.indices.copy()
+        for mode, perm in self.perms.items():
+            indices[:, mode] = perm[indices[:, mode]]
+        return CooTensor(indices, tensor.values, tensor.shape, validate=False)
+
+    def apply_to_factor(self, factor: np.ndarray, mode: int) -> np.ndarray:
+        """Reorder a factor matrix's rows into the relabelled index space."""
+        perm = self.perms.get(mode)
+        if perm is None:
+            return factor
+        out = np.empty_like(factor)
+        out[perm] = factor
+        return out
+
+    def restore_factor(self, factor: np.ndarray, mode: int) -> np.ndarray:
+        """Map a factor matrix (or MTTKRP output) back to original labels."""
+        perm = self.perms.get(mode)
+        if perm is None:
+            return factor
+        return factor[perm]
+
+
+def relabel_mode_by_density(tensor: CooTensor, mode: int) -> Reordering:
+    """Renumber ``mode`` so slices are sorted by decreasing nonzero count.
+
+    Empty slices keep their relative order after the non-empty ones.
+    """
+    mode = int(mode)
+    if not 0 <= mode < tensor.order:
+        raise DimensionError(f"mode {mode} out of range")
+    counts = np.zeros(tensor.shape[mode], dtype=np.int64)
+    if tensor.nnz:
+        np.add.at(counts, tensor.indices[:, mode], 1)
+    order = np.argsort(-counts, kind="stable")
+    perm = np.empty(tensor.shape[mode], dtype=INDEX_DTYPE)
+    perm[order] = np.arange(tensor.shape[mode])
+    reordering = Reordering(tensor.shape, {mode: perm})
+    reordering.validate()
+    return reordering
+
+
+def random_relabel(tensor: CooTensor, modes: list[int] | None = None,
+                   rng=None) -> Reordering:
+    """Random renumbering of the given modes (all modes by default)."""
+    rng = default_rng(rng)
+    if modes is None:
+        modes = list(range(tensor.order))
+    perms = {}
+    for mode in modes:
+        mode = int(mode)
+        if not 0 <= mode < tensor.order:
+            raise DimensionError(f"mode {mode} out of range")
+        perms[mode] = rng.permutation(tensor.shape[mode]).astype(INDEX_DTYPE)
+    reordering = Reordering(tensor.shape, perms)
+    reordering.validate()
+    return reordering
+
+
+def morton_keys(indices: np.ndarray, shape: tuple[int, ...],
+                bits: int = 16) -> np.ndarray:
+    """Morton (Z-curve) key of each coordinate tuple.
+
+    Bits of the per-mode coordinates are interleaved (mode 0 owns the most
+    significant bit at each level), giving the space-filling-curve order
+    HiCOO-style blockings benefit from.
+    """
+    if bits < 1 or bits * len(shape) > 63:
+        raise ValidationError(
+            f"bits={bits} with order {len(shape)} does not fit in an int64 key"
+        )
+    keys = np.zeros(indices.shape[0], dtype=np.int64)
+    order = len(shape)
+    for b in range(bits - 1, -1, -1):
+        for m in range(order):
+            bit = (indices[:, m] >> b) & 1
+            keys = (keys << 1) | bit
+    return keys
+
+
+def zorder_sort(tensor: CooTensor, bits: int = 16) -> CooTensor:
+    """Return a copy whose nonzeros are stored in Morton order.
+
+    The tensor's values are untouched; only the storage order changes, which
+    matters for blocked formats (HiCOO) and for streaming access patterns.
+    """
+    if tensor.nnz == 0:
+        return tensor
+    keys = morton_keys(tensor.indices, tensor.shape, bits)
+    order = np.argsort(keys, kind="stable")
+    return CooTensor(tensor.indices[order], tensor.values[order], tensor.shape,
+                     validate=False)

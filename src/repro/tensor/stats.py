@@ -1,0 +1,166 @@
+"""Structural statistics of sparse tensors.
+
+These are the quantities the paper's analysis revolves around:
+
+* number of non-empty slices ``S`` and fibers ``F`` per mode,
+* nonzeros per slice / per fiber and their standard deviations
+  (the last two columns of Table II),
+* the fraction of singleton fibers and singleton slices (which drives the
+  HB-CSF partitioning of Section V),
+* density (Table III).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.tensor.coo import CooTensor
+
+__all__ = ["ModeStats", "TensorStats", "mode_stats", "tensor_stats"]
+
+
+@dataclass(frozen=True)
+class ModeStats:
+    """Per-mode (CSF-root) structural statistics."""
+
+    mode: int
+    num_slices: int
+    num_fibers: int
+    nnz: int
+    nnz_per_slice_mean: float
+    nnz_per_slice_std: float
+    nnz_per_slice_max: int
+    nnz_per_fiber_mean: float
+    nnz_per_fiber_std: float
+    nnz_per_fiber_max: int
+    singleton_fiber_fraction: float
+    singleton_slice_fraction: float
+    fibers_per_slice_mean: float
+    fibers_per_slice_std: float
+
+    def as_dict(self) -> dict[str, float | int]:
+        return {
+            "mode": self.mode,
+            "S": self.num_slices,
+            "F": self.num_fibers,
+            "M": self.nnz,
+            "nnz/slice mean": self.nnz_per_slice_mean,
+            "nnz/slice std": self.nnz_per_slice_std,
+            "nnz/slice max": self.nnz_per_slice_max,
+            "nnz/fiber mean": self.nnz_per_fiber_mean,
+            "nnz/fiber std": self.nnz_per_fiber_std,
+            "nnz/fiber max": self.nnz_per_fiber_max,
+            "singleton fiber frac": self.singleton_fiber_fraction,
+            "singleton slice frac": self.singleton_slice_fraction,
+        }
+
+
+@dataclass(frozen=True)
+class TensorStats:
+    """Whole-tensor statistics (Table III row + per-mode detail)."""
+
+    shape: tuple[int, ...]
+    order: int
+    nnz: int
+    density: float
+    modes: tuple[ModeStats, ...] = field(default_factory=tuple)
+
+    def mode(self, m: int) -> ModeStats:
+        for ms in self.modes:
+            if ms.mode == m:
+                return ms
+        raise KeyError(f"no statistics computed for mode {m}")
+
+    def as_table_row(self) -> dict[str, object]:
+        """Row in the style of Table III."""
+        return {
+            "order": self.order,
+            "dimensions": " x ".join(_humanize(s) for s in self.shape),
+            "#nonzeros": self.nnz,
+            "density": self.density,
+        }
+
+
+def _humanize(n: int) -> str:
+    if n >= 1_000_000:
+        return f"{n / 1_000_000:.1f}M"
+    if n >= 1_000:
+        return f"{n / 1_000:.0f}K"
+    return str(n)
+
+
+def _safe_std(x: np.ndarray) -> float:
+    return float(np.std(x)) if x.size else 0.0
+
+
+def _safe_mean(x: np.ndarray) -> float:
+    return float(np.mean(x)) if x.size else 0.0
+
+
+def mode_stats(tensor: CooTensor, mode: int) -> ModeStats:
+    """Compute :class:`ModeStats` for a CSF representation rooted at ``mode``."""
+    _, nnz_per_slice = tensor.slice_keys(mode)
+    _, nnz_per_fiber = tensor.fiber_keys(mode)
+
+    # fibers per slice: count distinct fibers grouped by slice index
+    num_slices = int(nnz_per_slice.shape[0])
+    num_fibers = int(nnz_per_fiber.shape[0])
+    fibers_per_slice = _fibers_per_slice(tensor, mode)
+
+    singleton_fibers = float(np.mean(nnz_per_fiber == 1)) if num_fibers else 0.0
+    singleton_slices = float(np.mean(nnz_per_slice == 1)) if num_slices else 0.0
+
+    return ModeStats(
+        mode=mode,
+        num_slices=num_slices,
+        num_fibers=num_fibers,
+        nnz=tensor.nnz,
+        nnz_per_slice_mean=_safe_mean(nnz_per_slice),
+        nnz_per_slice_std=_safe_std(nnz_per_slice),
+        nnz_per_slice_max=int(nnz_per_slice.max()) if num_slices else 0,
+        nnz_per_fiber_mean=_safe_mean(nnz_per_fiber),
+        nnz_per_fiber_std=_safe_std(nnz_per_fiber),
+        nnz_per_fiber_max=int(nnz_per_fiber.max()) if num_fibers else 0,
+        singleton_fiber_fraction=singleton_fibers,
+        singleton_slice_fraction=singleton_slices,
+        fibers_per_slice_mean=_safe_mean(fibers_per_slice),
+        fibers_per_slice_std=_safe_std(fibers_per_slice),
+    )
+
+
+def _fibers_per_slice(tensor: CooTensor, mode: int) -> np.ndarray:
+    """Number of distinct fibers within each non-empty slice of ``mode``."""
+    if tensor.nnz == 0:
+        return np.zeros(0, dtype=np.int64)
+    from repro.tensor.coo import csf_mode_ordering
+
+    ordering = csf_mode_ordering(tensor.order, mode)
+    upper = ordering[:-1]
+    # fiber key = all upper-level coordinates combined
+    key = np.zeros(tensor.nnz, dtype=np.int64)
+    for m in upper:
+        key = key * int(tensor.shape[m]) + tensor.indices[:, m]
+    fiber_keys = np.unique(key)
+    # slice of each fiber = fiber_key // prod(shape of non-root upper modes)
+    divisor = 1
+    for m in upper[1:]:
+        divisor *= int(tensor.shape[m])
+    slice_of_fiber = fiber_keys // divisor
+    _, counts = np.unique(slice_of_fiber, return_counts=True)
+    return counts.astype(np.int64)
+
+
+def tensor_stats(tensor: CooTensor, modes: list[int] | None = None) -> TensorStats:
+    """Compute :class:`TensorStats`, optionally restricted to ``modes``."""
+    if modes is None:
+        modes = list(range(tensor.order))
+    per_mode = tuple(mode_stats(tensor, m) for m in modes)
+    return TensorStats(
+        shape=tensor.shape,
+        order=tensor.order,
+        nnz=tensor.nnz,
+        density=tensor.density,
+        modes=per_mode,
+    )

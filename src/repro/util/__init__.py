@@ -1,0 +1,21 @@
+"""Small shared utilities: errors, deterministic PRNG helpers, timers."""
+
+from repro.util.errors import (
+    ReproError,
+    TensorFormatError,
+    ValidationError,
+    DimensionError,
+)
+from repro.util.prng import default_rng, spawn_rng
+from repro.util.timing import Timer, timed
+
+__all__ = [
+    "ReproError",
+    "TensorFormatError",
+    "ValidationError",
+    "DimensionError",
+    "default_rng",
+    "spawn_rng",
+    "Timer",
+    "timed",
+]

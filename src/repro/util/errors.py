@@ -1,0 +1,24 @@
+"""Exception hierarchy used across the package.
+
+Every error raised by ``repro`` derives from :class:`ReproError` so callers
+can catch library failures without catching unrelated bugs.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ValidationError(ReproError, ValueError):
+    """Raised when user-provided data fails validation (bad indices, NaNs,
+    inconsistent array lengths, ...)."""
+
+
+class DimensionError(ReproError, ValueError):
+    """Raised when shapes / orders / modes are inconsistent with the data."""
+
+
+class TensorFormatError(ReproError, ValueError):
+    """Raised when a sparse-format structure is internally inconsistent
+    (e.g. non-monotone pointer arrays) or an operation is not supported for
+    the given format."""

@@ -1,0 +1,40 @@
+"""Deterministic pseudo-random number helpers.
+
+All synthetic data in the package is generated through these helpers so that
+experiments, tests and benchmarks are reproducible bit-for-bit across runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Seed used when callers do not provide one.  Chosen arbitrarily but kept
+#: fixed so the default datasets are stable across releases.
+DEFAULT_SEED = 0x5EED_2019
+
+
+def default_rng(seed: int | np.random.Generator | None = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator`.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` uses :data:`DEFAULT_SEED`; an integer seeds a fresh
+        generator; an existing generator is returned unchanged.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if seed is None:
+        seed = DEFAULT_SEED
+    return np.random.default_rng(seed)
+
+
+def spawn_rng(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
+    """Spawn ``n`` independent child generators from ``rng``.
+
+    Used when a generator must be shared across logically independent
+    sub-tasks (e.g. one per tensor mode) without coupling their streams.
+    """
+    if n < 0:
+        raise ValueError(f"cannot spawn a negative number of generators: {n}")
+    return [np.random.default_rng(s) for s in rng.bit_generator.seed_seq.spawn(n)]

@@ -1,0 +1,44 @@
+"""Wall-clock timing helpers used by the pre-processing experiments."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass
+class Timer:
+    """Accumulating wall-clock timer.
+
+    ``Timer`` is used where the paper reports *measured* pre-processing time
+    (format construction happens on the host in both the paper and this
+    reproduction, so wall-clock is the honest metric there).
+    """
+
+    elapsed: float = 0.0
+    laps: list[float] = field(default_factory=list)
+
+    @contextmanager
+    def measure(self) -> Iterator["Timer"]:
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            lap = time.perf_counter() - start
+            self.elapsed += lap
+            self.laps.append(lap)
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self.laps.clear()
+
+
+def timed(fn: Callable[..., T], *args, **kwargs) -> tuple[T, float]:
+    """Call ``fn(*args, **kwargs)`` and return ``(result, seconds)``."""
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - start

@@ -1,0 +1,77 @@
+"""Tests for operation counting and load-balance reporting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.loadbalance import load_balance_report
+from repro.analysis.opcount import (
+    coo_operations,
+    csf_operations,
+    hbcsf_operations,
+    operation_comparison,
+)
+from repro.core.hybrid import build_hbcsf
+from repro.core.splitting import SplitConfig
+from repro.tensor.coo import CooTensor
+from repro.tensor.datasets import load_dataset
+
+
+class TestOpCount:
+    def test_coo_3mr(self):
+        assert coo_operations(1000, 3, 32) == 3 * 1000 * 32
+
+    def test_csf_bounds(self, skewed3d):
+        """CSF op count lands between 2MR (F << M) and 4MR (F ~ M)."""
+        cmp = operation_comparison(skewed3d, 0, rank=32)
+        m, r = skewed3d.nnz, 32
+        assert 2 * m * r <= cmp["csf"] <= 4 * m * r
+
+    def test_csf_singleton_fibers_equals_4mr(self):
+        idx = [[i, j, (i + j) % 5] for i in range(10) for j in range(8)]
+        t = CooTensor(idx, np.ones(len(idx)), (10, 8, 5))
+        assert csf_operations(t.nnz, t.nnz, 32) == 4 * t.nnz * 32
+
+    def test_hbcsf_in_paper_band(self, skewed3d):
+        """Section V-B: HB-CSF operations are 2MR ~ 3MR."""
+        hb = build_hbcsf(skewed3d, 0, SplitConfig.disabled())
+        ops = hbcsf_operations(hb, 32)
+        m, r = skewed3d.nnz, 32
+        assert 2 * m * r <= ops <= 3 * m * r + 2 * r * hb.group_slices()["csf"]
+
+    def test_hbcsf_never_exceeds_csf_for_singleton_heavy_tensors(self):
+        t = load_dataset("flick-3d", scale=0.1)
+        cmp = operation_comparison(t, 0)
+        assert cmp["hb-csf"] <= cmp["csf"]
+
+    def test_comparison_keys(self, small3d):
+        cmp = operation_comparison(small3d, 1, rank=8)
+        assert {"coo", "csf", "hb-csf", "lower_bound_2MR", "upper_bound_NMR"} <= set(cmp)
+
+
+class TestLoadBalance:
+    def test_matches_mode_stats(self, skewed3d):
+        from repro.tensor.stats import mode_stats
+
+        report = load_balance_report(skewed3d, 0)
+        ms = mode_stats(skewed3d, 0)
+        assert report.stdev_nnz_per_slice == pytest.approx(ms.nnz_per_slice_std)
+        assert report.max_nnz_per_fiber == ms.nnz_per_fiber_max
+
+    def test_split_reduces_fiber_imbalance(self):
+        t = load_dataset("darpa", scale=0.5)
+        report = load_balance_report(t, 0, SplitConfig(fiber_threshold=128))
+        assert report.max_nnz_per_fiber_after_split <= 128
+        assert (report.stdev_nnz_per_fiber_after_split
+                <= report.stdev_nnz_per_fiber)
+
+    def test_split_increases_blocks(self):
+        t = load_dataset("nell2", scale=0.3)
+        report = load_balance_report(t, 0)
+        assert report.blocks_after_split >= report.blocks_before_split
+
+    def test_as_row(self, skewed3d):
+        row = load_balance_report(skewed3d, 1).as_row()
+        assert row["mode"] == 1
+        assert "stdev nnz/slc" in row

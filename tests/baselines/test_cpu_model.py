@@ -1,0 +1,91 @@
+"""Tests for the multicore CPU execution model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.cpu_model import (
+    CpuCostModel,
+    CpuSpec,
+    XEON_E5_2680_V4,
+    schedule_tasks,
+    simulate_cpu_kernel,
+)
+from repro.util.errors import ValidationError
+
+
+class TestCpuSpec:
+    def test_paper_platform(self):
+        """Section VI-A: 28 cores, 2.4 GHz base, 35 MB L3."""
+        assert XEON_E5_2680_V4.num_threads == 28
+        assert XEON_E5_2680_V4.clock_ghz == pytest.approx(2.4)
+        assert XEON_E5_2680_V4.llc_bytes == 35 * 1024 * 1024
+
+    def test_invalid(self):
+        with pytest.raises(ValidationError):
+            CpuSpec(name="bad", num_threads=0)
+
+    def test_cost_scale(self):
+        c = CpuCostModel()
+        assert c.scale(64) == pytest.approx(2.0)
+        assert c.scale(32) == pytest.approx(1.0)
+
+
+class TestScheduleTasks:
+    def test_balanced(self):
+        busy = schedule_tasks(np.full(280, 10.0), 28)
+        assert busy.max() == pytest.approx(100.0)
+        assert busy.min() == pytest.approx(100.0)
+
+    def test_single_heavy_task_limits_scaling(self):
+        tasks = np.concatenate([[10_000.0], np.full(100, 1.0)])
+        busy = schedule_tasks(tasks, 28)
+        assert busy.max() >= 10_000.0
+
+    def test_fewer_tasks_than_threads(self):
+        busy = schedule_tasks(np.array([5.0, 7.0]), 28)
+        assert busy.sum() == pytest.approx(12.0)
+        assert (busy > 0).sum() == 2
+
+    def test_conserves_work(self):
+        rng = np.random.default_rng(1)
+        tasks = rng.uniform(1, 50, 333)
+        busy = schedule_tasks(tasks, 28)
+        assert busy.sum() == pytest.approx(tasks.sum())
+
+
+class TestSimulateCpuKernel:
+    def test_basic_result(self):
+        r = simulate_cpu_kernel("k", np.full(280, 1000.0), flops=1e7,
+                                streamed_bytes=1e6, reused_bytes=1e6,
+                                working_set_bytes=1e5)
+        assert r.time_seconds > 0
+        assert r.gflops > 0
+        assert 0 < r.thread_efficiency <= 1
+        assert r.num_tasks == 280
+
+    def test_memory_bound(self):
+        r = simulate_cpu_kernel("k", np.array([10.0]), flops=1.0,
+                                streamed_bytes=1e10, reused_bytes=0.0,
+                                working_set_bytes=1.0)
+        assert r.memory_seconds > r.compute_seconds
+        assert r.time_seconds >= r.memory_seconds
+
+    def test_imbalance_lowers_efficiency(self):
+        balanced = simulate_cpu_kernel("b", np.full(280, 100.0), 1.0, 0, 0, 1)
+        skewed = simulate_cpu_kernel("s", np.concatenate([[28_000.0], np.ones(279)]),
+                                     1.0, 0, 0, 1)
+        assert skewed.thread_efficiency < balanced.thread_efficiency
+        assert skewed.compute_seconds > balanced.compute_seconds
+
+    def test_empty_tasks(self):
+        r = simulate_cpu_kernel("e", np.zeros(0), 0.0, 0.0, 0.0, 0.0)
+        assert r.compute_seconds == 0.0
+        assert r.gflops == 0.0
+
+    def test_speedup_over(self):
+        a = simulate_cpu_kernel("a", np.array([1000.0]), 1.0, 0, 0, 1)
+        b = simulate_cpu_kernel("b", np.array([2000.0]), 1.0, 0, 0, 1)
+        assert a.speedup_over(b) > 1.0
+        assert b.speedup_over(a) < 1.0

@@ -1,0 +1,76 @@
+"""Tests for the ParTI-GPU and F-COO GPU baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.fcoo import FcooGpuMttkrp
+from repro.baselines.parti import PartiGpuMttkrp
+from repro.gpusim.api import simulate_mttkrp
+from repro.tensor.dense import einsum_mttkrp
+from repro.util.errors import ValidationError
+from tests.conftest import make_factors
+
+
+class TestParti:
+    @pytest.mark.parametrize("mode", [0, 1, 2])
+    def test_exact(self, skewed3d, mode):
+        factors = make_factors(skewed3d.shape, 8, seed=81)
+        got = PartiGpuMttkrp(skewed3d).mttkrp(factors, mode)
+        want = einsum_mttkrp(skewed3d, factors, mode)
+        np.testing.assert_allclose(got, want, rtol=1e-9, atol=1e-9)
+
+    def test_simulate_matches_api(self, skewed3d):
+        direct = simulate_mttkrp(skewed3d, 0, 32, "parti")
+        via_baseline = PartiGpuMttkrp(skewed3d).simulate(0, 32)
+        assert via_baseline.time_seconds == pytest.approx(direct.time_seconds)
+
+    def test_4d_unsupported(self, small4d, factors4d):
+        baseline = PartiGpuMttkrp(small4d)
+        assert not baseline.supported
+        with pytest.raises(ValidationError):
+            baseline.mttkrp(factors4d, 0)
+        with pytest.raises(ValidationError):
+            baseline.simulate(0)
+
+    def test_storage_is_full_coo(self, skewed3d):
+        assert PartiGpuMttkrp(skewed3d).index_storage_words() == 3 * skewed3d.nnz
+
+    def test_preprocessing_recorded(self, skewed3d):
+        assert PartiGpuMttkrp(skewed3d).preprocessing_seconds > 0
+
+
+class TestFcoo:
+    @pytest.mark.parametrize("mode", [0, 1, 2])
+    def test_exact(self, skewed3d, mode):
+        factors = make_factors(skewed3d.shape, 8, seed=82)
+        got = FcooGpuMttkrp(skewed3d).mttkrp(factors, mode)
+        want = einsum_mttkrp(skewed3d, factors, mode)
+        np.testing.assert_allclose(got, want, rtol=1e-9, atol=1e-9)
+
+    def test_4d_unsupported(self, small4d, factors4d):
+        baseline = FcooGpuMttkrp(small4d)
+        assert not baseline.supported
+        with pytest.raises(ValidationError):
+            baseline.simulate(1)
+
+    def test_storage_below_coo(self, skewed3d):
+        """F-COO's flag arrays replace one full index array (Section VI-F)."""
+        fcoo_words = FcooGpuMttkrp(skewed3d).index_storage_words()
+        coo_words = 3 * 3 * skewed3d.nnz  # per-mode COO copies
+        assert fcoo_words < coo_words
+
+    def test_simulate(self, skewed3d):
+        r = FcooGpuMttkrp(skewed3d).simulate(0, 32)
+        assert r.time_seconds > 0
+        assert r.flops > 0
+
+
+class TestCrossBaselineShapes:
+    def test_hbcsf_faster_than_both_gpu_baselines(self, skewed3d):
+        hb = simulate_mttkrp(skewed3d, 0, 32, "hb-csf")
+        parti = PartiGpuMttkrp(skewed3d).simulate(0, 32)
+        fcoo = FcooGpuMttkrp(skewed3d).simulate(0, 32)
+        assert hb.time_seconds <= parti.time_seconds
+        assert hb.time_seconds <= fcoo.time_seconds

@@ -1,0 +1,77 @@
+"""Tests for the HiCOO baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.hicoo import HicooMttkrp, build_hicoo
+from repro.tensor.coo import CooTensor
+from repro.tensor.dense import einsum_mttkrp
+from repro.util.errors import ValidationError
+from tests.conftest import make_factors
+
+
+class TestBuild:
+    def test_roundtrip(self, skewed3d):
+        h = build_hicoo(skewed3d, block_bits=4)
+        assert h.nnz == skewed3d.nnz
+        assert h.to_coo() == skewed3d
+
+    def test_roundtrip_4d(self, small4d):
+        h = build_hicoo(small4d, block_bits=3)
+        assert h.to_coo() == small4d
+
+    def test_offsets_fit_block(self, skewed3d):
+        for bits in (2, 4, 7):
+            h = build_hicoo(skewed3d, block_bits=bits)
+            assert h.offsets.max() < (1 << bits)
+
+    def test_block_count_decreases_with_larger_blocks(self, skewed3d):
+        small_blocks = build_hicoo(skewed3d, block_bits=2)
+        big_blocks = build_hicoo(skewed3d, block_bits=7)
+        assert big_blocks.num_blocks <= small_blocks.num_blocks
+
+    def test_nnz_per_block_sums(self, skewed3d):
+        h = build_hicoo(skewed3d, block_bits=5)
+        assert h.nnz_per_block().sum() == skewed3d.nnz
+
+    def test_invalid_block_bits(self, small3d):
+        with pytest.raises(ValidationError):
+            build_hicoo(small3d, block_bits=0)
+        with pytest.raises(ValidationError):
+            build_hicoo(small3d, block_bits=9)
+
+    def test_empty_tensor(self):
+        h = build_hicoo(CooTensor.empty((4, 5, 6)))
+        assert h.nnz == 0
+        assert h.num_blocks == 0
+
+    def test_storage_uses_byte_offsets(self, skewed3d):
+        """HiCOO stores 1-byte offsets per nonzero, so for tensors with few
+        blocks it needs less index storage than COO (4 bytes per index)."""
+        h = build_hicoo(skewed3d, block_bits=7)
+        coo_bytes = 4 * 3 * skewed3d.nnz
+        if h.num_blocks < skewed3d.nnz / 8:
+            assert h.index_storage_bytes() < coo_bytes
+
+
+class TestMttkrp:
+    @pytest.mark.parametrize("mode", [0, 1, 2])
+    def test_matches_reference(self, skewed3d, mode):
+        factors = make_factors(skewed3d.shape, 8, seed=72)
+        got = HicooMttkrp(skewed3d).mttkrp(factors, mode)
+        want = einsum_mttkrp(skewed3d, factors, mode)
+        np.testing.assert_allclose(got, want, rtol=1e-9, atol=1e-9)
+
+    def test_simulate(self, skewed3d):
+        h = HicooMttkrp(skewed3d)
+        r = h.simulate(0, rank=32)
+        assert r.time_seconds > 0
+        assert r.num_tasks == h.hicoo.num_blocks
+        assert h.preprocessing_seconds > 0
+
+    def test_storage_words(self, skewed3d):
+        h = HicooMttkrp(skewed3d)
+        assert h.index_storage_words() == pytest.approx(
+            h.hicoo.index_storage_bytes() / 4.0)

@@ -1,0 +1,83 @@
+"""Tests for the SPLATT baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.splatt import SplattMttkrp
+from repro.tensor.dense import einsum_mttkrp
+from repro.tensor.datasets import load_dataset
+from repro.util.errors import ValidationError
+from tests.conftest import make_factors
+
+
+class TestExactness:
+    @pytest.mark.parametrize("mode", [0, 1, 2])
+    def test_matches_reference(self, skewed3d, mode):
+        factors = make_factors(skewed3d.shape, 8, seed=71)
+        splatt = SplattMttkrp(skewed3d)
+        got = splatt.mttkrp(factors, mode)
+        want = einsum_mttkrp(skewed3d, factors, mode)
+        np.testing.assert_allclose(got, want, rtol=1e-9, atol=1e-9)
+
+    def test_tiling_does_not_change_values(self, small3d, factors3d):
+        a = SplattMttkrp(small3d, tiled=False).mttkrp(factors3d, 0)
+        b = SplattMttkrp(small3d, tiled=True).mttkrp(factors3d, 0)
+        np.testing.assert_allclose(a, b)
+
+    def test_4d(self, small4d, factors4d):
+        splatt = SplattMttkrp(small4d)
+        for mode in range(4):
+            got = splatt.mttkrp(factors4d, mode)
+            want = einsum_mttkrp(small4d, factors4d, mode)
+            np.testing.assert_allclose(got, want, rtol=1e-10, atol=1e-10)
+
+    def test_mode_subset(self, small3d, factors3d):
+        splatt = SplattMttkrp(small3d, modes=(1,))
+        splatt.mttkrp(factors3d, 1)
+        with pytest.raises(ValidationError):
+            splatt.mttkrp(factors3d, 0)
+
+
+class TestCostModel:
+    def test_preprocessing_time_positive_and_tiling_costs_more(self, skewed3d):
+        nt = SplattMttkrp(skewed3d, tiled=False)
+        ti = SplattMttkrp(skewed3d, tiled=True)
+        assert nt.preprocessing_seconds > 0
+        assert ti.preprocessing_seconds > nt.preprocessing_seconds
+
+    def test_allmode_storage(self, skewed3d):
+        splatt = SplattMttkrp(skewed3d)
+        single = splatt.representations[0].index_storage_words()
+        assert splatt.index_storage_words() > single
+
+    def test_simulate_returns_sane_result(self, skewed3d):
+        r = SplattMttkrp(skewed3d).simulate(0, rank=32)
+        assert r.time_seconds > 0
+        assert r.num_tasks == SplattMttkrp(skewed3d).representations[0].num_slices
+        assert 0 < r.thread_efficiency <= 1
+
+    def test_tiled_slower_in_compute_bound_regime(self, skewed3d):
+        nt = SplattMttkrp(skewed3d, tiled=False).simulate(0)
+        ti = SplattMttkrp(skewed3d, tiled=True).simulate(0)
+        assert ti.time_seconds >= nt.time_seconds
+
+    def test_short_mode_scales_poorly(self):
+        """Figure 7: SPLATT on a short mode (few slices) underutilises threads."""
+        t = load_dataset("fr_m", scale=0.3)
+        splatt = SplattMttkrp(t)
+        long_mode = splatt.simulate(0, rank=32)   # many slices
+        short_mode = splatt.simulate(2, rank=32)  # tiny last mode
+        assert short_mode.thread_efficiency < long_mode.thread_efficiency
+
+    def test_rank_scaling(self, skewed3d):
+        splatt = SplattMttkrp(skewed3d)
+        r32 = splatt.simulate(0, 32)
+        r64 = splatt.simulate(0, 64)
+        assert r64.compute_seconds > r32.compute_seconds
+        assert r64.flops == 2 * r32.flops
+
+    def test_simulate_all_modes(self, small3d):
+        results = SplattMttkrp(small3d).simulate_all_modes(8)
+        assert set(results) == {0, 1, 2}

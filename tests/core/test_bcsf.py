@@ -1,0 +1,97 @@
+"""Tests for the B-CSF container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bcsf import build_bcsf
+from repro.core.splitting import SplitConfig
+from repro.tensor.csf import build_csf
+from repro.tensor.dense import einsum_mttkrp
+from repro.util.errors import DimensionError
+from tests.conftest import make_factors
+
+
+class TestConstruction:
+    def test_from_coo_default_config(self, skewed3d):
+        b = build_bcsf(skewed3d, 0)
+        assert b.shape == skewed3d.shape
+        assert b.nnz == skewed3d.nnz
+        assert b.root_mode == 0
+        assert b.config.fiber_threshold == 128
+        assert b.max_nnz_per_fiber() <= 128
+
+    def test_from_existing_csf(self, small3d):
+        csf = build_csf(small3d, 1)
+        b = build_bcsf(csf, 1)
+        assert b.root_mode == 1
+        assert b.nnz == small3d.nnz
+
+    def test_mode_mismatch_rejected(self, small3d):
+        csf = build_csf(small3d, 1)
+        with pytest.raises(DimensionError):
+            build_bcsf(csf, 0)
+
+    def test_roundtrip(self, skewed3d):
+        b = build_bcsf(skewed3d, 0, SplitConfig(fiber_threshold=4, block_nnz=32))
+        assert b.to_coo() == skewed3d
+
+    def test_segment_bookkeeping(self, skewed3d):
+        cfg = SplitConfig(fiber_threshold=8, block_nnz=64)
+        b = build_bcsf(skewed3d, 0, cfg)
+        csf = build_csf(skewed3d, 0)
+        assert b.original_num_fibers == csf.num_fibers
+        assert b.num_fiber_segments >= b.original_num_fibers
+        assert b.segment_of_fiber.shape[0] == b.num_fiber_segments
+        # every original fiber appears at least once
+        assert np.unique(b.segment_of_fiber).shape[0] == b.original_num_fibers
+
+    def test_blocks_per_slice(self, skewed3d):
+        cfg = SplitConfig(fiber_threshold=16, block_nnz=64)
+        b = build_bcsf(skewed3d, 0, cfg)
+        nnz_per_slice = b.csf.nnz_per_slice()
+        expected = np.maximum(np.ceil(nnz_per_slice / 64).astype(int), 1)
+        np.testing.assert_array_equal(b.blocks_per_slice, expected)
+        assert b.num_blocks == expected.sum()
+
+    def test_no_split_config(self, skewed3d):
+        b = build_bcsf(skewed3d, 0, SplitConfig.disabled())
+        csf = build_csf(skewed3d, 0)
+        assert b.num_fiber_segments == csf.num_fibers
+        assert np.all(b.blocks_per_slice == 1)
+
+    def test_describe(self, skewed3d):
+        d = build_bcsf(skewed3d, 0).describe()
+        assert d["nnz"] == skewed3d.nnz
+        assert d["fiber_segments"] >= d["original_fibers"]
+        assert d["thread_blocks"] >= d["slices"]
+
+
+class TestMttkrp:
+    @pytest.mark.parametrize("mode", [0, 1, 2])
+    def test_matches_reference(self, skewed3d, mode):
+        factors = make_factors(skewed3d.shape, 8, seed=13)
+        b = build_bcsf(skewed3d, mode, SplitConfig(fiber_threshold=8, block_nnz=32))
+        got = b.mttkrp(factors)
+        want = einsum_mttkrp(skewed3d, factors, mode)
+        np.testing.assert_allclose(got, want, rtol=1e-9, atol=1e-9)
+
+    def test_matches_reference_4d(self, small4d, factors4d):
+        b = build_bcsf(small4d, 2, SplitConfig(fiber_threshold=2, block_nnz=8))
+        got = b.mttkrp(factors4d)
+        want = einsum_mttkrp(small4d, factors4d, 2)
+        np.testing.assert_allclose(got, want, rtol=1e-10, atol=1e-10)
+
+    def test_split_invariance(self, skewed3d):
+        """Result is identical for every splitting configuration."""
+        factors = make_factors(skewed3d.shape, 4, seed=14)
+        reference = build_bcsf(skewed3d, 0, SplitConfig.disabled()).mttkrp(factors)
+        for threshold in (1, 3, 17, 128):
+            got = build_bcsf(skewed3d, 0, SplitConfig(threshold, 64)).mttkrp(factors)
+            np.testing.assert_allclose(got, reference, rtol=1e-9, atol=1e-9)
+
+    def test_storage_grows_with_splitting(self, skewed3d):
+        plain = build_bcsf(skewed3d, 0, SplitConfig.disabled())
+        split = build_bcsf(skewed3d, 0, SplitConfig(fiber_threshold=2))
+        assert split.index_storage_words() >= plain.index_storage_words()

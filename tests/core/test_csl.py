@@ -1,0 +1,121 @@
+"""Tests for the CSL group container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.csl import build_csl_group, empty_csl_group
+from repro.tensor.coo import CooTensor
+from repro.tensor.csf import build_csf
+from repro.tensor.dense import einsum_mttkrp
+from repro.util.errors import ValidationError
+from tests.conftest import make_factors
+
+
+def singleton_fiber_tensor() -> CooTensor:
+    idx = [[i, j, (2 * i + j) % 7] for i in range(5) for j in range(6)]
+    return CooTensor(idx, np.arange(1.0, 31.0), (5, 6, 7))
+
+
+def mixed_tensor() -> CooTensor:
+    """Slices 0-1 CSL-eligible; slice 2 has a 3-nonzero fiber."""
+    idx = [[0, 0, 1], [0, 2, 3],
+           [1, 1, 0],
+           [2, 0, 0], [2, 0, 1], [2, 0, 2], [2, 4, 5]]
+    return CooTensor(idx, np.arange(1.0, 8.0), (3, 5, 7))
+
+
+class TestBuild:
+    def test_all_slices(self):
+        t = singleton_fiber_tensor()
+        csf = build_csf(t, 0)
+        group = build_csl_group(csf)
+        assert group.num_slices == csf.num_slices
+        assert group.nnz == t.nnz
+        assert group.to_coo() == t
+
+    def test_subset_of_slices(self):
+        t = mixed_tensor()
+        csf = build_csf(t, 0)
+        mask = np.array([True, True, False])
+        group = build_csl_group(csf, mask)
+        assert group.num_slices == 2
+        assert group.nnz == 3
+        assert set(map(int, group.slice_inds)) == {0, 1}
+
+    def test_ineligible_slice_rejected(self):
+        t = mixed_tensor()
+        csf = build_csf(t, 0)
+        with pytest.raises(ValidationError):
+            build_csl_group(csf, np.array([True, True, True]))
+
+    def test_wrong_mask_length(self):
+        csf = build_csf(mixed_tensor(), 0)
+        with pytest.raises(ValidationError):
+            build_csl_group(csf, np.array([True]))
+
+    def test_empty_mask(self):
+        csf = build_csf(mixed_tensor(), 0)
+        group = build_csl_group(csf, np.zeros(3, dtype=bool))
+        assert group.nnz == 0
+        assert group.num_slices == 0
+
+    def test_empty_group_helper(self):
+        g = empty_csl_group((3, 4, 5), (0, 1, 2))
+        g.validate()
+        assert g.nnz == 0
+        assert g.to_coo().nnz == 0
+
+    def test_4d(self, small4d):
+        # order-4 tensor where every (i, j, k) triple is unique -> eligible
+        t = small4d
+        # construct an eligible tensor by dropping duplicate fibers
+        csf = build_csf(t, 0)
+        eligible = csf.nnz_per_fiber()
+        if not np.all(eligible == 1):
+            # build a singleton-fiber 4-d tensor explicitly
+            idx = [[i, j, k, (i + j + k) % 3]
+                   for i in range(3) for j in range(4) for k in range(5)]
+            t = CooTensor(idx, np.ones(len(idx)), (3, 4, 5, 3))
+            csf = build_csf(t, 0)
+        group = build_csl_group(csf)
+        assert group.to_coo() == t
+
+
+class TestMttkrp:
+    def test_matches_reference(self):
+        t = singleton_fiber_tensor()
+        factors = make_factors(t.shape, 5, seed=3)
+        group = build_csl_group(build_csf(t, 0))
+        out = np.zeros((t.shape[0], 5))
+        group.mttkrp(factors, out)
+        want = einsum_mttkrp(t, factors, 0)
+        np.testing.assert_allclose(out, want, rtol=1e-10, atol=1e-12)
+
+    def test_partial_group_contribution(self):
+        t = mixed_tensor()
+        factors = make_factors(t.shape, 4, seed=4)
+        csf = build_csf(t, 0)
+        mask = np.array([True, True, False])
+        group = build_csl_group(csf, mask)
+        out = np.zeros((t.shape[0], 4))
+        group.mttkrp(factors, out)
+        want = einsum_mttkrp(group.to_coo(), factors, 0)
+        np.testing.assert_allclose(out, want, rtol=1e-10, atol=1e-12)
+        # slice 2 was excluded, so its row must be zero
+        assert np.all(out[2] == 0.0)
+
+
+class TestStorage:
+    def test_storage_formula(self):
+        t = singleton_fiber_tensor()
+        group = build_csl_group(build_csf(t, 0))
+        # 2S + (N-1) M  (Figure 3: no fiber pointer array)
+        assert group.index_storage_words() == 2 * 5 + 2 * 30
+
+    def test_csl_smaller_than_csf_for_singleton_fibers(self):
+        t = singleton_fiber_tensor()
+        csf = build_csf(t, 0)
+        group = build_csl_group(csf)
+        assert group.index_storage_words() < csf.index_storage_words()

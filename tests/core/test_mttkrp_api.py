@@ -1,0 +1,89 @@
+"""Tests for the public mttkrp() entry point and the ALLMODE plan."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.mttkrp import FORMATS, MttkrpPlan, mttkrp
+from repro.core.splitting import SplitConfig
+from repro.tensor.dense import einsum_mttkrp
+from repro.util.errors import ValidationError
+from tests.conftest import make_factors
+
+
+class TestMttkrpFunction:
+    @pytest.mark.parametrize("fmt", FORMATS)
+    @pytest.mark.parametrize("mode", [0, 1, 2])
+    def test_all_formats_agree_with_reference(self, skewed3d, fmt, mode):
+        factors = make_factors(skewed3d.shape, 8, seed=51)
+        got = mttkrp(skewed3d, factors, mode, format=fmt)
+        want = einsum_mttkrp(skewed3d, factors, mode)
+        np.testing.assert_allclose(got, want, rtol=1e-9, atol=1e-9)
+
+    @pytest.mark.parametrize("fmt", FORMATS)
+    def test_all_formats_agree_4d(self, small4d, factors4d, fmt):
+        got = mttkrp(small4d, factors4d, 1, format=fmt)
+        want = einsum_mttkrp(small4d, factors4d, 1)
+        np.testing.assert_allclose(got, want, rtol=1e-10, atol=1e-10)
+
+    def test_format_aliases(self, small3d, factors3d):
+        a = mttkrp(small3d, factors3d, 0, format="HB_CSF")
+        b = mttkrp(small3d, factors3d, 0, format="hybrid")
+        np.testing.assert_allclose(a, b)
+
+    def test_unknown_format_rejected(self, small3d, factors3d):
+        with pytest.raises(ValidationError):
+            mttkrp(small3d, factors3d, 0, format="csr")
+
+    def test_out_accumulation(self, small3d, factors3d):
+        out = np.ones((small3d.shape[0], factors3d[0].shape[1]))
+        got = mttkrp(small3d, factors3d, 0, format="hb-csf", out=out)
+        want = 1.0 + einsum_mttkrp(small3d, factors3d, 0)
+        np.testing.assert_allclose(got, want, rtol=1e-9)
+
+    def test_custom_config(self, skewed3d):
+        factors = make_factors(skewed3d.shape, 4, seed=52)
+        cfg = SplitConfig(fiber_threshold=4, block_nnz=16)
+        got = mttkrp(skewed3d, factors, 0, format="b-csf", config=cfg)
+        want = einsum_mttkrp(skewed3d, factors, 0)
+        np.testing.assert_allclose(got, want, rtol=1e-9, atol=1e-9)
+
+
+class TestMttkrpPlan:
+    @pytest.mark.parametrize("fmt", FORMATS)
+    def test_plan_all_modes(self, skewed3d, fmt):
+        factors = make_factors(skewed3d.shape, 8, seed=53)
+        plan = MttkrpPlan(skewed3d, format=fmt)
+        assert plan.modes == (0, 1, 2)
+        for mode in range(3):
+            got = plan.mttkrp(factors, mode)
+            want = einsum_mttkrp(skewed3d, factors, mode)
+            np.testing.assert_allclose(got, want, rtol=1e-9, atol=1e-9)
+
+    def test_preprocessing_time_recorded(self, skewed3d):
+        plan = MttkrpPlan(skewed3d, format="hb-csf")
+        assert plan.preprocessing_seconds > 0.0
+
+    def test_mode_subset(self, skewed3d):
+        plan = MttkrpPlan(skewed3d, format="csf", modes=(1,))
+        assert set(plan.representations) == {1}
+        with pytest.raises(ValidationError):
+            plan.representation(0)
+
+    def test_storage_accounting(self, skewed3d):
+        coo_plan = MttkrpPlan(skewed3d, format="coo")
+        csf_plan = MttkrpPlan(skewed3d, format="csf")
+        hb_plan = MttkrpPlan(skewed3d, format="hb-csf", config=SplitConfig.disabled())
+        assert coo_plan.index_storage_words() == 3 * 3 * skewed3d.nnz
+        assert hb_plan.index_storage_words() <= csf_plan.index_storage_words()
+
+    def test_invalid_format(self, small3d):
+        with pytest.raises(ValidationError):
+            MttkrpPlan(small3d, format="bogus")
+
+    def test_plan_reuse_is_consistent(self, small3d, factors3d):
+        plan = MttkrpPlan(small3d, format="b-csf")
+        a = plan.mttkrp(factors3d, 0)
+        b = plan.mttkrp(factors3d, 0)
+        np.testing.assert_allclose(a, b)

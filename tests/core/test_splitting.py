@@ -1,0 +1,138 @@
+"""Tests for fbr-split and slc-split (Section IV)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.splitting import (
+    DEFAULT_BLOCK_NNZ,
+    DEFAULT_FIBER_THRESHOLD,
+    SplitConfig,
+    slice_block_bins,
+    split_long_fibers,
+)
+from repro.kernels.csf_mttkrp import csf_mttkrp
+from repro.tensor.csf import build_csf
+from repro.tensor.dense import einsum_mttkrp
+from repro.util.errors import ValidationError
+from tests.conftest import make_factors
+
+
+class TestSplitConfig:
+    def test_defaults_match_paper(self):
+        cfg = SplitConfig()
+        assert cfg.fiber_threshold == DEFAULT_FIBER_THRESHOLD == 128
+        assert cfg.block_nnz == DEFAULT_BLOCK_NNZ == 512
+
+    def test_disabled(self):
+        cfg = SplitConfig.disabled()
+        assert cfg.fiber_threshold is None
+        assert cfg.block_nnz is None
+
+    def test_fiber_only(self):
+        cfg = SplitConfig.fiber_only(64)
+        assert cfg.fiber_threshold == 64
+        assert cfg.block_nnz is None
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValidationError):
+            SplitConfig(fiber_threshold=0)
+        with pytest.raises(ValidationError):
+            SplitConfig(block_nnz=-1)
+
+
+class TestFiberSplit:
+    def test_threshold_enforced(self, skewed3d):
+        csf = build_csf(skewed3d, 0)
+        for threshold in (1, 4, 16, 64):
+            split, seg_of = split_long_fibers(csf, threshold)
+            split.validate()
+            assert split.nnz_per_fiber().max() <= threshold
+            assert seg_of.shape[0] == split.num_fibers
+
+    def test_preserves_nonzeros(self, skewed3d):
+        csf = build_csf(skewed3d, 0)
+        split, _ = split_long_fibers(csf, 8)
+        assert split.to_coo() == skewed3d
+
+    def test_preserves_mttkrp(self, skewed3d):
+        factors = make_factors(skewed3d.shape, 8, seed=42)
+        want = einsum_mttkrp(skewed3d, factors, 0)
+        csf = build_csf(skewed3d, 0)
+        for threshold in (1, 7, 32):
+            split, _ = split_long_fibers(csf, threshold)
+            got = csf_mttkrp(split, factors)
+            np.testing.assert_allclose(got, want, rtol=1e-9, atol=1e-9)
+
+    def test_noop_when_threshold_large(self, small3d):
+        csf = build_csf(small3d, 0)
+        split, seg_of = split_long_fibers(csf, 10_000)
+        assert split is csf
+        np.testing.assert_array_equal(seg_of, np.arange(csf.num_fibers))
+
+    def test_noop_when_disabled(self, small3d):
+        csf = build_csf(small3d, 0)
+        split, _ = split_long_fibers(csf, None)
+        assert split is csf
+
+    def test_segment_count(self):
+        # one fiber of 10 nonzeros with threshold 4 -> 3 segments (4+4+2)
+        from repro.tensor.coo import CooTensor
+
+        idx = [[0, 0, k] for k in range(10)]
+        t = CooTensor(idx, np.ones(10), (1, 1, 10))
+        csf = build_csf(t, 0)
+        split, seg_of = split_long_fibers(csf, 4)
+        assert split.num_fibers == 3
+        assert list(split.nnz_per_fiber()) == [4, 4, 2]
+        assert list(seg_of) == [0, 0, 0]
+        # all segments keep the original fiber's j index
+        assert np.all(split.fids[1] == 0)
+
+    def test_split_4d(self, small4d):
+        csf = build_csf(small4d, 0)
+        split, _ = split_long_fibers(csf, 1)
+        split.validate()
+        assert split.to_coo() == small4d
+        assert split.nnz_per_fiber().max() == 1
+
+    def test_invalid_threshold(self, small3d):
+        csf = build_csf(small3d, 0)
+        with pytest.raises(ValidationError):
+            split_long_fibers(csf, 0)
+
+    def test_max_warp_load_never_increases(self, skewed3d):
+        """Splitting must never increase the largest per-warp workload."""
+        csf = build_csf(skewed3d, 0)
+        prev_max = csf.nnz_per_fiber().max()
+        for threshold in (256, 64, 16, 4):
+            split, _ = split_long_fibers(csf, threshold)
+            new_max = split.nnz_per_fiber().max()
+            assert new_max <= prev_max
+            prev_max = new_max
+
+
+class TestSliceBins:
+    def test_one_block_per_light_slice(self):
+        bins = slice_block_bins(np.array([1, 10, 512]), 512)
+        assert list(bins) == [1, 1, 1]
+
+    def test_heavy_slices_get_multiple_blocks(self):
+        bins = slice_block_bins(np.array([513, 2048, 5000]), 512)
+        assert list(bins) == [2, 4, 10]
+
+    def test_paper_example(self):
+        """A slice with 2048 nonzeros and 512-thread blocks gets 4 blocks."""
+        assert slice_block_bins(np.array([2048]), 512)[0] == 4
+
+    def test_disabled(self):
+        bins = slice_block_bins(np.array([1, 100000]), None)
+        assert list(bins) == [1, 1]
+
+    def test_invalid_block_size(self):
+        with pytest.raises(ValidationError):
+            slice_block_bins(np.array([1]), 0)
+
+    def test_empty(self):
+        assert slice_block_bins(np.zeros(0, dtype=int), 512).shape == (0,)

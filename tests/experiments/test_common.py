@@ -1,0 +1,62 @@
+"""Tests for the experiment plumbing (result container, registry, tables)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import ExperimentResult, format_table, geometric_mean
+from repro.experiments.registry import EXPERIMENTS, main, run_experiment
+from repro.util.errors import ValidationError
+
+
+class TestFormatTable:
+    def test_basic(self):
+        text = format_table([{"a": 1, "b": 2.5}, {"a": 10, "b": 0.001}])
+        assert "a" in text and "b" in text
+        assert "10" in text
+
+    def test_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_column_subset(self):
+        text = format_table([{"a": 1, "b": 2}], columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+
+class TestGeometricMean:
+    def test_values(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geometric_mean([]) == 0.0
+        assert geometric_mean([0.0, -1.0]) == 0.0
+
+
+class TestExperimentResult:
+    def test_to_text_and_row_lookup(self):
+        r = ExperimentResult("figX", "demo", rows=[{"tensor": "a", "v": 1}],
+                             summary={"ok": True}, notes=["a note"])
+        text = r.to_text()
+        assert "figX" in text and "a note" in text and "ok=True" in text
+        assert r.row_for("tensor", "a")["v"] == 1
+        with pytest.raises(KeyError):
+            r.row_for("tensor", "missing")
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        expected = {"table2", "table3"} | {f"fig{i}" for i in range(5, 17)}
+        assert set(EXPERIMENTS) == expected
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ValidationError):
+            run_experiment("fig99")
+
+    def test_run_experiment_table3(self):
+        result = run_experiment("table3", scale=0.05)
+        assert result.experiment_id == "table3"
+        assert len(result.rows) == 12
+
+    def test_cli_main(self, capsys):
+        rc = main(["table3", "--scale", "0.05"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "table3" in out

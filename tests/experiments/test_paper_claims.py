@@ -1,0 +1,89 @@
+"""End-to-end assertions of the paper's qualitative claims.
+
+These run the real experiment drivers at the default dataset scale (the same
+configuration EXPERIMENTS.md is generated from) and check the *shape* of the
+results: who wins, where the crossovers are, which datasets benefit most.
+They are the slowest tests in the suite (a few seconds each).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig5, fig8, fig9, fig16, table2
+from repro.experiments.speedups import speedup_experiment
+
+
+@pytest.fixture(scope="module")
+def table2_result():
+    return table2.run()
+
+
+@pytest.fixture(scope="module")
+def fig5_result():
+    return fig5.run()
+
+
+@pytest.fixture(scope="module")
+def fig8_result():
+    return fig8.run()
+
+
+class TestTable2Claims:
+    def test_darpa_and_nell2_are_slowest(self, table2_result):
+        ranked = sorted(table2_result.rows, key=lambda r: r["gflops"])
+        assert {ranked[0]["tensor"], ranked[1]["tensor"]} == {"darpa", "nell2"}
+
+    def test_high_skew_low_occupancy(self, table2_result):
+        by_name = {r["tensor"]: r for r in table2_result.rows}
+        assert by_name["darpa"]["achv occp %"] < by_name["deli"]["achv occp %"]
+        assert by_name["nell2"]["sm effic %"] < by_name["deli"]["sm effic %"]
+
+
+class TestFig5Claims:
+    def test_darpa_gains_most(self, fig5_result):
+        gains = {r["tensor"]: r["speedup from splitting"] for r in fig5_result.rows}
+        assert max(gains, key=gains.get) == "darpa"
+        assert gains["darpa"] > 4.0
+
+    def test_splitting_never_hurts(self, fig5_result):
+        for row in fig5_result.rows:
+            assert row["speedup from splitting"] >= 0.99
+
+
+class TestFig8Claims:
+    def test_coo_beats_bcsf_on_flickr_and_freebase(self, fig8_result):
+        by_name = {r["tensor"]: r for r in fig8_result.rows}
+        assert by_name["flick-3d"]["coo beats b-csf"]
+        assert by_name["fr_s"]["coo beats b-csf"]
+        assert not by_name["nell2"]["coo beats b-csf"]
+        assert not by_name["darpa"]["coo beats b-csf"]
+
+    def test_hbcsf_always_best_or_tied(self, fig8_result):
+        assert fig8_result.summary["hbcsf_always_best_or_tied"]
+
+
+class TestSpeedupClaims:
+    @pytest.mark.parametrize("baseline", ["splatt-nontiled", "parti-gpu", "fcoo-gpu"])
+    def test_hbcsf_beats_baseline_on_every_3d_dataset(self, baseline):
+        result = speedup_experiment("check", baseline, paper_average=0.0,
+                                    datasets=("deli", "nell2", "fr_s", "darpa"))
+        assert result.summary["min_speedup"] >= 1.0
+
+    def test_speedup_over_tiled_exceeds_nontiled(self):
+        datasets = ("nell2", "darpa", "uber")
+        tiled = speedup_experiment("t", "splatt-tiled", 0.0, datasets=datasets)
+        nontiled = speedup_experiment("nt", "splatt-nontiled", 0.0, datasets=datasets)
+        assert (tiled.summary["geomean_speedup"]
+                > nontiled.summary["geomean_speedup"])
+
+
+class TestStorageAndPreprocessingClaims:
+    def test_fig16_hbcsf_below_csf_everywhere(self):
+        result = fig16.run(scale=0.4)
+        assert result.summary["hbcsf_never_exceeds_csf"]
+        assert result.summary["fcoo_below_csf_somewhere"]
+
+    def test_fig9_bcsf_preprocessing_cheap(self):
+        result = fig9.run(scale=0.4, datasets=("deli", "nell2", "darpa"))
+        assert result.summary["bcsf_preprocessing_cheaper_than_hbcsf"]

@@ -1,0 +1,124 @@
+"""Tests for the simulate_mttkrp API and the paper's qualitative claims."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bcsf import build_bcsf
+from repro.core.hybrid import build_hbcsf
+from repro.core.splitting import SplitConfig
+from repro.gpusim.api import GPU_FORMATS, atomic_conflict_factor, simulate_mttkrp
+from repro.gpusim.device import GENERIC_GPU, TESLA_P100, TESLA_V100
+from repro.tensor.coo import CooTensor
+from repro.tensor.csf import build_csf
+from repro.tensor.datasets import load_dataset
+from repro.util.errors import ValidationError
+
+
+class TestApiBasics:
+    @pytest.mark.parametrize("fmt", GPU_FORMATS)
+    def test_all_formats_simulate(self, skewed3d, fmt):
+        r = simulate_mttkrp(skewed3d, 0, 16, fmt)
+        assert r.time_seconds > 0
+        assert r.flops > 0
+        assert 0 <= r.achieved_occupancy <= 1
+        assert 0 <= r.sm_efficiency <= 1
+
+    def test_aliases(self, small3d):
+        a = simulate_mttkrp(small3d, 0, 8, "parti")
+        b = simulate_mttkrp(small3d, 0, 8, "coo")
+        assert a.time_seconds == pytest.approx(b.time_seconds)
+
+    def test_unknown_format(self, small3d):
+        with pytest.raises(ValidationError):
+            simulate_mttkrp(small3d, 0, 8, "csr")
+
+    def test_unknown_object(self):
+        with pytest.raises(ValidationError):
+            simulate_mttkrp(object(), 0, 8)
+
+    def test_prebuilt_structures(self, skewed3d):
+        csf = build_csf(skewed3d, 0)
+        bcsf = build_bcsf(skewed3d, 0)
+        hb = build_hbcsf(skewed3d, 0)
+        assert simulate_mttkrp(csf, rank=16).name == "gpu-csf"
+        assert simulate_mttkrp(bcsf, rank=16).name == "b-csf"
+        assert simulate_mttkrp(hb, rank=16).name == "hb-csf"
+
+    def test_empty_tensor(self):
+        t = CooTensor.empty((5, 6, 7))
+        r = simulate_mttkrp(t, 0, 8, "hb-csf")
+        assert r.flops == 0.0
+
+    def test_conflict_factor(self, skewed3d):
+        f = atomic_conflict_factor(skewed3d, 0)
+        assert f >= 1.0
+        assert atomic_conflict_factor(CooTensor.empty((2, 2, 2)), 0) == 1.0
+
+    def test_4d_tensor_supported(self, small4d):
+        for fmt in ("csf", "b-csf", "hb-csf", "coo", "f-coo"):
+            r = simulate_mttkrp(small4d, 1, 8, fmt)
+            assert r.time_seconds > 0
+
+
+class TestPaperShapes:
+    """Qualitative claims of Section IV-VI, on down-scaled datasets."""
+
+    @pytest.fixture(scope="class")
+    def darpa(self):
+        return load_dataset("darpa", scale=0.4)
+
+    @pytest.fixture(scope="class")
+    def flick(self):
+        return load_dataset("flick-3d", scale=0.4)
+
+    @pytest.fixture(scope="class")
+    def fr_m(self):
+        return load_dataset("fr_m", scale=0.4)
+
+    def test_splitting_helps_skewed_tensors(self, darpa):
+        csf = simulate_mttkrp(darpa, 0, 32, "csf")
+        bcsf = simulate_mttkrp(darpa, 0, 32, "b-csf")
+        assert bcsf.time_seconds < csf.time_seconds / 2
+
+    def test_splitting_raises_occupancy_and_efficiency(self, darpa):
+        csf = simulate_mttkrp(darpa, 0, 32, "csf")
+        bcsf = simulate_mttkrp(darpa, 0, 32, "b-csf")
+        assert bcsf.sm_efficiency > csf.sm_efficiency
+        assert bcsf.achieved_occupancy > csf.achieved_occupancy
+
+    def test_coo_beats_unsplit_csf_on_hypersparse(self, fr_m):
+        """Figure 8: COO outperforms the CSF family on freebase-like tensors."""
+        csf = simulate_mttkrp(fr_m, 0, 32, "csf")
+        coo = simulate_mttkrp(fr_m, 0, 32, "parti")
+        assert coo.time_seconds < csf.time_seconds
+
+    def test_hbcsf_never_worse_than_bcsf(self, darpa, flick, fr_m):
+        for t in (darpa, flick, fr_m):
+            hb = simulate_mttkrp(t, 0, 32, "hb-csf")
+            bc = simulate_mttkrp(t, 0, 32, "b-csf")
+            assert hb.time_seconds <= bc.time_seconds * 1.05
+
+    def test_hbcsf_beats_parti_and_fcoo(self, darpa, flick, fr_m):
+        for t in (darpa, flick, fr_m):
+            hb = simulate_mttkrp(t, 0, 32, "hb-csf")
+            parti = simulate_mttkrp(t, 0, 32, "parti")
+            fcoo = simulate_mttkrp(t, 0, 32, "f-coo")
+            assert hb.time_seconds <= parti.time_seconds
+            assert hb.time_seconds <= fcoo.time_seconds
+
+    def test_fiber_threshold_default_reasonable(self, darpa):
+        """The paper's threshold (128) should not be far from the best."""
+        times = {}
+        for threshold in (8, 128, 4096):
+            cfg = SplitConfig(fiber_threshold=threshold)
+            times[threshold] = simulate_mttkrp(darpa, 0, 32, "b-csf",
+                                               config=cfg).time_seconds
+        assert times[128] <= times[4096]
+
+    def test_faster_device_is_faster(self, darpa):
+        p100 = simulate_mttkrp(darpa, 0, 32, "hb-csf", device=TESLA_P100)
+        v100 = simulate_mttkrp(darpa, 0, 32, "hb-csf", device=TESLA_V100)
+        small = simulate_mttkrp(darpa, 0, 32, "hb-csf", device=GENERIC_GPU)
+        assert v100.time_seconds <= p100.time_seconds
+        assert p100.time_seconds <= small.time_seconds

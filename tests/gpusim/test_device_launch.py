@@ -1,0 +1,81 @@
+"""Tests for device specs, launch configs and the cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpusim.costs import CostModel, DEFAULT_COSTS
+from repro.gpusim.device import (
+    GENERIC_GPU,
+    TESLA_P100,
+    TESLA_V100,
+    DeviceSpec,
+    device_by_name,
+)
+from repro.gpusim.launch import LaunchConfig
+from repro.util.errors import ValidationError
+
+
+class TestDevice:
+    def test_p100_matches_paper(self):
+        """Section VI-A: 56 SMs, 4 MB L2, 9.3 TFLOPS, 732 GB/s."""
+        assert TESLA_P100.num_sms == 56
+        assert TESLA_P100.l2_size_bytes == 4 * 1024 * 1024
+        assert TESLA_P100.peak_gflops == pytest.approx(9300)
+        assert TESLA_P100.mem_bandwidth_gbps == pytest.approx(732)
+
+    def test_registry(self):
+        assert device_by_name("p100") is TESLA_P100
+        assert device_by_name("Tesla-V100") is TESLA_V100
+        assert device_by_name("generic") is GENERIC_GPU
+        with pytest.raises(ValidationError):
+            device_by_name("tpu")
+
+    def test_cycle_conversion_roundtrip(self):
+        s = TESLA_P100.cycles_to_seconds(1.303e9)
+        assert s == pytest.approx(1.0)
+        assert TESLA_P100.seconds_to_cycles(s) == pytest.approx(1.303e9)
+
+    def test_invalid_device(self):
+        with pytest.raises(ValidationError):
+            DeviceSpec(name="bad", num_sms=0)
+        with pytest.raises(ValidationError):
+            DeviceSpec(name="bad", num_sms=4, clock_ghz=0.0)
+
+    def test_max_resident_warps(self):
+        assert TESLA_P100.max_resident_warps == 56 * 64
+
+
+class TestLaunchConfig:
+    def test_defaults_match_paper(self):
+        cfg = LaunchConfig()
+        assert cfg.threads_per_block == 512
+        assert cfg.warps_per_block == 16
+
+    def test_must_be_multiple_of_warp(self):
+        with pytest.raises(ValidationError):
+            LaunchConfig(threads_per_block=100)
+        with pytest.raises(ValidationError):
+            LaunchConfig(threads_per_block=16)
+
+    def test_device_limit_checked(self):
+        cfg = LaunchConfig(threads_per_block=1024)
+        cfg.validate_for(TESLA_P100)
+        big = LaunchConfig(threads_per_block=2048)
+        with pytest.raises(ValidationError):
+            big.validate_for(TESLA_P100)
+
+
+class TestCostModel:
+    def test_rank_units(self):
+        assert DEFAULT_COSTS.rank_units(32) == 1
+        assert DEFAULT_COSTS.rank_units(33) == 2
+        assert DEFAULT_COSTS.rank_units(64) == 2
+        assert DEFAULT_COSTS.rank_units(8) == 1
+
+    def test_row_op_scales_with_rank(self):
+        assert DEFAULT_COSTS.row_op(64) == pytest.approx(2 * DEFAULT_COSTS.row_op(32))
+
+    def test_custom_costs(self):
+        c = CostModel(row_load=1.0, row_fma=1.0)
+        assert c.row_op(32) == pytest.approx(2.0)

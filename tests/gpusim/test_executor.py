@@ -1,0 +1,134 @@
+"""Tests for the block scheduler, executor and metric definitions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gpusim.device import DeviceSpec, GENERIC_GPU, TESLA_P100
+from repro.gpusim.executor import block_compute_cycles, schedule_blocks, simulate_kernel
+from repro.gpusim.launch import LaunchConfig
+from repro.gpusim.workload import BlockWork, KernelWorkload, MemoryTraffic, empty_workload
+
+
+def make_workload(blocks, launch=None, flops=1e6, traffic=None):
+    return KernelWorkload.from_blocks("test", launch or LaunchConfig(),
+                                      blocks, flops=flops, traffic=traffic)
+
+
+class TestScheduleBlocks:
+    def test_fewer_blocks_than_sms(self):
+        busy = schedule_blocks(np.array([10.0, 20.0]), 4)
+        assert sorted(busy, reverse=True)[:2] == [20.0, 10.0]
+        assert busy.sum() == pytest.approx(30.0)
+
+    def test_balanced_distribution(self):
+        busy = schedule_blocks(np.full(100, 5.0), 4)
+        assert busy.max() == pytest.approx(125.0)
+        assert busy.min() == pytest.approx(125.0)
+
+    def test_single_heavy_block_dominates(self):
+        cycles = np.concatenate([[1000.0], np.full(50, 1.0)])
+        busy = schedule_blocks(cycles, 8)
+        assert busy.max() >= 1000.0
+        # total work is conserved
+        assert busy.sum() == pytest.approx(cycles.sum())
+
+    def test_empty(self):
+        busy = schedule_blocks(np.zeros(0), 4)
+        assert busy.shape == (4,)
+        assert busy.sum() == 0.0
+
+    def test_makespan_lower_bounds(self):
+        rng = np.random.default_rng(0)
+        cycles = rng.uniform(1, 100, size=500)
+        busy = schedule_blocks(cycles, 16)
+        assert busy.max() >= cycles.max()
+        assert busy.max() >= cycles.sum() / 16 - 1e-9
+
+
+class TestBlockComputeCycles:
+    def test_latency_vs_throughput_bound(self):
+        launch = LaunchConfig()
+        wl = make_workload([BlockWork((100.0, 1.0, 1.0))], launch)
+        cycles = block_compute_cycles(wl, TESLA_P100)
+        # latency bound: slowest warp (100) dominates 102/4
+        assert cycles[0] == pytest.approx(100.0 + TESLA_P100.block_overhead_cycles)
+
+        wl2 = make_workload([BlockWork(tuple([50.0] * 16))], launch)
+        cycles2 = block_compute_cycles(wl2, TESLA_P100)
+        # throughput bound: 800 total / 4 issue = 200 > 50
+        assert cycles2[0] == pytest.approx(200.0 + TESLA_P100.block_overhead_cycles)
+
+    def test_atomics_add_cost(self):
+        wl = make_workload([BlockWork((10.0,), atomics=5.0)])
+        base = make_workload([BlockWork((10.0,), atomics=0.0)])
+        diff = (block_compute_cycles(wl, TESLA_P100)
+                - block_compute_cycles(base, TESLA_P100))[0]
+        assert diff == pytest.approx(5.0 * TESLA_P100.atomic_cycles)
+
+
+class TestSimulateKernel:
+    def test_empty_workload(self):
+        r = simulate_kernel(empty_workload("nothing", LaunchConfig()), TESLA_P100)
+        assert r.num_blocks == 0
+        assert r.flops == 0.0
+        assert r.gflops == 0.0
+        assert r.time_seconds > 0.0  # launch overhead only
+
+    def test_time_positive_and_components(self):
+        wl = make_workload([BlockWork(tuple([100.0] * 8)) for _ in range(64)],
+                           traffic=MemoryTraffic(streamed_bytes=1e6,
+                                                 factor_read_bytes=1e6,
+                                                 factor_distinct_bytes=1e5))
+        r = simulate_kernel(wl, TESLA_P100)
+        assert r.time_seconds >= max(r.compute_seconds, r.memory_seconds)
+        assert 0.0 <= r.achieved_occupancy <= 1.0
+        assert 0.0 <= r.sm_efficiency <= 1.0
+        assert 0.0 <= r.l2_hit_rate <= 1.0
+        assert r.gflops > 0.0
+
+    def test_imbalance_lowers_efficiency(self):
+        balanced = make_workload([BlockWork((50.0,) * 8) for _ in range(112)])
+        one_heavy = make_workload(
+            [BlockWork((50.0 * 112 * 8,))] + [BlockWork((1.0,)) for _ in range(111)]
+        )
+        r_bal = simulate_kernel(balanced, TESLA_P100)
+        r_imb = simulate_kernel(one_heavy, TESLA_P100)
+        assert r_imb.sm_efficiency < r_bal.sm_efficiency
+        assert r_imb.achieved_occupancy < r_bal.achieved_occupancy
+        assert r_imb.compute_seconds > r_bal.compute_seconds
+
+    def test_more_sms_not_slower(self):
+        wl = make_workload([BlockWork((20.0,) * 4) for _ in range(200)])
+        small = simulate_kernel(wl, GENERIC_GPU)
+        big = simulate_kernel(wl, TESLA_P100)
+        # P100 has a higher clock and more SMs; compute time must not grow.
+        assert big.compute_seconds <= small.compute_seconds + 1e-12
+
+    def test_dispatch_floor_binds_for_many_tiny_blocks(self):
+        tiny = make_workload([BlockWork((1.0,)) for _ in range(20_000)])
+        r = simulate_kernel(tiny, TESLA_P100)
+        floor = 20_000 * TESLA_P100.dispatch_cycles_per_block
+        assert r.details["compute_cycles"] >= floor - 1e-9
+
+    def test_memory_bound_kernel(self):
+        wl = make_workload([BlockWork((1.0,))],
+                           traffic=MemoryTraffic(streamed_bytes=1e9))
+        r = simulate_kernel(wl, TESLA_P100)
+        assert r.memory_seconds > r.compute_seconds
+        assert r.time_seconds >= r.memory_seconds
+
+    def test_launch_config_validated(self):
+        wl = make_workload([BlockWork((1.0,))],
+                           launch=LaunchConfig(threads_per_block=2048))
+        with pytest.raises(Exception):
+            simulate_kernel(wl, TESLA_P100)
+
+    def test_workload_validation(self):
+        with pytest.raises(Exception):
+            KernelWorkload("bad", LaunchConfig(),
+                           warps_used=np.array([1.0]),
+                           max_warp_cycles=np.array([10.0]),
+                           sum_warp_cycles=np.array([5.0]),  # < max
+                           atomics=np.array([0.0]), flops=0.0)

@@ -1,0 +1,145 @@
+"""Tests for the per-format work-decomposition models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bcsf import build_bcsf
+from repro.core.hybrid import build_hbcsf
+from repro.core.splitting import SplitConfig
+from repro.gpusim.kernels.common import chunked_parallel_blocks, per_block_warp_stats
+from repro.gpusim.kernels.coo_kernel import build_coo_workload, coo_flops
+from repro.gpusim.kernels.csf_kernel import build_bcsf_workload, build_csf_workload, csf_flops
+from repro.gpusim.kernels.csl_kernel import build_csl_workload
+from repro.gpusim.kernels.fcoo_kernel import build_fcoo_workload, fcoo_storage_words
+from repro.gpusim.kernels.hbcsf_kernel import build_hbcsf_workloads
+from repro.gpusim.launch import LaunchConfig
+from repro.core.csl import build_csl_group
+from repro.tensor.coo import CooTensor
+from repro.tensor.csf import build_csf
+from repro.util.errors import ValidationError
+
+
+class TestPerBlockWarpStats:
+    def test_round_robin_distribution(self):
+        # one block, 5 items, 2 warps -> warp0 gets items 0,2,4; warp1 gets 1,3
+        cycles = np.array([1.0, 2.0, 4.0, 8.0, 16.0])
+        blocks = np.zeros(5, dtype=np.int64)
+        used, mx, sm = per_block_warp_stats(cycles, blocks, 1, 2)
+        assert used[0] == 2
+        assert mx[0] == pytest.approx(21.0)   # 1 + 4 + 16
+        assert sm[0] == pytest.approx(31.0)
+
+    def test_multiple_blocks(self):
+        cycles = np.array([5.0, 5.0, 7.0])
+        blocks = np.array([0, 0, 2])
+        used, mx, sm = per_block_warp_stats(cycles, blocks, 3, 4)
+        assert list(used) == [2, 0, 1]
+        assert list(mx) == [5.0, 0.0, 7.0]
+        assert list(sm) == [10.0, 0.0, 7.0]
+
+    def test_unsorted_blocks_rejected(self):
+        with pytest.raises(ValidationError):
+            per_block_warp_stats(np.ones(2), np.array([1, 0]), 2, 4)
+
+    def test_empty(self):
+        used, mx, sm = per_block_warp_stats(np.zeros(0), np.zeros(0, dtype=int), 0, 4)
+        assert used.shape == (0,)
+
+
+class TestChunkedParallel:
+    def test_block_count(self):
+        launch = LaunchConfig(threads_per_block=512)
+        used, mx, sm = chunked_parallel_blocks(1200, launch, 10.0)
+        assert used.shape[0] == 3          # ceil(1200/512)
+        assert used[0] == 16
+        assert used[-1] == -(-((1200 - 1024)) // 32)
+        assert mx[0] == pytest.approx(10.0)
+
+    def test_zero_nnz(self):
+        used, _, _ = chunked_parallel_blocks(0, LaunchConfig(), 5.0)
+        assert used.shape == (0,)
+
+
+class TestFormatWorkloads:
+    def test_csf_one_block_per_slice(self, skewed3d):
+        csf = build_csf(skewed3d, 0)
+        wl = build_csf_workload(csf, 32)
+        assert wl.num_blocks == csf.num_slices
+        assert wl.flops == csf_flops(csf.nnz, csf.num_fibers, 32)
+        assert np.all(wl.atomics == 0)
+
+    def test_bcsf_block_count_and_atomics(self, skewed3d):
+        cfg = SplitConfig(fiber_threshold=8, block_nnz=64)
+        bcsf = build_bcsf(skewed3d, 0, cfg)
+        wl = build_bcsf_workload(bcsf, 32)
+        assert wl.num_blocks == bcsf.num_blocks
+        # slices split over multiple blocks must issue atomics
+        assert wl.atomics.sum() > 0
+
+    def test_bcsf_without_split_has_no_atomics(self, skewed3d):
+        bcsf = build_bcsf(skewed3d, 0, SplitConfig.disabled())
+        wl = build_bcsf_workload(bcsf, 32)
+        assert np.all(wl.atomics == 0)
+        assert wl.num_blocks == bcsf.num_slices
+
+    def test_splitting_reduces_max_warp_cycles(self, skewed3d):
+        plain = build_bcsf_workload(build_bcsf(skewed3d, 0, SplitConfig.disabled()), 32)
+        split = build_bcsf_workload(
+            build_bcsf(skewed3d, 0, SplitConfig(fiber_threshold=4, block_nnz=32)), 32)
+        assert split.max_warp_cycles.max() < plain.max_warp_cycles.max()
+
+    def test_coo_workload(self, skewed3d):
+        wl = build_coo_workload(skewed3d, 0, 32)
+        assert wl.flops == coo_flops(skewed3d.nnz, 3, 32)
+        assert wl.num_blocks == -(-skewed3d.nnz // 512)
+        assert wl.traffic.streamed_bytes > 0
+
+    def test_coo_conflict_factor_increases_cycles(self, skewed3d):
+        base = build_coo_workload(skewed3d, 0, 32, atomic_conflict_factor=1.0)
+        hot = build_coo_workload(skewed3d, 0, 32, atomic_conflict_factor=4.0)
+        assert hot.sum_warp_cycles.sum() > base.sum_warp_cycles.sum()
+
+    def test_fcoo_workload(self, skewed3d):
+        wl = build_fcoo_workload(skewed3d, 0, 32)
+        assert np.all(wl.atomics == 0)
+        assert wl.flops == coo_flops(skewed3d.nnz, 3, 32)
+
+    def test_fcoo_storage_smaller_than_coo(self):
+        assert fcoo_storage_words(1000, 3) < 3 * 1000
+
+    def test_csl_workload(self):
+        idx = [[i, j, (i + j) % 6] for i in range(8) for j in range(5)]
+        t = CooTensor(idx, np.ones(len(idx)), (8, 5, 6))
+        group = build_csl_group(build_csf(t, 0))
+        wl = build_csl_workload(group, 32)
+        assert wl.num_blocks == -(-t.nnz // 512)
+        assert wl.flops > 0
+
+    def test_hbcsf_workloads_cover_all_groups(self, skewed3d):
+        hb = build_hbcsf(skewed3d, 0)
+        workloads = build_hbcsf_workloads(hb, 32)
+        names = {w.name for w in workloads}
+        expected = set()
+        if hb.coo_group.nnz:
+            expected.add("hb-csf/coo")
+        if hb.csl_group.nnz:
+            expected.add("hb-csf/csl")
+        if hb.bcsf_group is not None and hb.bcsf_group.nnz:
+            expected.add("hb-csf/b-csf")
+        assert names == expected
+
+    def test_empty_tensor_workloads(self):
+        t = CooTensor.empty((4, 5, 6))
+        assert build_coo_workload(t, 0, 32).num_blocks == 0
+        assert build_fcoo_workload(t, 0, 32).num_blocks == 0
+        csf = build_csf(t, 0)
+        assert build_csf_workload(csf, 32).num_blocks == 0
+
+    def test_rank_scaling(self, skewed3d):
+        csf = build_csf(skewed3d, 0)
+        r32 = build_csf_workload(csf, 32)
+        r128 = build_csf_workload(csf, 128)
+        assert r128.sum_warp_cycles.sum() > 2 * r32.sum_warp_cycles.sum()
+        assert r128.flops == 4 * r32.flops

@@ -1,0 +1,122 @@
+"""Tests for the memory model, result metrics and workload containers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gpusim.device import TESLA_P100
+from repro.gpusim.launch import LaunchConfig
+from repro.gpusim.memory import MemoryModel
+from repro.gpusim.metrics import KernelResult, combine_sequential
+from repro.gpusim.workload import (
+    BlockWork,
+    KernelWorkload,
+    MemoryTraffic,
+    empty_workload,
+)
+from repro.util.errors import ValidationError
+
+
+class TestMemoryModel:
+    def test_no_reuse_all_dram(self):
+        model = MemoryModel()
+        traffic = MemoryTraffic(streamed_bytes=1e6, factor_read_bytes=1e6,
+                                factor_distinct_bytes=1e6)
+        est = model.estimate(traffic, TESLA_P100)
+        assert est.l2_hit_rate == pytest.approx(0.0)
+        assert est.dram_bytes == pytest.approx(2e6)
+
+    def test_full_reuse_small_working_set(self):
+        model = MemoryModel()
+        traffic = MemoryTraffic(streamed_bytes=0.0, factor_read_bytes=1e8,
+                                factor_distinct_bytes=1e4)
+        est = model.estimate(traffic, TESLA_P100)
+        assert est.l2_hit_rate > 0.99
+        assert est.dram_bytes < 1e7
+
+    def test_working_set_larger_than_l2_lowers_hit_rate(self):
+        model = MemoryModel()
+        small = model.estimate(MemoryTraffic(0, 1e8, 1e6), TESLA_P100)
+        big = model.estimate(MemoryTraffic(0, 1e8, 64e6), TESLA_P100)
+        assert big.l2_hit_rate < small.l2_hit_rate
+        assert big.memory_seconds > small.memory_seconds
+
+    def test_more_bandwidth_is_faster(self):
+        from dataclasses import replace
+
+        model = MemoryModel()
+        traffic = MemoryTraffic(1e8, 1e8, 1e8)
+        fast = model.estimate(traffic, replace(TESLA_P100, mem_bandwidth_gbps=2000))
+        slow = model.estimate(traffic, TESLA_P100)
+        assert fast.memory_seconds < slow.memory_seconds
+
+
+class TestKernelResult:
+    def make(self, name="k", t=1e-3, flops=1e6):
+        return KernelResult(name=name, time_seconds=t, compute_seconds=t / 2,
+                            memory_seconds=t / 3, flops=flops,
+                            achieved_occupancy=0.5, sm_efficiency=0.6,
+                            l2_hit_rate=0.7, num_blocks=10)
+
+    def test_derived_metrics(self):
+        r = self.make()
+        assert r.gflops == pytest.approx(1e6 / 1e-3 / 1e9)
+        assert r.time_ms == pytest.approx(1.0)
+        assert r.speedup_over(self.make(t=2e-3)) == pytest.approx(2.0)
+        assert r.speedup_over(3e-3) == pytest.approx(3.0)
+
+    def test_as_row(self):
+        row = self.make().as_row()
+        assert row["kernel"] == "k"
+        assert row["blocks"] == 10
+
+    def test_combine_sequential(self):
+        a, b = self.make("a", 1e-3), self.make("b", 3e-3)
+        combined = combine_sequential("a+b", [a, b])
+        assert combined.time_seconds == pytest.approx(4e-3)
+        assert combined.flops == pytest.approx(2e6)
+        assert combined.num_kernels == 2
+        # time-weighted averages stay within the inputs' range
+        assert 0.5 <= combined.achieved_occupancy <= 0.5 + 1e-9
+
+    def test_combine_requires_input(self):
+        with pytest.raises(ValueError):
+            combine_sequential("none", [])
+
+
+class TestWorkloadContainer:
+    def test_from_blocks_and_merge(self):
+        launch = LaunchConfig()
+        a = KernelWorkload.from_blocks("a", launch, [BlockWork((1.0, 2.0))],
+                                       flops=10.0,
+                                       traffic=MemoryTraffic(1.0, 2.0, 3.0))
+        b = KernelWorkload.from_blocks("b", launch, [BlockWork((4.0,))], flops=5.0)
+        merged = a.merged_with(b)
+        assert merged.num_blocks == 2
+        assert merged.flops == 15.0
+        assert merged.traffic.streamed_bytes == 1.0
+        assert merged.total_warp_cycles == pytest.approx(7.0)
+
+    def test_validation_rejects_inconsistent_arrays(self):
+        launch = LaunchConfig()
+        with pytest.raises(ValidationError):
+            KernelWorkload("bad", launch,
+                           warps_used=np.array([1.0, 1.0]),
+                           max_warp_cycles=np.array([1.0]),
+                           sum_warp_cycles=np.array([1.0]),
+                           atomics=np.array([0.0]), flops=0.0)
+
+    def test_validation_rejects_negative_cycles(self):
+        launch = LaunchConfig()
+        with pytest.raises(ValidationError):
+            KernelWorkload("bad", launch,
+                           warps_used=np.array([1.0]),
+                           max_warp_cycles=np.array([-1.0]),
+                           sum_warp_cycles=np.array([1.0]),
+                           atomics=np.array([0.0]), flops=0.0)
+
+    def test_empty_workload(self):
+        wl = empty_workload("nothing", LaunchConfig())
+        assert wl.num_blocks == 0
+        assert wl.total_warp_cycles == 0.0

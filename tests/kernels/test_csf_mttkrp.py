@@ -1,0 +1,98 @@
+"""CSF-MTTKRP (Algorithm 3) correctness tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kernels.csf_mttkrp import csf_mttkrp, segment_sum
+from repro.tensor.coo import CooTensor
+from repro.tensor.csf import build_csf
+from repro.tensor.dense import einsum_mttkrp
+from repro.util.errors import DimensionError, TensorFormatError
+from tests.conftest import make_factors
+
+
+class TestSegmentSum:
+    def test_basic(self):
+        data = np.arange(12.0).reshape(6, 2)
+        ptr = np.array([0, 2, 3, 6])
+        out = segment_sum(data, ptr)
+        np.testing.assert_allclose(out[0], data[0] + data[1])
+        np.testing.assert_allclose(out[1], data[2])
+        np.testing.assert_allclose(out[2], data[3] + data[4] + data[5])
+
+    def test_empty_segment_rejected(self):
+        with pytest.raises(TensorFormatError):
+            segment_sum(np.ones((3, 2)), np.array([0, 0, 3]))
+
+    def test_coverage_mismatch_rejected(self):
+        with pytest.raises(TensorFormatError):
+            segment_sum(np.ones((4, 2)), np.array([0, 2, 3]))
+
+    def test_no_segments(self):
+        out = segment_sum(np.zeros((0, 2)), np.array([0]))
+        assert out.shape == (0, 2)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("mode", [0, 1, 2])
+    def test_matches_reference_3d(self, small3d, factors3d, mode):
+        csf = build_csf(small3d, mode)
+        got = csf_mttkrp(csf, factors3d)
+        want = einsum_mttkrp(small3d, factors3d, mode)
+        np.testing.assert_allclose(got, want, rtol=1e-10, atol=1e-12)
+
+    @pytest.mark.parametrize("mode", [0, 1, 2, 3])
+    def test_matches_reference_4d(self, small4d, factors4d, mode):
+        csf = build_csf(small4d, mode)
+        got = csf_mttkrp(csf, factors4d)
+        want = einsum_mttkrp(small4d, factors4d, mode)
+        np.testing.assert_allclose(got, want, rtol=1e-10, atol=1e-12)
+
+    def test_skewed_tensor(self, skewed3d):
+        factors = make_factors(skewed3d.shape, 32, seed=21)
+        csf = build_csf(skewed3d, 0)
+        got = csf_mttkrp(csf, factors)
+        want = einsum_mttkrp(skewed3d, factors, 0)
+        np.testing.assert_allclose(got, want, rtol=1e-9, atol=1e-9)
+
+    def test_agrees_with_coo_kernel(self, small3d, factors3d):
+        from repro.kernels.coo_mttkrp import coo_mttkrp
+
+        for mode in range(3):
+            a = csf_mttkrp(build_csf(small3d, mode), factors3d)
+            b = coo_mttkrp(small3d, factors3d, mode)
+            np.testing.assert_allclose(a, b, rtol=1e-10, atol=1e-12)
+
+    def test_empty_tensor(self):
+        t = CooTensor.empty((3, 4, 5))
+        csf = build_csf(t, 0)
+        out = csf_mttkrp(csf, make_factors(t.shape, 4))
+        assert np.all(out == 0.0)
+
+    def test_single_nonzero(self):
+        t = CooTensor([[1, 2, 3]], [2.0], (3, 4, 5))
+        factors = make_factors(t.shape, 4, seed=2)
+        got = csf_mttkrp(build_csf(t, 0), factors)
+        want = einsum_mttkrp(t, factors, 0)
+        np.testing.assert_allclose(got, want, rtol=1e-12)
+
+
+class TestModeHandling:
+    def test_wrong_mode_rejected(self, small3d, factors3d):
+        csf = build_csf(small3d, 0)
+        with pytest.raises(DimensionError):
+            csf_mttkrp(csf, factors3d, mode=1)
+
+    def test_out_accumulation(self, small3d, factors3d):
+        csf = build_csf(small3d, 0)
+        base = np.full((small3d.shape[0], factors3d[0].shape[1]), 2.0)
+        got = csf_mttkrp(csf, factors3d, out=base)
+        want = 2.0 + csf_mttkrp(csf, factors3d)
+        np.testing.assert_allclose(got, want, rtol=1e-12)
+
+    def test_bad_out_shape(self, small3d, factors3d):
+        csf = build_csf(small3d, 0)
+        with pytest.raises(DimensionError):
+            csf_mttkrp(csf, factors3d, out=np.zeros((2, 2)))

@@ -1,0 +1,102 @@
+"""Tests for the CSL kernel (Algorithm 4) and the Khatri-Rao helper."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kernels.csl_mttkrp import csl_mttkrp
+from repro.kernels.khatri_rao import khatri_rao
+from repro.tensor.coo import CooTensor
+from repro.tensor.dense import einsum_mttkrp, khatri_rao_dense
+from repro.util.errors import DimensionError, TensorFormatError
+from tests.conftest import make_factors
+
+
+def build_singleton_fiber_tensor() -> CooTensor:
+    """Every (i, j) pair appears once -> CSL-eligible everywhere (mode 0)."""
+    idx = [[i, j, (3 * i + j) % 6] for i in range(4) for j in range(5)]
+    return CooTensor(idx, np.arange(1.0, len(idx) + 1.0), (4, 5, 6))
+
+
+def csl_arrays_for_mode0(t: CooTensor):
+    """Build CSL arrays by hand for a mode-0 rooted, all-singleton-fiber tensor."""
+    s = t.sorted_by_modes((0, 1, 2))
+    slice_ids, counts = np.unique(s.indices[:, 0], return_counts=True)
+    slice_ptr = np.concatenate([[0], np.cumsum(counts)])
+    rest = s.indices[:, 1:]
+    return slice_ptr, slice_ids, rest, s.values
+
+
+class TestCslKernel:
+    def test_matches_reference(self):
+        t = build_singleton_fiber_tensor()
+        factors = make_factors(t.shape, 7, seed=1)
+        slice_ptr, slice_ids, rest, vals = csl_arrays_for_mode0(t)
+        out = np.zeros((t.shape[0], 7))
+        csl_mttkrp(slice_ptr, slice_ids, rest, vals, factors, (0, 1, 2), out)
+        want = einsum_mttkrp(t, factors, 0)
+        np.testing.assert_allclose(out, want, rtol=1e-10, atol=1e-12)
+
+    def test_accumulates(self):
+        t = build_singleton_fiber_tensor()
+        factors = make_factors(t.shape, 4, seed=2)
+        slice_ptr, slice_ids, rest, vals = csl_arrays_for_mode0(t)
+        out = np.ones((t.shape[0], 4))
+        csl_mttkrp(slice_ptr, slice_ids, rest, vals, factors, (0, 1, 2), out)
+        want = 1.0 + einsum_mttkrp(t, factors, 0)
+        np.testing.assert_allclose(out, want, rtol=1e-10)
+
+    def test_empty_group_is_noop(self):
+        factors = make_factors((4, 5, 6), 3)
+        out = np.zeros((4, 3))
+        result = csl_mttkrp(np.array([0]), np.zeros(0, dtype=np.int64),
+                            np.zeros((0, 2), dtype=np.int64), np.zeros(0),
+                            factors, (0, 1, 2), out)
+        assert np.all(result == 0.0)
+
+    def test_bad_pointer_length(self):
+        factors = make_factors((4, 5, 6), 3)
+        with pytest.raises(TensorFormatError):
+            csl_mttkrp(np.array([0, 1]), np.zeros(2, dtype=np.int64),
+                       np.zeros((1, 2), dtype=np.int64), np.ones(1),
+                       factors, (0, 1, 2), np.zeros((4, 3)))
+
+    def test_bad_rest_shape(self):
+        factors = make_factors((4, 5, 6), 3)
+        with pytest.raises(DimensionError):
+            csl_mttkrp(np.array([0, 1]), np.zeros(1, dtype=np.int64),
+                       np.zeros((1, 1), dtype=np.int64), np.ones(1),
+                       factors, (0, 1, 2), np.zeros((4, 3)))
+
+    def test_pointer_coverage_checked(self):
+        factors = make_factors((4, 5, 6), 3)
+        with pytest.raises(TensorFormatError):
+            csl_mttkrp(np.array([0, 1]), np.zeros(1, dtype=np.int64),
+                       np.zeros((2, 2), dtype=np.int64), np.ones(2),
+                       factors, (0, 1, 2), np.zeros((4, 3)))
+
+
+class TestKhatriRao:
+    def test_matches_dense_helper(self):
+        rng = np.random.default_rng(0)
+        a, b = rng.standard_normal((3, 4)), rng.standard_normal((5, 4))
+        np.testing.assert_allclose(khatri_rao([a, b]), khatri_rao_dense([a, b]))
+
+    def test_three_factors_shape(self):
+        mats = [np.ones((2, 3)), np.ones((4, 3)), np.ones((5, 3))]
+        assert khatri_rao(mats).shape == (40, 3)
+
+    def test_gram_identity(self):
+        """(A ⊙ B)^T (A ⊙ B) == (A^T A) * (B^T B) — the ALS normal-equation
+        identity the paper's Equation (3) relies on."""
+        rng = np.random.default_rng(1)
+        a, b = rng.standard_normal((6, 3)), rng.standard_normal((7, 3))
+        kr = khatri_rao([a, b])
+        np.testing.assert_allclose(kr.T @ kr, (a.T @ a) * (b.T @ b), rtol=1e-10)
+
+    def test_errors(self):
+        with pytest.raises(DimensionError):
+            khatri_rao([])
+        with pytest.raises(DimensionError):
+            khatri_rao([np.ones((2, 2)), np.ones((2, 3))])

@@ -1,0 +1,56 @@
+"""Hypothesis strategies shared by the property-based tests.
+
+The strategies generate small but adversarial sparse tensors: arbitrary
+order (3-4), skewed shapes, duplicate coordinates, empty tensors, and
+tensors where every nonzero sits in one slice or one fiber — the corner
+cases the formats must survive.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro.tensor.coo import CooTensor
+
+__all__ = ["shapes", "coo_tensors", "tensors_with_factors", "positive_ranks"]
+
+
+def shapes(min_order: int = 3, max_order: int = 4, max_dim: int = 12):
+    return st.lists(st.integers(min_value=1, max_value=max_dim),
+                    min_size=min_order, max_size=max_order).map(tuple)
+
+
+@st.composite
+def coo_tensors(draw, min_order: int = 3, max_order: int = 4,
+                max_dim: int = 12, max_nnz: int = 60,
+                allow_empty: bool = True) -> CooTensor:
+    shape = draw(shapes(min_order, max_order, max_dim))
+    min_nnz = 0 if allow_empty else 1
+    nnz = draw(st.integers(min_value=min_nnz, max_value=max_nnz))
+    if nnz == 0:
+        return CooTensor.empty(shape)
+    columns = [draw(npst.arrays(np.int64, (nnz,),
+                                elements=st.integers(0, dim - 1)))
+               for dim in shape]
+    indices = np.stack(columns, axis=1)
+    values = draw(npst.arrays(
+        np.float64, (nnz,),
+        elements=st.floats(min_value=-10, max_value=10,
+                           allow_nan=False, allow_infinity=False,
+                           exclude_min=False).filter(lambda v: v != 0.0)))
+    return CooTensor(indices, values, shape, sum_duplicates=True)
+
+
+positive_ranks = st.integers(min_value=1, max_value=6)
+
+
+@st.composite
+def tensors_with_factors(draw, **kwargs):
+    tensor = draw(coo_tensors(**kwargs))
+    rank = draw(positive_ranks)
+    seed = draw(st.integers(0, 2**16))
+    rng = np.random.default_rng(seed)
+    factors = [rng.standard_normal((s, rank)) for s in tensor.shape]
+    return tensor, factors

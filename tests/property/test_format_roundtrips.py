@@ -1,0 +1,132 @@
+"""Property-based tests: every format round-trips back to the same tensor."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.hicoo import build_hicoo
+from repro.core.hybrid import build_hbcsf, partition_slices
+from repro.core.splitting import SplitConfig, split_long_fibers
+from repro.tensor.coo import CooTensor
+from repro.tensor.csf import build_csf
+from repro.tensor.io import dumps_tns, loads_tns
+from tests.property.strategies import coo_tensors
+
+COMMON_SETTINGS = settings(max_examples=60, deadline=None)
+
+
+class TestCooInvariants:
+    @COMMON_SETTINGS
+    @given(coo_tensors())
+    def test_dedup_idempotent(self, tensor):
+        once = tensor.deduplicated()
+        twice = once.deduplicated()
+        assert once == twice
+
+    @COMMON_SETTINGS
+    @given(coo_tensors(max_dim=6, max_nnz=30))
+    def test_dense_roundtrip(self, tensor):
+        assert CooTensor.from_dense(tensor.to_dense()).to_dense().shape == tensor.shape
+        np.testing.assert_allclose(
+            CooTensor.from_dense(tensor.to_dense()).to_dense(),
+            tensor.to_dense())
+
+    @COMMON_SETTINGS
+    @given(coo_tensors(), st.integers(0, 23))
+    def test_permute_roundtrip(self, tensor, seed):
+        rng = np.random.default_rng(seed)
+        perm = tuple(int(p) for p in rng.permutation(tensor.order))
+        inverse_arr = np.empty(tensor.order, dtype=np.int64)
+        inverse_arr[list(perm)] = np.arange(tensor.order)
+        assert tensor.permute_modes(perm).permute_modes(tuple(inverse_arr)) == tensor
+
+    @COMMON_SETTINGS
+    @given(coo_tensors(allow_empty=False))
+    def test_tns_roundtrip(self, tensor):
+        assert loads_tns(dumps_tns(tensor), tensor.shape) == tensor
+
+    @COMMON_SETTINGS
+    @given(coo_tensors())
+    def test_slice_and_fiber_counts_sum_to_nnz(self, tensor):
+        for mode in range(tensor.order):
+            _, slice_counts = tensor.slice_keys(mode)
+            _, fiber_counts = tensor.fiber_keys(mode)
+            assert slice_counts.sum() == tensor.nnz
+            assert fiber_counts.sum() == tensor.nnz
+            assert tensor.num_slices(mode) <= tensor.num_fibers(mode) or tensor.nnz == 0
+
+
+class TestCsfInvariants:
+    @COMMON_SETTINGS
+    @given(coo_tensors(), st.integers(0, 3))
+    def test_roundtrip_any_root(self, tensor, mode_pick):
+        mode = mode_pick % tensor.order
+        csf = build_csf(tensor, mode)
+        csf.validate()
+        assert csf.to_coo() == tensor.deduplicated()
+
+    @COMMON_SETTINGS
+    @given(coo_tensors())
+    def test_structure_counts(self, tensor):
+        csf = build_csf(tensor, 0)
+        dedup = tensor.deduplicated()
+        assert csf.nnz == dedup.nnz
+        assert csf.num_slices == dedup.num_slices(0)
+        assert csf.num_fibers == dedup.num_fibers(0)
+        assert csf.nnz_per_slice().sum() == dedup.nnz
+        assert csf.index_storage_words() >= dedup.nnz
+
+    @COMMON_SETTINGS
+    @given(coo_tensors(allow_empty=False), st.integers(1, 7))
+    def test_fiber_split_roundtrip_any_threshold(self, tensor, threshold):
+        csf = build_csf(tensor, 0)
+        split, seg_of = split_long_fibers(csf, threshold)
+        split.validate()
+        assert split.to_coo() == tensor.deduplicated()
+        assert split.nnz_per_fiber().max() <= threshold
+        # segments of one fiber are contiguous and cover all original fibers
+        assert np.array_equal(np.unique(seg_of), np.arange(csf.num_fibers))
+
+
+class TestHybridInvariants:
+    @COMMON_SETTINGS
+    @given(coo_tensors())
+    def test_partition_is_exact(self, tensor):
+        csf = build_csf(tensor, 0)
+        part = partition_slices(csf)
+        total = (part.coo_mask.astype(int) + part.csl_mask.astype(int)
+                 + part.csf_mask.astype(int))
+        assert np.all(total == 1)
+        assert part.coo_mask.shape[0] == csf.num_slices
+
+    @COMMON_SETTINGS
+    @given(coo_tensors(), st.integers(0, 3))
+    def test_hbcsf_roundtrip_and_nnz_conservation(self, tensor, mode_pick):
+        mode = mode_pick % tensor.order
+        hb = build_hbcsf(tensor, mode)
+        dedup = tensor.deduplicated()
+        assert hb.nnz == dedup.nnz
+        assert sum(hb.group_nnz().values()) == dedup.nnz
+        assert hb.to_coo() == dedup
+
+    @COMMON_SETTINGS
+    @given(coo_tensors())
+    def test_hbcsf_storage_bounds(self, tensor):
+        """Section V-B: HB-CSF storage never exceeds CSF's and never drops
+        below one index word per nonzero."""
+        csf = build_csf(tensor, 0)
+        hb = build_hbcsf(tensor, 0, SplitConfig.disabled())
+        assert hb.index_storage_words() <= csf.index_storage_words()
+        assert hb.index_storage_words() >= hb.nnz
+
+
+class TestHicooInvariants:
+    @COMMON_SETTINGS
+    @given(coo_tensors(), st.integers(1, 6))
+    def test_roundtrip(self, tensor, block_bits):
+        h = build_hicoo(tensor, block_bits=block_bits)
+        assert h.to_coo() == tensor.deduplicated()
+        assert h.nnz_per_block().sum() == tensor.deduplicated().nnz
+        if h.nnz:
+            assert h.offsets.max() < (1 << block_bits)

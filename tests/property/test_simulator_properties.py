@@ -1,0 +1,100 @@
+"""Property-based tests of the execution models' invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro.baselines.cpu_model import schedule_tasks, simulate_cpu_kernel
+from repro.core.splitting import slice_block_bins, split_long_fibers
+from repro.gpusim.device import TESLA_P100
+from repro.gpusim.executor import schedule_blocks, simulate_kernel
+from repro.gpusim.kernels.csf_kernel import build_csf_workload
+from repro.gpusim.launch import LaunchConfig
+from repro.tensor.csf import build_csf
+from tests.property.strategies import coo_tensors
+
+COMMON_SETTINGS = settings(max_examples=50, deadline=None)
+
+cycle_arrays = npst.arrays(np.float64, st.integers(0, 200),
+                           elements=st.floats(0.1, 1000.0))
+
+
+class TestSchedulers:
+    @COMMON_SETTINGS
+    @given(cycle_arrays, st.integers(1, 64))
+    def test_gpu_schedule_conserves_work_and_bounds_makespan(self, cycles, num_sms):
+        busy = schedule_blocks(cycles, num_sms)
+        assert busy.shape == (num_sms,)
+        assert busy.sum() == pytest_approx(cycles.sum())
+        if cycles.size:
+            assert busy.max() >= cycles.max() - 1e-9
+            assert busy.max() >= cycles.sum() / num_sms - 1e-9
+            # greedy list scheduling is within 2x of the trivial lower bound
+            assert busy.max() <= max(cycles.max(), cycles.sum() / num_sms) * 2 + 1e-9
+
+    @COMMON_SETTINGS
+    @given(cycle_arrays, st.integers(1, 64))
+    def test_cpu_schedule_same_invariants(self, cycles, num_threads):
+        busy = schedule_tasks(cycles, num_threads)
+        assert busy.sum() == pytest_approx(cycles.sum())
+        if cycles.size:
+            assert busy.max() >= max(cycles.max(), cycles.sum() / num_threads) - 1e-9
+
+
+class TestSplittingInvariants:
+    @COMMON_SETTINGS
+    @given(npst.arrays(np.int64, st.integers(0, 100),
+                       elements=st.integers(1, 10_000)),
+           st.integers(1, 2048))
+    def test_slice_bins_cover_all_nonzeros(self, slice_nnz, block_nnz):
+        bins = slice_block_bins(slice_nnz, block_nnz)
+        assert bins.shape == slice_nnz.shape
+        assert np.all(bins >= 1)
+        # enough blocks to cover every slice's nonzeros
+        assert np.all(bins * block_nnz >= slice_nnz)
+        # never more than one spare block per slice
+        assert np.all((bins - 1) * block_nnz < slice_nnz)
+
+    @COMMON_SETTINGS
+    @given(coo_tensors(allow_empty=False, max_nnz=50), st.integers(1, 16))
+    def test_split_never_increases_max_warp_load(self, tensor, threshold):
+        csf = build_csf(tensor, 0)
+        split, _ = split_long_fibers(csf, threshold)
+        assert split.nnz_per_fiber().max() <= csf.nnz_per_fiber().max()
+        assert split.num_fibers >= csf.num_fibers
+        assert split.nnz_per_fiber().sum() == csf.nnz_per_fiber().sum()
+
+
+class TestSimulationSanity:
+    @COMMON_SETTINGS
+    @given(coo_tensors(allow_empty=False, max_nnz=50), st.integers(1, 3))
+    def test_kernel_result_ranges(self, tensor, rank_scale):
+        rank = 16 * rank_scale
+        workload = build_csf_workload(build_csf(tensor, 0), rank, LaunchConfig())
+        result = simulate_kernel(workload, TESLA_P100)
+        assert result.time_seconds > 0
+        assert result.time_seconds >= result.compute_seconds - 1e-15
+        assert result.time_seconds >= result.memory_seconds - 1e-15
+        assert 0.0 <= result.achieved_occupancy <= 1.0
+        assert 0.0 <= result.sm_efficiency <= 1.0
+        assert 0.0 <= result.l2_hit_rate <= 1.0
+        assert result.flops > 0
+
+    @COMMON_SETTINGS
+    @given(cycle_arrays, st.floats(0, 1e9), st.floats(0, 1e9))
+    def test_cpu_kernel_result_ranges(self, cycles, streamed, reused):
+        result = simulate_cpu_kernel("prop", cycles, flops=1.0,
+                                     streamed_bytes=streamed,
+                                     reused_bytes=reused,
+                                     working_set_bytes=max(reused / 4, 1.0))
+        assert result.time_seconds > 0
+        assert 0.0 <= result.thread_efficiency <= 1.0
+        assert result.memory_seconds >= 0.0
+
+
+def pytest_approx(value, rel=1e-9, abs_=1e-6):
+    import pytest
+
+    return pytest.approx(value, rel=rel, abs=abs_)

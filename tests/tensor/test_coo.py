@@ -1,0 +1,146 @@
+"""Unit tests for the COO container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.tensor.coo import CooTensor, csf_mode_ordering
+from repro.util.errors import DimensionError, ValidationError
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        t = CooTensor([[0, 1, 2], [1, 0, 3]], [1.5, -2.0], (2, 2, 4))
+        assert t.order == 3
+        assert t.nnz == 2
+        assert t.shape == (2, 2, 4)
+        assert t.density == pytest.approx(2 / 16)
+
+    def test_shape_inferred_from_indices(self):
+        t = CooTensor([[0, 1], [3, 2]], [1.0, 2.0])
+        assert t.shape == (4, 3)
+
+    def test_empty_requires_shape(self):
+        with pytest.raises(DimensionError):
+            CooTensor(np.zeros((0, 3)), np.zeros(0))
+
+    def test_empty_with_shape(self):
+        t = CooTensor.empty((3, 4, 5))
+        assert t.nnz == 0
+        assert t.order == 3
+        assert t.density == 0.0
+
+    def test_out_of_bounds_index_rejected(self):
+        with pytest.raises(ValidationError):
+            CooTensor([[0, 0, 5]], [1.0], (2, 2, 5))
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValidationError):
+            CooTensor([[0, -1, 0]], [1.0], (2, 2, 2))
+
+    def test_non_integer_indices_rejected(self):
+        with pytest.raises(ValidationError):
+            CooTensor(np.array([[0.5, 0.0, 0.0]]), [1.0], (2, 2, 2))
+
+    def test_nan_value_rejected(self):
+        with pytest.raises(ValidationError):
+            CooTensor([[0, 0, 0]], [np.nan], (2, 2, 2))
+
+    def test_value_count_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            CooTensor([[0, 0, 0]], [1.0, 2.0], (2, 2, 2))
+
+    def test_shape_order_mismatch_rejected(self):
+        with pytest.raises(DimensionError):
+            CooTensor([[0, 0, 0]], [1.0], (2, 2))
+
+    def test_nonpositive_shape_rejected(self):
+        with pytest.raises(DimensionError):
+            CooTensor([[0, 0, 0]], [1.0], (2, 0, 2))
+
+    def test_1d_indices_rejected(self):
+        with pytest.raises(DimensionError):
+            CooTensor(np.array([1, 2, 3]), [1.0, 2.0, 3.0], (4,))
+
+    def test_sum_duplicates_at_construction(self):
+        t = CooTensor([[0, 0, 0], [0, 0, 0], [1, 1, 1]], [1.0, 2.5, 3.0],
+                      (2, 2, 2), sum_duplicates=True)
+        assert t.nnz == 2
+        assert t.to_dense()[0, 0, 0] == pytest.approx(3.5)
+
+
+class TestRoundTrips:
+    def test_dense_roundtrip(self, small3d):
+        dense = small3d.to_dense()
+        back = CooTensor.from_dense(dense)
+        assert back == small3d.deduplicated()
+
+    def test_to_dense_accumulates_duplicates(self):
+        t = CooTensor([[0, 0], [0, 0]], [1.0, 2.0], (1, 1))
+        assert t.to_dense()[0, 0] == pytest.approx(3.0)
+
+    def test_permute_modes_roundtrip(self, small3d):
+        perm = (2, 0, 1)
+        inverse = (1, 2, 0)
+        assert small3d.permute_modes(perm).permute_modes(inverse) == small3d
+
+    def test_permute_modes_invalid(self, small3d):
+        with pytest.raises(DimensionError):
+            small3d.permute_modes((0, 0, 1))
+
+    def test_sorted_by_modes_is_lexicographic(self, small3d):
+        s = small3d.sorted_by_modes((1, 2, 0))
+        key = [tuple(row) for row in s.indices[:, [1, 2, 0]]]
+        assert key == sorted(key)
+
+    def test_equality_is_order_insensitive(self):
+        a = CooTensor([[0, 0, 0], [1, 1, 1]], [1.0, 2.0], (2, 2, 2))
+        b = CooTensor([[1, 1, 1], [0, 0, 0]], [2.0, 1.0], (2, 2, 2))
+        assert a == b
+
+    def test_with_values(self, small3d):
+        doubled = small3d.with_values(small3d.values * 2)
+        assert np.allclose(doubled.to_dense(), 2 * small3d.to_dense())
+
+    def test_with_values_wrong_length(self, small3d):
+        with pytest.raises(ValidationError):
+            small3d.with_values(np.ones(small3d.nnz + 1))
+
+
+class TestStructuralQueries:
+    def test_slice_keys_counts_sum_to_nnz(self, small3d):
+        for mode in range(3):
+            _, counts = small3d.slice_keys(mode)
+            assert counts.sum() == small3d.nnz
+
+    def test_fiber_keys_counts_sum_to_nnz(self, small4d):
+        for mode in range(4):
+            _, counts = small4d.fiber_keys(mode)
+            assert counts.sum() == small4d.nnz
+
+    def test_num_slices_matches_unique_indices(self, small3d):
+        for mode in range(3):
+            expected = np.unique(small3d.indices[:, mode]).shape[0]
+            assert small3d.num_slices(mode) == expected
+
+    def test_num_fibers_at_least_num_slices(self, small3d):
+        for mode in range(3):
+            assert small3d.num_fibers(mode) >= small3d.num_slices(mode)
+
+    def test_fibers_bounded_by_nnz(self, small4d):
+        for mode in range(4):
+            assert small4d.num_fibers(mode) <= small4d.nnz
+
+    def test_mode_out_of_range(self, small3d):
+        with pytest.raises(DimensionError):
+            small3d.num_slices(3)
+        with pytest.raises(DimensionError):
+            small3d.mode_index(-1)
+
+    def test_csf_mode_ordering(self):
+        assert csf_mode_ordering(3, 0) == (0, 1, 2)
+        assert csf_mode_ordering(3, 1) == (1, 0, 2)
+        assert csf_mode_ordering(4, 2) == (2, 0, 1, 3)
+        with pytest.raises(DimensionError):
+            csf_mode_ordering(3, 3)

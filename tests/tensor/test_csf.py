@@ -1,0 +1,154 @@
+"""Unit tests for CSF construction and structural queries."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.tensor.coo import CooTensor
+from repro.tensor.csf import CsfTensor, build_csf
+from repro.util.errors import DimensionError, TensorFormatError
+
+
+def paper_figure1_tensor() -> CooTensor:
+    """The small example of Figures 1/4: 3 slices, 5 fibers, 8 nonzeros."""
+    # slice 0: single nonzero
+    # slice 1: two fibers with one nonzero each
+    # slice 2: two fibers with 2 and 3 nonzeros
+    indices = [
+        [0, 1, 2],
+        [1, 0, 1],
+        [1, 3, 0],
+        [2, 0, 0],
+        [2, 0, 3],
+        [2, 2, 1],
+        [2, 2, 2],
+        [2, 2, 3],
+    ]
+    values = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]
+    return CooTensor(indices, values, (3, 4, 4))
+
+
+class TestBuild3d:
+    def test_counts_match_coo(self, small3d):
+        for mode in range(3):
+            csf = build_csf(small3d, mode)
+            csf.validate()
+            assert csf.nnz == small3d.nnz
+            assert csf.num_slices == small3d.num_slices(mode)
+            assert csf.num_fibers == small3d.num_fibers(mode)
+
+    def test_roundtrip_to_coo(self, small3d):
+        for mode in range(3):
+            csf = build_csf(small3d, mode)
+            assert csf.to_coo() == small3d
+
+    def test_roundtrip_4d(self, small4d):
+        for mode in range(4):
+            csf = build_csf(small4d, mode)
+            csf.validate()
+            assert csf.to_coo() == small4d
+
+    def test_nnz_per_slice_and_fiber_sums(self, skewed3d):
+        csf = build_csf(skewed3d, 0)
+        assert csf.nnz_per_slice().sum() == skewed3d.nnz
+        assert csf.nnz_per_fiber().sum() == skewed3d.nnz
+        assert csf.fibers_per_slice().sum() == csf.num_fibers
+
+    def test_slice_of_fiber(self, small3d):
+        csf = build_csf(small3d, 0)
+        owner = csf.slice_of_fiber()
+        assert owner.shape[0] == csf.num_fibers
+        # Fiber owners are non-decreasing because fibers are stored in slice order.
+        assert np.all(np.diff(owner) >= 0)
+        # Aggregating fibers by owner reproduces fibers_per_slice.
+        counts = np.bincount(owner, minlength=csf.num_slices)
+        assert np.array_equal(counts, csf.fibers_per_slice())
+
+    def test_paper_figure1_structure(self):
+        csf = build_csf(paper_figure1_tensor(), 0)
+        assert csf.num_slices == 3
+        assert csf.num_fibers == 5
+        assert csf.nnz == 8
+        assert list(csf.nnz_per_slice()) == [1, 2, 5]
+        assert list(csf.fibers_per_slice()) == [1, 2, 2]
+        assert list(csf.nnz_per_fiber()) == [1, 1, 1, 2, 3]
+        # 2S + 2F + M words of index storage (Section III-B)
+        assert csf.index_storage_words() == 2 * 3 + 2 * 5 + 8
+
+    def test_empty_tensor(self):
+        csf = build_csf(CooTensor.empty((3, 4, 5)), 0)
+        assert csf.nnz == 0
+        assert csf.num_slices == 0
+        assert csf.to_coo().nnz == 0
+
+    def test_duplicates_are_merged(self):
+        t = CooTensor([[0, 0, 0], [0, 0, 0]], [1.0, 2.0], (2, 2, 2))
+        csf = build_csf(t, 0)
+        assert csf.nnz == 1
+        assert csf.values[0] == pytest.approx(3.0)
+
+    def test_explicit_mode_order(self, small3d):
+        csf = build_csf(small3d, mode_order=(2, 1, 0))
+        csf.validate()
+        assert csf.root_mode == 2
+        assert csf.to_coo() == small3d
+
+    def test_invalid_mode_order(self, small3d):
+        with pytest.raises(DimensionError):
+            build_csf(small3d, mode_order=(0, 0, 1))
+
+    def test_order1_rejected(self):
+        t = CooTensor(np.array([[0], [2]]), [1.0, 2.0], (3,))
+        with pytest.raises(DimensionError):
+            build_csf(t, 0)
+
+
+class TestValidate:
+    def test_validate_catches_bad_pointer(self, small3d):
+        csf = build_csf(small3d, 0)
+        bad = CsfTensor(csf.shape, csf.mode_order,
+                        [csf.fptr[0].copy(), csf.fptr[1].copy()],
+                        [f.copy() for f in csf.fids], csf.values.copy())
+        bad.fptr[0][0] = 1
+        with pytest.raises(TensorFormatError):
+            bad.validate()
+
+    def test_validate_catches_misaligned_values(self, small3d):
+        csf = build_csf(small3d, 0)
+        bad = CsfTensor(csf.shape, csf.mode_order, csf.fptr, csf.fids,
+                        csf.values[:-1])
+        with pytest.raises(TensorFormatError):
+            bad.validate()
+
+    def test_validate_catches_out_of_bounds_fid(self, small3d):
+        csf = build_csf(small3d, 0)
+        fids = [f.copy() for f in csf.fids]
+        fids[0][0] = small3d.shape[0] + 10
+        bad = CsfTensor(csf.shape, csf.mode_order, csf.fptr, fids, csf.values)
+        with pytest.raises(TensorFormatError):
+            bad.validate()
+
+    def test_validate_catches_empty_internal_node(self, small3d):
+        csf = build_csf(small3d, 0)
+        fptr = [p.copy() for p in csf.fptr]
+        if fptr[0].shape[0] > 2:
+            fptr[0][1] = fptr[0][2]
+            bad = CsfTensor(csf.shape, csf.mode_order, fptr, csf.fids, csf.values)
+            with pytest.raises(TensorFormatError):
+                bad.validate()
+
+
+class TestStorage:
+    def test_storage_words_formula_3d(self, small3d):
+        for mode in range(3):
+            csf = build_csf(small3d, mode)
+            expected = 2 * csf.num_slices + 2 * csf.num_fibers + csf.nnz
+            assert csf.index_storage_words() == expected
+
+    def test_storage_words_4d(self, small4d):
+        csf = build_csf(small4d, 0)
+        # order-4: 2 * (#level0 + #level1 + #level2) + M
+        expected = (2 * csf.fids[0].shape[0] + 2 * csf.fids[1].shape[0]
+                    + 2 * csf.fids[2].shape[0] + csf.nnz)
+        assert csf.index_storage_words() == expected

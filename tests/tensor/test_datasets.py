@@ -1,0 +1,94 @@
+"""Tests for the synthetic dataset recipes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tensor.datasets import (
+    ALL_DATASETS,
+    DATASETS,
+    PAPER_REFERENCE,
+    THREE_D_DATASETS,
+    dataset_names,
+    load_dataset,
+)
+from repro.tensor.stats import mode_stats
+from repro.util.errors import ValidationError
+
+
+class TestRegistry:
+    def test_all_twelve_datasets_present(self):
+        assert len(ALL_DATASETS) == 12
+        assert set(ALL_DATASETS) == set(DATASETS)
+        assert set(ALL_DATASETS) == set(PAPER_REFERENCE)
+
+    def test_orders_match_paper(self):
+        for name in THREE_D_DATASETS:
+            assert DATASETS[name].order == 3
+        for name in set(ALL_DATASETS) - set(THREE_D_DATASETS):
+            assert DATASETS[name].order == 4
+
+    def test_dataset_names_filter(self):
+        assert set(dataset_names(3)) == set(THREE_D_DATASETS)
+        assert len(dataset_names()) == 12
+        assert dataset_names(5) == []
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ValidationError):
+            load_dataset("no-such-tensor")
+
+
+class TestGeneration:
+    @pytest.mark.parametrize("name", ALL_DATASETS)
+    def test_generates_at_small_scale(self, name):
+        t = load_dataset(name, scale=0.05)
+        assert t.nnz > 0
+        assert t.order == DATASETS[name].order
+
+    def test_deterministic(self):
+        a = load_dataset("nell2", scale=0.1)
+        b = load_dataset("nell2", scale=0.1)
+        assert a == b
+
+    def test_seed_override_changes_data(self):
+        a = load_dataset("deli", scale=0.05)
+        b = load_dataset("deli", scale=0.05, seed=999)
+        assert a != b
+
+    def test_scale_must_be_positive(self):
+        with pytest.raises(ValidationError):
+            load_dataset("deli", scale=0.0)
+
+
+class TestStructuralRegimes:
+    """The recipes must land in the structural regime the paper reports."""
+
+    def test_freebase_like_all_singleton_fibers(self):
+        for name in ("fr_m", "fr_s"):
+            ms = mode_stats(load_dataset(name, scale=0.2), 0)
+            assert ms.singleton_fiber_fraction > 0.99
+            assert ms.nnz_per_fiber_std < 0.1
+
+    def test_flickr_mostly_singleton_fibers(self):
+        ms = mode_stats(load_dataset("flick-3d", scale=0.2), 0)
+        assert ms.singleton_fiber_fraction > 0.8
+
+    def test_darpa_extreme_slice_and_fiber_skew(self):
+        ms = mode_stats(load_dataset("darpa", scale=0.3), 0)
+        # stdev much larger than mean in both distributions, as in Table II
+        assert ms.nnz_per_slice_std > 3 * ms.nnz_per_slice_mean
+        assert ms.nnz_per_fiber_std > 1.5 * ms.nnz_per_fiber_mean
+
+    def test_nell2_heavier_slices_than_deli(self):
+        deli = mode_stats(load_dataset("deli", scale=0.3), 0)
+        nell2 = mode_stats(load_dataset("nell2", scale=0.3), 0)
+        deli_cv = deli.nnz_per_slice_std / max(deli.nnz_per_slice_mean, 1e-9)
+        nell2_cv = nell2.nnz_per_slice_std / max(nell2.nnz_per_slice_mean, 1e-9)
+        assert nell2.nnz_per_slice_max > deli.nnz_per_slice_max
+
+    def test_chcr_is_densest(self):
+        densities = {
+            name: load_dataset(name, scale=0.1).density for name in ("ch-cr", "deli",
+                                                                     "nell1", "uber")
+        }
+        assert densities["ch-cr"] == max(densities.values())

@@ -1,0 +1,71 @@
+"""Tests for FROSTT .tns I/O."""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.tensor.coo import CooTensor
+from repro.tensor.io import dumps_tns, loads_tns, read_tns, write_tns
+from repro.util.errors import ValidationError
+
+
+class TestRoundTrip:
+    def test_string_roundtrip(self, small3d):
+        text = dumps_tns(small3d)
+        back = loads_tns(text, small3d.shape)
+        assert back == small3d
+
+    def test_file_roundtrip(self, tmp_path, small4d):
+        path = tmp_path / "t.tns"
+        write_tns(small4d, path)
+        back = read_tns(path, small4d.shape)
+        assert back == small4d
+
+    def test_stream_roundtrip(self, small3d):
+        buf = io.StringIO()
+        write_tns(small3d, buf)
+        buf.seek(0)
+        back = read_tns(buf, small3d.shape)
+        assert back == small3d
+
+    def test_shape_inferred(self):
+        text = "1 1 1 2.0\n3 2 4 1.0\n"
+        t = loads_tns(text)
+        assert t.shape == (3, 2, 4)
+        assert t.nnz == 2
+
+
+class TestParsing:
+    def test_comments_and_blank_lines_ignored(self):
+        text = "# header\n\n% matrix-market style comment\n1 1 1 3.5\n"
+        t = loads_tns(text)
+        assert t.nnz == 1
+        assert t.values[0] == pytest.approx(3.5)
+
+    def test_one_based_indices(self):
+        t = loads_tns("1 1 1 1.0\n2 2 2 1.0\n")
+        assert t.indices.min() == 0
+        assert t.indices.max() == 1
+
+    def test_zero_index_rejected(self):
+        with pytest.raises(ValidationError):
+            loads_tns("0 1 1 1.0\n")
+
+    def test_ragged_lines_rejected(self):
+        with pytest.raises(ValidationError):
+            loads_tns("1 1 1 1.0\n1 1 2\n")
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(ValidationError):
+            loads_tns("1 1 x 1.0\n")
+
+    def test_empty_stream_rejected(self):
+        with pytest.raises(ValidationError):
+            loads_tns("")
+
+    def test_values_preserved_precisely(self):
+        t = loads_tns("1 1 1 0.12345678901234567\n")
+        assert t.values[0] == pytest.approx(0.12345678901234567, rel=1e-15)

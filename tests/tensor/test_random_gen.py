@@ -1,0 +1,105 @@
+"""Tests for the synthetic tensor generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.tensor.random_gen import PowerLawSpec, power_law_tensor, random_coo
+from repro.tensor.stats import mode_stats
+from repro.util.errors import DimensionError, ValidationError
+
+
+class TestRandomCoo:
+    def test_basic(self):
+        t = random_coo((10, 12, 14), 200, 0)
+        assert t.shape == (10, 12, 14)
+        assert 0 < t.nnz <= 200
+
+    def test_deterministic_with_seed(self):
+        a = random_coo((8, 8, 8), 100, 42)
+        b = random_coo((8, 8, 8), 100, 42)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = random_coo((8, 8, 8), 100, 1)
+        b = random_coo((8, 8, 8), 100, 2)
+        assert a != b
+
+    def test_zero_nnz(self):
+        t = random_coo((5, 5, 5), 0, 0)
+        assert t.nnz == 0
+
+    def test_negative_nnz_rejected(self):
+        with pytest.raises(ValidationError):
+            random_coo((5, 5, 5), -1, 0)
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(DimensionError):
+            random_coo((5, 0, 5), 10, 0)
+
+    def test_no_zero_values(self):
+        t = random_coo((6, 6, 6), 150, 3)
+        assert np.all(t.values != 0.0)
+
+
+class TestPowerLawTensor:
+    def test_respects_nnz_budget(self):
+        spec = PowerLawSpec(shape=(50, 60, 70), nnz=3_000, seed=0)
+        t = power_law_tensor(spec)
+        assert 0 < t.nnz <= 3_000
+        # dedup losses should be small for this density
+        assert t.nnz > 0.8 * 3_000
+
+    def test_deterministic(self):
+        spec = PowerLawSpec(shape=(30, 40, 50), nnz=1_000, seed=5)
+        assert power_law_tensor(spec) == power_law_tensor(spec)
+
+    def test_indices_within_shape(self):
+        spec = PowerLawSpec(shape=(20, 30, 40), nnz=2_000, seed=1)
+        t = power_law_tensor(spec)
+        assert np.all(t.indices >= 0)
+        assert np.all(t.indices.max(axis=0) < np.array(t.shape))
+
+    def test_singleton_fiber_fraction_controls_structure(self):
+        base = dict(shape=(400, 2_000, 50), nnz=4_000, slice_alpha=0.5)
+        singletons = power_law_tensor(
+            PowerLawSpec(**base, singleton_fiber_fraction=1.0, max_fiber_nnz=1, seed=2)
+        )
+        heavy = power_law_tensor(
+            PowerLawSpec(**base, fiber_alpha=1.3, max_fiber_nnz=50, seed=2)
+        )
+        ms_single = mode_stats(singletons, 0)
+        ms_heavy = mode_stats(heavy, 0)
+        assert ms_single.singleton_fiber_fraction > 0.95
+        assert ms_heavy.nnz_per_fiber_std > ms_single.nnz_per_fiber_std
+
+    def test_heavy_slices_raise_slice_std(self):
+        base = dict(shape=(500, 200, 100), nnz=5_000, fiber_alpha=2.5, seed=3)
+        flat = power_law_tensor(PowerLawSpec(**base, slice_alpha=0.1))
+        spiky = power_law_tensor(
+            PowerLawSpec(**base, slice_alpha=1.2, num_heavy_slices=2,
+                         heavy_slice_fraction=0.5)
+        )
+        assert (mode_stats(spiky, 0).nnz_per_slice_std
+                > 2 * mode_stats(flat, 0).nnz_per_slice_std)
+
+    def test_order4(self):
+        spec = PowerLawSpec(shape=(20, 30, 40, 10), nnz=2_000, seed=4)
+        t = power_law_tensor(spec)
+        assert t.order == 4
+        assert t.nnz > 0
+
+    def test_order2_rejected(self):
+        with pytest.raises(DimensionError):
+            power_law_tensor(PowerLawSpec(shape=(10, 10), nnz=100))
+
+    def test_zero_nnz(self):
+        t = power_law_tensor(PowerLawSpec(shape=(10, 10, 10), nnz=0))
+        assert t.nnz == 0
+
+    def test_with_nnz_scaling(self):
+        spec = PowerLawSpec(shape=(100, 100, 100), nnz=1_000, seed=9)
+        bigger = spec.with_nnz(2_000)
+        assert bigger.nnz == 2_000
+        assert bigger.shape == spec.shape

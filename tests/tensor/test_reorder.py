@@ -1,0 +1,116 @@
+"""Tests for the reordering extension (Section VIII future work)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kernels.coo_mttkrp import coo_mttkrp
+from repro.tensor.coo import CooTensor
+from repro.tensor.reorder import (
+    Reordering,
+    morton_keys,
+    random_relabel,
+    relabel_mode_by_density,
+    zorder_sort,
+)
+from repro.util.errors import DimensionError, ValidationError
+from tests.conftest import make_factors
+
+
+class TestReorderingContainer:
+    def test_validate_rejects_non_permutation(self, small3d):
+        bad = Reordering(small3d.shape, {0: np.zeros(small3d.shape[0], dtype=int)})
+        with pytest.raises(ValidationError):
+            bad.validate()
+
+    def test_validate_rejects_wrong_length(self, small3d):
+        bad = Reordering(small3d.shape, {0: np.arange(small3d.shape[0] + 1)})
+        with pytest.raises(ValidationError):
+            bad.validate()
+
+    def test_apply_requires_matching_shape(self, small3d, small4d):
+        r = random_relabel(small3d, rng=0)
+        with pytest.raises(DimensionError):
+            r.apply(small4d)
+
+    def test_identity_when_no_perms(self, small3d):
+        r = Reordering(small3d.shape, {})
+        assert r.apply(small3d) == small3d
+
+
+class TestRelabelings:
+    def test_density_relabel_sorts_slices(self, skewed3d):
+        r = relabel_mode_by_density(skewed3d, 0)
+        relabelled = r.apply(skewed3d)
+        counts = np.zeros(skewed3d.shape[0], dtype=int)
+        np.add.at(counts, relabelled.indices[:, 0], 1)
+        nonzero_counts = counts[counts > 0]
+        # after relabelling, slice populations are non-increasing in id order
+        assert np.all(np.diff(counts[:len(nonzero_counts)]) <= 0)
+
+    def test_random_relabel_preserves_structure(self, skewed3d):
+        r = random_relabel(skewed3d, rng=3)
+        relabelled = r.apply(skewed3d)
+        assert relabelled.nnz == skewed3d.nnz
+        for mode in range(3):
+            assert relabelled.num_slices(mode) == skewed3d.num_slices(mode)
+            assert relabelled.num_fibers(mode) == skewed3d.num_fibers(mode)
+
+    def test_bad_mode_rejected(self, small3d):
+        with pytest.raises(DimensionError):
+            relabel_mode_by_density(small3d, 5)
+        with pytest.raises(DimensionError):
+            random_relabel(small3d, modes=[7])
+
+    def test_mttkrp_commutes_with_relabelling(self, skewed3d):
+        """Relabel -> MTTKRP -> restore gives the original-space result."""
+        factors = make_factors(skewed3d.shape, 6, seed=9)
+        r = random_relabel(skewed3d, rng=11)
+        relabelled = r.apply(skewed3d)
+        relabelled_factors = [r.apply_to_factor(f, m) for m, f in enumerate(factors)]
+        out_relabelled = coo_mttkrp(relabelled, relabelled_factors, 0)
+        out_original = coo_mttkrp(skewed3d, factors, 0)
+        np.testing.assert_allclose(r.restore_factor(out_relabelled, 0),
+                                   out_original, rtol=1e-9, atol=1e-9)
+
+    def test_factor_roundtrip(self, small3d):
+        r = random_relabel(small3d, rng=5)
+        f = make_factors(small3d.shape, 4, seed=1)[1]
+        np.testing.assert_array_equal(
+            r.restore_factor(r.apply_to_factor(f, 1), 1), f)
+
+
+class TestZorder:
+    def test_sort_preserves_tensor(self, skewed3d):
+        z = zorder_sort(skewed3d)
+        assert z == skewed3d
+
+    def test_empty(self):
+        t = CooTensor.empty((4, 4, 4))
+        assert zorder_sort(t).nnz == 0
+
+    def test_morton_keys_locality(self):
+        """Coordinates in the same small block share high-order key bits."""
+        idx = np.array([[0, 0, 0], [1, 1, 1], [0, 1, 0], [63, 63, 63]])
+        keys = morton_keys(idx, (64, 64, 64), bits=6)
+        assert keys[0] < keys[1] < keys[3]
+        assert abs(keys[2] - keys[0]) < abs(keys[3] - keys[0])
+
+    def test_morton_bit_overflow_rejected(self):
+        with pytest.raises(ValidationError):
+            morton_keys(np.zeros((1, 4), dtype=int), (2, 2, 2, 2), bits=16)
+
+    def test_zorder_improves_hicoo_blocking(self):
+        """Morton storage order never increases HiCOO's block count (blocks
+        are defined by coordinates, so the count is identical) but keeps
+        nonzeros of a block contiguous — verify contiguity."""
+        from repro.baselines.hicoo import build_hicoo
+        from repro.tensor.random_gen import random_coo
+
+        t = random_coo((64, 64, 64), 500, 5)
+        z = zorder_sort(t, bits=6)
+        h_orig = build_hicoo(t, block_bits=4)
+        h_z = build_hicoo(z, block_bits=4)
+        assert h_orig.num_blocks == h_z.num_blocks
+        assert h_z.to_coo() == t

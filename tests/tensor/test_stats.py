@@ -1,0 +1,78 @@
+"""Tests for structural statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.tensor.coo import CooTensor
+from repro.tensor.stats import mode_stats, tensor_stats
+
+
+class TestModeStats:
+    def test_counts_consistent_with_coo(self, small3d):
+        for mode in range(3):
+            ms = mode_stats(small3d, mode)
+            assert ms.num_slices == small3d.num_slices(mode)
+            assert ms.num_fibers == small3d.num_fibers(mode)
+            assert ms.nnz == small3d.nnz
+            assert ms.nnz_per_slice_mean * ms.num_slices == pytest.approx(small3d.nnz)
+            assert ms.nnz_per_fiber_mean * ms.num_fibers == pytest.approx(small3d.nnz)
+
+    def test_singleton_fractions_bounds(self, skewed3d):
+        ms = mode_stats(skewed3d, 0)
+        assert 0.0 <= ms.singleton_fiber_fraction <= 1.0
+        assert 0.0 <= ms.singleton_slice_fraction <= 1.0
+
+    def test_all_singleton_fibers(self):
+        # each (i, j) pair appears exactly once -> every fiber singleton
+        idx = [[i, j, (i + j) % 4] for i in range(3) for j in range(5)]
+        t = CooTensor(idx, np.ones(len(idx)), (3, 5, 4))
+        ms = mode_stats(t, 0)
+        assert ms.singleton_fiber_fraction == 1.0
+        assert ms.nnz_per_fiber_std == 0.0
+        assert ms.num_fibers == t.nnz
+
+    def test_heavy_slice_raises_std(self):
+        light = [[i, 0, 0] for i in range(10)]
+        heavy = [[0, j, k] for j in range(10) for k in range(10)]
+        t = CooTensor(light + heavy, np.ones(110), (10, 10, 10))
+        ms = mode_stats(t, 0)
+        assert ms.nnz_per_slice_max >= 100
+        assert ms.nnz_per_slice_std > ms.nnz_per_slice_mean
+        assert ms.nnz_per_slice_std > ms.nnz_per_fiber_std
+
+    def test_fibers_per_slice(self, small3d):
+        ms = mode_stats(small3d, 0)
+        assert ms.fibers_per_slice_mean * ms.num_slices == pytest.approx(ms.num_fibers)
+
+    def test_empty_tensor(self):
+        t = CooTensor.empty((4, 5, 6))
+        ms = mode_stats(t, 0)
+        assert ms.num_slices == 0
+        assert ms.nnz_per_slice_std == 0.0
+        assert ms.singleton_fiber_fraction == 0.0
+
+    def test_as_dict_keys(self, small3d):
+        d = mode_stats(small3d, 1).as_dict()
+        assert d["mode"] == 1
+        assert d["M"] == small3d.nnz
+
+
+class TestTensorStats:
+    def test_table3_row(self, small3d):
+        ts = tensor_stats(small3d)
+        row = ts.as_table_row()
+        assert row["order"] == 3
+        assert row["#nonzeros"] == small3d.nnz
+        assert row["density"] == pytest.approx(small3d.density)
+
+    def test_mode_lookup(self, small3d):
+        ts = tensor_stats(small3d, modes=[2])
+        assert ts.mode(2).mode == 2
+        with pytest.raises(KeyError):
+            ts.mode(0)
+
+    def test_all_modes_by_default(self, small4d):
+        ts = tensor_stats(small4d)
+        assert len(ts.modes) == 4

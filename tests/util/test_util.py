@@ -1,0 +1,69 @@
+"""Tests for the util helpers (errors, prng, timing)."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.util.errors import (
+    DimensionError,
+    ReproError,
+    TensorFormatError,
+    ValidationError,
+)
+from repro.util.prng import DEFAULT_SEED, default_rng, spawn_rng
+from repro.util.timing import Timer, timed
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        assert issubclass(ValidationError, ReproError)
+        assert issubclass(ValidationError, ValueError)
+        assert issubclass(DimensionError, ReproError)
+        assert issubclass(TensorFormatError, ReproError)
+
+    def test_catchable_as_repro_error(self):
+        with pytest.raises(ReproError):
+            raise TensorFormatError("broken pointers")
+
+
+class TestPrng:
+    def test_default_seed_is_stable(self):
+        a = default_rng().random(4)
+        b = default_rng(DEFAULT_SEED).random(4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_passthrough_generator(self):
+        rng = np.random.default_rng(3)
+        assert default_rng(rng) is rng
+
+    def test_spawn_independent_streams(self):
+        rng = default_rng(1)
+        children = spawn_rng(rng, 3)
+        assert len(children) == 3
+        draws = [c.random(5) for c in children]
+        assert not np.allclose(draws[0], draws[1])
+
+    def test_spawn_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rng(default_rng(0), -1)
+
+
+class TestTiming:
+    def test_timer_accumulates(self):
+        timer = Timer()
+        with timer.measure():
+            time.sleep(0.001)
+        with timer.measure():
+            time.sleep(0.001)
+        assert timer.elapsed >= 0.002
+        assert len(timer.laps) == 2
+        timer.reset()
+        assert timer.elapsed == 0.0 and timer.laps == []
+
+    def test_timed(self):
+        result, seconds = timed(sum, [1, 2, 3])
+        assert result == 6
+        assert seconds >= 0.0
