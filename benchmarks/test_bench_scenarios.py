@@ -1,0 +1,66 @@
+"""Benchmarks for the scenario subsystem.
+
+Measures raw generator throughput for every registered family at a fixed
+budget, and the cache speedup (materialize-from-npz vs regenerate) that
+repeated experiment runs rely on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import BENCH_SCALE
+from repro.scenarios import (
+    ScenarioCache,
+    generator_names,
+    iter_suite,
+    materialize,
+    parse_spec,
+)
+
+BENCH_NNZ = int(60_000 * BENCH_SCALE)
+BENCH_SHAPE = (2_000, 1_500, 2_500)
+
+
+def _spec(generator: str) -> dict:
+    return {"generator": generator, "shape": list(BENCH_SHAPE),
+            "nnz": BENCH_NNZ, "seed": 42}
+
+
+class TestGeneratorThroughput:
+    @pytest.mark.parametrize("generator", generator_names())
+    def test_bench_generate(self, benchmark, generator):
+        spec = parse_spec(_spec(generator))
+        tensor = benchmark(materialize, spec)
+        assert 0 < tensor.nnz <= BENCH_NNZ
+        benchmark.extra_info["nnz"] = tensor.nnz
+
+
+class TestCache:
+    def test_bench_cold_miss(self, benchmark, tmp_path):
+        spec = parse_spec(_spec("power_law"))
+
+        def generate_into_fresh_cache():
+            cache = ScenarioCache(tmp_path / "cold")
+            cache.clear()
+            return materialize(spec, cache)
+
+        tensor = benchmark(generate_into_fresh_cache)
+        assert tensor.nnz > 0
+
+    def test_bench_warm_hit(self, benchmark, tmp_path):
+        spec = parse_spec(_spec("power_law"))
+        cache = ScenarioCache(tmp_path / "warm")
+        generated = materialize(spec, cache)
+        loaded = benchmark(materialize, spec, cache)
+        assert loaded == generated
+
+
+class TestSuites:
+    def test_bench_imbalance_sweep(self, benchmark):
+        rows = benchmark(lambda: [
+            (name, t.nnz)
+            for name, t in iter_suite("imbalance_sweep", scale=BENCH_SCALE)
+        ])
+        assert len(rows) == 5
+        benchmark.extra_info["rows"] = rows

@@ -8,6 +8,26 @@ the ``[build-system]`` table from ``pyproject.toml`` lets
 which needs nothing beyond setuptools itself.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-bcsf",
+    version="0.2.0",
+    description="Pure-Python reproduction of balanced-CSF (B-CSF / HB-CSF) "
+                "sparse-MTTKRP load balancing on GPUs (IPDPS 2019)",
+    author="paper-repo-growth",
+    license="MIT",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+    extras_require={
+        "test": ["pytest", "hypothesis", "pytest-benchmark"],
+    },
+    entry_points={
+        "console_scripts": [
+            "repro-experiments=repro.experiments.registry:main",
+            "repro-scenarios=repro.scenarios.cli:main",
+        ],
+    },
+)

@@ -3,19 +3,23 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
 from repro.gpusim.device import DeviceSpec, TESLA_P100
+from repro.scenarios.cache import ScenarioCache, materialize
+from repro.scenarios.spec import ScenarioSpec, parse_spec
+from repro.scenarios.suites import iter_suite, suite_names
 from repro.tensor.coo import CooTensor
-from repro.tensor.datasets import load_dataset
+from repro.tensor.datasets import DATASETS, load_dataset
 
 __all__ = [
     "ExperimentResult",
     "format_table",
     "geometric_mean",
     "load_experiment_tensor",
+    "iter_experiment_tensors",
     "DEFAULT_RANK",
 ]
 
@@ -100,8 +104,56 @@ class ExperimentResult:
         raise KeyError(f"no row with {key_column} == {key!r}")
 
 
-def load_experiment_tensor(name: str, scale: float = 1.0,
-                           seed: int | None = None) -> CooTensor:
-    """Load a dataset recipe for an experiment run (thin wrapper, kept so
-    experiment modules have one import site to patch in tests)."""
-    return load_dataset(name, scale=scale, seed=seed)
+def load_experiment_tensor(name, scale: float = 1.0,
+                           seed: int | None = None,
+                           cache: ScenarioCache | None = None) -> CooTensor:
+    """Resolve one experiment workload (kept as the single import site the
+    experiment modules patch in tests).
+
+    ``name`` may be a legacy dataset name (``"darpa"``), a
+    :class:`~repro.scenarios.spec.ScenarioSpec`, a spec dict, a JSON spec
+    string, or the name of a scenario registered with
+    :func:`repro.scenarios.register_scenario`.
+    """
+    if isinstance(name, str) and name in DATASETS:
+        return load_dataset(name, scale=scale, seed=seed, cache=cache)
+    if isinstance(name, (ScenarioSpec, Mapping)) or (
+            isinstance(name, str) and name.lstrip().startswith("{")):
+        return materialize(name, cache, scale=scale, seed=seed)
+    if isinstance(name, str):
+        from repro.scenarios.spec import get_scenario
+
+        return materialize(get_scenario(name), cache, scale=scale, seed=seed)
+    raise TypeError(
+        f"cannot resolve a workload from {type(name).__name__}: {name!r}")
+
+
+def iter_experiment_tensors(source, scale: float = 1.0,
+                            seed: int | None = None,
+                            cache: ScenarioCache | None = None,
+                            ) -> Iterator[tuple[str, CooTensor]]:
+    """Yield ``(name, tensor)`` workloads from a flexible source.
+
+    ``source`` may be a suite name (``"imbalance_sweep"`` or
+    ``"suite:imbalance_sweep"``), a single dataset name / spec (anything
+    :func:`load_experiment_tensor` accepts), or an iterable of those — so an
+    experiment driver can swap its hard-coded dataset tuple for any suite.
+    """
+    if isinstance(source, str):
+        if source.startswith("suite:"):
+            source = source[len("suite:"):]
+        if source in suite_names():
+            yield from iter_suite(source, scale=scale, seed=seed, cache=cache)
+            return
+        if source.lstrip().startswith("{"):
+            source = parse_spec(source)  # label with display_name, not JSON
+        else:
+            yield source, load_experiment_tensor(source, scale, seed, cache)
+            return
+    if isinstance(source, (ScenarioSpec, Mapping)):
+        spec = parse_spec(source)
+        yield spec.display_name(), materialize(spec, cache, scale=scale,
+                                               seed=seed)
+        return
+    for entry in source:
+        yield from iter_experiment_tensors(entry, scale, seed, cache)

@@ -10,6 +10,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 from typing import Callable
 
@@ -20,7 +21,7 @@ from repro.experiments import (
 from repro.experiments.common import ExperimentResult
 from repro.util.errors import ValidationError
 
-__all__ = ["EXPERIMENTS", "run_experiment", "main"]
+__all__ = ["EXPERIMENTS", "accepted_kwargs", "run_experiment", "main"]
 
 #: experiment id -> run() callable
 EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
@@ -39,6 +40,23 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "fig15": fig15.run,
     "fig16": fig16.run,
 }
+
+
+def accepted_kwargs(fn: Callable, kwargs: dict) -> dict:
+    """Subset of ``kwargs`` that ``fn``'s signature accepts.
+
+    Drivers differ in which knobs they take (e.g. ``table3`` has no
+    ``rank``), so the CLI filters by inspecting each ``run`` callable
+    instead of maintaining a hard-coded exclusion list that silently breaks
+    when a driver's signature changes.
+    """
+    params = inspect.signature(fn).parameters.values()
+    if any(p.kind is inspect.Parameter.VAR_KEYWORD for p in params):
+        return dict(kwargs)
+    names = {p.name for p in params
+             if p.kind in (inspect.Parameter.POSITIONAL_OR_KEYWORD,
+                           inspect.Parameter.KEYWORD_ONLY)}
+    return {k: v for k, v in kwargs.items() if k in names}
 
 
 def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
@@ -66,9 +84,10 @@ def main(argv: list[str] | None = None) -> int:
 
     ids = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
     for experiment_id in ids:
-        kwargs = {"scale": args.scale, "seed": args.seed}
-        if experiment_id not in ("table3", "fig9", "fig16"):
-            kwargs["rank"] = args.rank
+        kwargs = {"scale": args.scale, "seed": args.seed, "rank": args.rank}
+        driver = EXPERIMENTS.get(experiment_id.strip().lower())
+        if driver is not None:
+            kwargs = accepted_kwargs(driver, kwargs)
         result = run_experiment(experiment_id, **kwargs)
         print(result.to_text())
         print()

@@ -1,0 +1,68 @@
+"""Parametric workload generation: registry, specs, suites, disk cache.
+
+This subpackage turns synthetic data into a first-class subsystem.  A
+*generator* is a registered parametric function ``(shape, nnz, rng,
+**params) -> CooTensor``; a *scenario spec* pins one concrete workload down
+(dict / JSON parseable, canonically hashable); a *suite* is a named stream
+of specs; and the *cache* stores materialized tensors content-addressed by
+spec hash so repeated experiment and benchmark runs skip regeneration.
+
+Quickstart::
+
+    from repro.scenarios import materialize, iter_suite, ScenarioCache
+
+    t = materialize({"generator": "block_community",
+                     "shape": [500, 400, 600], "nnz": 10_000, "seed": 7})
+    cache = ScenarioCache("/tmp/scen-cache")
+    for name, tensor in iter_suite("imbalance_sweep", cache=cache):
+        ...
+
+CLI: ``python -m repro.scenarios list`` (see ``--help`` for more).
+"""
+
+from repro.scenarios.registry import (
+    Generator,
+    Param,
+    generator_names,
+    get_generator,
+    materialize_spec,
+    register_generator,
+)
+from repro.scenarios.spec import (
+    ScenarioSpec,
+    get_scenario,
+    parse_spec,
+    register_scenario,
+    scenario_names,
+)
+from repro.scenarios import generators as _generators  # registers built-ins
+from repro.scenarios.cache import ScenarioCache, default_cache_dir, materialize
+from repro.scenarios.suites import (
+    Suite,
+    get_suite,
+    iter_suite,
+    register_suite,
+    suite_names,
+)
+
+__all__ = [
+    "Generator",
+    "Param",
+    "register_generator",
+    "get_generator",
+    "generator_names",
+    "materialize_spec",
+    "ScenarioSpec",
+    "parse_spec",
+    "register_scenario",
+    "get_scenario",
+    "scenario_names",
+    "ScenarioCache",
+    "default_cache_dir",
+    "materialize",
+    "Suite",
+    "register_suite",
+    "get_suite",
+    "suite_names",
+    "iter_suite",
+]

@@ -1,0 +1,162 @@
+"""Content-addressed on-disk cache for materialized scenarios.
+
+Tensors are stored as ``<root>/<spec_hash>.npz`` (indices / values / shape
+arrays) next to a human-readable ``manifest.json`` that maps each hash to
+its canonical spec plus bookkeeping (shape, nnz, file name).  The hash
+covers every input that determines the generated data — generator name and
+version, shape, nnz, seed and the fully-defaulted parameters — so a cache
+hit is always safe to serve and bumping a generator's ``version`` retires
+its stale entries automatically.
+
+The cache is opt-in: :func:`materialize` only touches disk when given a
+:class:`ScenarioCache`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.scenarios.registry import materialize_spec
+from repro.scenarios.spec import ScenarioSpec, parse_spec
+from repro.tensor.coo import CooTensor, INDEX_DTYPE, VALUE_DTYPE
+from repro.util.errors import ValidationError
+
+__all__ = ["ScenarioCache", "default_cache_dir", "materialize"]
+
+_MANIFEST = "manifest.json"
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_SCENARIO_CACHE`` or ``~/.cache/repro/scenarios``."""
+    env = os.environ.get("REPRO_SCENARIO_CACHE")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro" / "scenarios"
+
+
+class ScenarioCache:
+    """Directory-backed store of generated tensors, keyed by spec hash."""
+
+    def __init__(self, root: str | os.PathLike | None = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+
+    # ------------------------------------------------------------------ #
+    # manifest
+    # ------------------------------------------------------------------ #
+    @property
+    def manifest_path(self) -> Path:
+        return self.root / _MANIFEST
+
+    def manifest(self) -> dict:
+        """Load the manifest (hash -> entry dict); empty if absent/corrupt."""
+        try:
+            with open(self.manifest_path, encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            return {}
+        return data if isinstance(data, dict) else {}
+
+    def _write_manifest(self, manifest: dict) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        tmp = self.manifest_path.with_suffix(".json.tmp")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(manifest, fh, indent=2, sort_keys=True)
+        os.replace(tmp, self.manifest_path)
+
+    # ------------------------------------------------------------------ #
+    # entries
+    # ------------------------------------------------------------------ #
+    def path_for(self, spec: ScenarioSpec) -> Path:
+        return self.root / f"{spec.spec_hash()}.npz"
+
+    def __contains__(self, spec: ScenarioSpec) -> bool:
+        return self.path_for(spec).exists()
+
+    def get(self, spec: ScenarioSpec) -> CooTensor | None:
+        """Return the cached tensor for ``spec``, or None on a miss.
+
+        A corrupt entry is treated as a miss (and removed) rather than an
+        error, so a damaged cache never blocks regeneration.
+        """
+        path = self.path_for(spec)
+        if not path.exists():
+            return None
+        try:
+            with np.load(path) as data:
+                indices = np.ascontiguousarray(data["indices"], dtype=INDEX_DTYPE)
+                values = np.ascontiguousarray(data["values"], dtype=VALUE_DTYPE)
+                shape = tuple(int(s) for s in data["shape"])
+        except (OSError, KeyError, ValueError):
+            path.unlink(missing_ok=True)
+            return None
+        if shape != tuple(spec.shape):
+            path.unlink(missing_ok=True)
+            return None
+        return CooTensor(indices, values, shape, validate=False)
+
+    def put(self, spec: ScenarioSpec, tensor: CooTensor) -> Path:
+        """Store ``tensor`` under ``spec``'s hash and update the manifest."""
+        if tuple(tensor.shape) != tuple(spec.shape):
+            raise ValidationError(
+                f"tensor shape {tensor.shape} does not match spec shape "
+                f"{spec.shape}")
+        self.root.mkdir(parents=True, exist_ok=True)
+        key = spec.spec_hash()
+        path = self.root / f"{key}.npz"
+        # the tmp name must keep the .npz suffix or np.savez appends one
+        tmp = path.with_name(f".{path.stem}.tmp.npz")
+        np.savez_compressed(
+            tmp,
+            indices=tensor.indices,
+            values=tensor.values,
+            shape=np.asarray(tensor.shape, dtype=np.int64),
+        )
+        os.replace(tmp, path)
+
+        manifest = self.manifest()
+        manifest[key] = {
+            "spec": spec.canonical(),
+            "name": spec.name,
+            "file": path.name,
+            "shape": list(tensor.shape),
+            "nnz": tensor.nnz,
+        }
+        self._write_manifest(manifest)
+        return path
+
+    def clear(self) -> int:
+        """Delete all cache entries; returns the number of tensors removed."""
+        if not self.root.exists():
+            return 0
+        removed = 0
+        for path in self.root.glob("*.npz"):
+            path.unlink()
+            removed += 1
+        self.manifest_path.unlink(missing_ok=True)
+        return removed
+
+
+def materialize(spec_like, cache: ScenarioCache | None = None, *,
+                scale: float = 1.0, seed: int | None = None) -> CooTensor:
+    """Parse, (optionally) rescale/reseed, and generate a scenario.
+
+    With a ``cache``, a previously materialized identical spec is loaded
+    from disk and the generator is not invoked at all.
+    """
+    spec = parse_spec(spec_like)
+    if scale != 1.0:
+        spec = spec.with_scale(scale)
+    if seed is not None:
+        spec = spec.with_seed(seed)
+    if cache is not None:
+        hit = cache.get(spec)
+        if hit is not None:
+            return hit
+    tensor = materialize_spec(spec)
+    if cache is not None:
+        cache.put(spec, tensor)
+    return tensor

@@ -1,0 +1,206 @@
+"""Command-line interface for the scenario subsystem.
+
+Usage::
+
+    python -m repro.scenarios list
+    python -m repro.scenarios show power_law
+    python -m repro.scenarios materialize '{"generator": "kronecker_graph",
+        "shape": [512, 512, 512], "nnz": 20000, "seed": 1}' --stats
+    python -m repro.scenarios materialize @scenario.json --out tensor.tns
+    python -m repro.scenarios suite imbalance_sweep --stats --scale 0.5
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.analysis.loadbalance import load_balance_report
+from repro.scenarios.cache import ScenarioCache, materialize
+from repro.scenarios.registry import generator_names, get_generator
+from repro.scenarios.spec import parse_spec, scenario_names
+from repro.scenarios.suites import get_suite, iter_suite, suite_names
+from repro.tensor.coo import CooTensor
+from repro.tensor.stats import mode_stats
+from repro.util.errors import ReproError
+
+__all__ = ["main"]
+
+
+def _format_table(rows: list[dict]) -> str:
+    from repro.experiments.common import format_table
+
+    return format_table(rows)
+
+
+def _stats_row(name: str, tensor: CooTensor) -> dict:
+    ms = mode_stats(tensor, 0)
+    lb = load_balance_report(tensor, 0)
+    return {
+        "scenario": name,
+        "shape": "x".join(str(s) for s in tensor.shape),
+        "nnz": tensor.nnz,
+        "density": tensor.density,
+        "S": ms.num_slices,
+        "F": ms.num_fibers,
+        "stdev nnz/slc": round(ms.nnz_per_slice_std, 1),
+        "stdev nnz/fbr": round(ms.nnz_per_fiber_std, 1),
+        "singleton fbr": round(ms.singleton_fiber_fraction, 2),
+        "slc imbalance": round(lb.slice_imbalance, 2),
+    }
+
+
+def _make_cache(args) -> ScenarioCache | None:
+    if args.cache_dir:
+        return ScenarioCache(args.cache_dir)
+    if args.cache:
+        return ScenarioCache()
+    return None
+
+
+def _cmd_list(args) -> int:
+    print("generators:")
+    for name in generator_names():
+        gen = get_generator(name)
+        params = ", ".join(p.name for p in gen.params) or "(none)"
+        print(f"  {name:<20} {gen.description}")
+        print(f"  {'':<20} params: {params}")
+    print()
+    print("suites:")
+    for name in suite_names():
+        suite = get_suite(name)
+        print(f"  {name:<20} [{len(suite.specs())} scenarios] {suite.description}")
+    named = scenario_names()
+    if named:
+        print()
+        print(f"named scenarios ({len(named)}): {', '.join(named)}")
+    return 0
+
+
+def _cmd_show(args) -> int:
+    gen = get_generator(args.generator)
+    print(f"{gen.name} (version {gen.version}, min order {gen.min_order})")
+    print(f"  {gen.description}")
+    if not gen.params:
+        print("  no parameters")
+        return 0
+    rows = []
+    for p in gen.params:
+        rows.append({
+            "param": p.name,
+            "type": p.kind.__name__ + ("?" if p.allow_none else ""),
+            "default": "(required)" if p.required else repr(p.default),
+            "bounds": f"[{p.minimum}, {p.maximum}]"
+                      if p.minimum is not None or p.maximum is not None else "",
+            "doc": p.doc,
+        })
+    print(_format_table(rows))
+    return 0
+
+
+def _read_spec_argument(text: str):
+    if text.startswith("@"):
+        with open(text[1:], encoding="utf-8") as fh:
+            return fh.read()
+    return text
+
+
+def _cmd_materialize(args) -> int:
+    # apply --scale/--seed up front so the printed hash is the effective
+    # content address (the one the cache files are named by)
+    spec = parse_spec(_read_spec_argument(args.spec))
+    if args.scale != 1.0:
+        spec = spec.with_scale(args.scale)
+    if args.seed is not None:
+        spec = spec.with_seed(args.seed)
+    cache = _make_cache(args)
+    tensor = materialize(spec, cache)
+    print(f"{spec.display_name()}: {tensor!r}  (hash {spec.spec_hash()[:16]})")
+    if args.stats:
+        print(_format_table([_stats_row(spec.display_name(), tensor)]))
+    if args.out:
+        from repro.tensor.io import write_tns
+
+        write_tns(tensor, args.out)
+        print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_suite(args) -> int:
+    cache = _make_cache(args)
+    rows = []
+    for name, tensor in iter_suite(args.suite, scale=args.scale,
+                                   seed=args.seed, cache=cache):
+        if args.stats:
+            rows.append(_stats_row(name, tensor))
+        else:
+            rows.append({"scenario": name,
+                         "shape": "x".join(str(s) for s in tensor.shape),
+                         "nnz": tensor.nnz})
+    print(_format_table(rows))
+    return 0
+
+
+def _add_cache_options(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("--cache", action="store_true",
+                     help="cache materialized tensors in the default cache dir")
+    sub.add_argument("--cache-dir", default=None,
+                     help="cache materialized tensors in this directory")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-scenarios",
+        description="List, inspect and materialize synthetic workloads")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list generators, suites and named scenarios")
+
+    show = sub.add_parser("show", help="show one generator's parameter schema")
+    show.add_argument("generator")
+
+    mat = sub.add_parser("materialize",
+                         help="generate a tensor from an inline JSON spec "
+                              "or @spec-file")
+    mat.add_argument("spec", help='JSON spec, or "@path/to/spec.json"')
+    mat.add_argument("--scale", type=float, default=1.0,
+                     help="multiply the spec's nonzero budget")
+    mat.add_argument("--seed", type=int, default=None,
+                     help="override the spec's seed")
+    mat.add_argument("--stats", action="store_true",
+                     help="print structural statistics (mode 0)")
+    mat.add_argument("--out", default=None,
+                     help="write the tensor to this .tns file")
+    _add_cache_options(mat)
+
+    suite = sub.add_parser("suite", help="materialize every scenario of a suite")
+    suite.add_argument("suite")
+    suite.add_argument("--scale", type=float, default=1.0)
+    suite.add_argument("--seed", type=int, default=None)
+    suite.add_argument("--stats", action="store_true",
+                       help="print structural statistics (mode 0)")
+    _add_cache_options(suite)
+
+    return parser
+
+
+_COMMANDS = {
+    "list": _cmd_list,
+    "show": _cmd_show,
+    "materialize": _cmd_materialize,
+    "suite": _cmd_suite,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,267 @@
+"""Built-in workload generators.
+
+Each generator synthesizes a different *structural regime* of sparse
+tensor, chosen to stress a different part of the simulator and the format
+stack:
+
+* ``power_law`` — the paper's FROSTT/HaTen2 regime (skewed slices/fibers,
+  singleton tails); a port of :func:`repro.tensor.random_gen.power_law_tensor`.
+* ``uniform`` — unstructured background noise; the best case for plain COO
+  and the worst case for slice-level reuse.
+* ``block_community`` — clustered community blocks (optionally bipartite /
+  off-diagonal), the regime of social / co-occurrence tensors where
+  nonzeros concentrate in dense diagonal blocks.
+* ``banded_temporal`` — a time mode correlated with the entity mode, so
+  nonzeros form a diagonal band (event logs, sensor streams).
+* ``kronecker_graph`` — stochastic-Kronecker (R-MAT style) self-similar
+  skew on every mode simultaneously.
+* ``uniform_background`` — a uniform background plus a small set of
+  extremely heavy slices and fibers (the darpa-style outlier mixture).
+
+All generators draw randomness exclusively from the supplied ``rng`` and
+merge duplicate coordinates, so the returned ``nnz`` is close to (never
+above) the requested budget.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.scenarios.registry import Param, register_generator
+from repro.tensor.coo import CooTensor, INDEX_DTYPE, VALUE_DTYPE
+from repro.tensor.random_gen import PowerLawSpec, power_law_tensor, random_coo
+from repro.util.errors import DimensionError
+
+__all__ = []  # generators are reached through the registry, not imports
+
+
+def _values(rng: np.random.Generator, n: int) -> np.ndarray:
+    """Nonzero values in (0.1, 1.0], matching the power-law generator."""
+    return rng.uniform(0.1, 1.0, size=n).astype(VALUE_DTYPE)
+
+
+def _finish(indices: list[np.ndarray], values: np.ndarray,
+            shape: tuple[int, ...]) -> CooTensor:
+    return CooTensor(np.column_stack(indices), values, shape,
+                     validate=False, sum_duplicates=True)
+
+
+def _zipf_weights(n: int, alpha: float) -> np.ndarray:
+    """Categorical Zipf weights ``p_rank ∝ (rank + 1)^-alpha`` over ``n`` ids."""
+    w = np.power(np.arange(1, n + 1, dtype=np.float64), -float(alpha))
+    return w / w.sum()
+
+
+# --------------------------------------------------------------------- #
+# power_law (port of repro.tensor.random_gen)
+# --------------------------------------------------------------------- #
+@register_generator(
+    "power_law",
+    description="FROSTT-style skew: Zipf fiber sizes, Zipf slice popularity, "
+                "optional heavy-slice spikes and singleton-fiber tails",
+    params=(
+        Param("fiber_alpha", float, 2.5, minimum=1.01,
+              doc="Zipf exponent of nonzeros per fiber (small = heavy fibers)"),
+        Param("max_fiber_nnz", int, None, minimum=1, allow_none=True,
+              doc="cap on nonzeros per fiber (None = last mode size)"),
+        Param("slice_alpha", float, 1.8, minimum=0.0,
+              doc="Zipf exponent of slice popularity"),
+        Param("num_heavy_slices", int, 0, minimum=0,
+              doc="slices that absorb heavy_slice_fraction of all fibers"),
+        Param("heavy_slice_fraction", float, 0.0, minimum=0.0, maximum=1.0,
+              doc="fraction of fibers forced into the heavy slices"),
+        Param("singleton_fiber_fraction", float, 0.0, minimum=0.0, maximum=1.0,
+              doc="fraction of the nnz budget emitted as singleton fibers"),
+    ),
+)
+def _gen_power_law(shape, nnz, rng, *, fiber_alpha, max_fiber_nnz, slice_alpha,
+                   num_heavy_slices, heavy_slice_fraction,
+                   singleton_fiber_fraction) -> CooTensor:
+    spec = PowerLawSpec(
+        shape=shape,
+        nnz=nnz,
+        fiber_alpha=fiber_alpha,
+        max_fiber_nnz=max_fiber_nnz,
+        slice_alpha=slice_alpha,
+        num_heavy_slices=num_heavy_slices,
+        heavy_slice_fraction=heavy_slice_fraction,
+        singleton_fiber_fraction=singleton_fiber_fraction,
+    )
+    return power_law_tensor(spec, rng)
+
+
+# --------------------------------------------------------------------- #
+# uniform
+# --------------------------------------------------------------------- #
+@register_generator(
+    "uniform",
+    description="unstructured uniform noise (every coordinate equally likely)",
+    params=(
+        Param("value_low", float, -1.0, doc="lower bound of the value range"),
+        Param("value_high", float, 1.0, doc="upper bound of the value range"),
+    ),
+)
+def _gen_uniform(shape, nnz, rng, *, value_low, value_high) -> CooTensor:
+    lo, hi = sorted((value_low, value_high))
+    return random_coo(shape, nnz, rng, value_low=lo, value_high=hi)
+
+
+# --------------------------------------------------------------------- #
+# block_community
+# --------------------------------------------------------------------- #
+@register_generator(
+    "block_community",
+    description="community structure: nonzeros cluster in aligned (or "
+                "bipartite-shifted) blocks over a uniform background",
+    params=(
+        Param("num_blocks", int, 8, minimum=1,
+              doc="communities per mode (clipped to the shortest mode)"),
+        Param("within_fraction", float, 0.85, minimum=0.0, maximum=1.0,
+              doc="fraction of nonzeros that land inside a community block"),
+        Param("block_alpha", float, 1.0, minimum=0.0,
+              doc="Zipf exponent of community popularity (0 = even blocks)"),
+        Param("bipartite", bool, False,
+              doc="shift each mode's block by its mode index (off-diagonal "
+                  "blocks, bipartite-like structure)"),
+    ),
+)
+def _gen_block_community(shape, nnz, rng, *, num_blocks, within_fraction,
+                         block_alpha, bipartite) -> CooTensor:
+    num_blocks = int(min(num_blocks, min(shape)))
+    n_in = int(round(within_fraction * nnz))
+    n_bg = nnz - n_in
+
+    cols: list[np.ndarray] = []
+    community = rng.choice(num_blocks, size=n_in,
+                           p=_zipf_weights(num_blocks, block_alpha))
+    for m, dim in enumerate(shape):
+        block = (community + m) % num_blocks if bipartite else community
+        # block b of a size-`dim` mode covers [b*dim//B, (b+1)*dim//B); with
+        # B <= min(shape) every block holds at least one index.
+        lo = (block * dim) // num_blocks
+        hi = ((block + 1) * dim) // num_blocks
+        inside = lo + rng.integers(0, hi - lo, dtype=INDEX_DTYPE)
+        background = rng.integers(0, dim, size=n_bg, dtype=INDEX_DTYPE)
+        cols.append(np.concatenate([inside.astype(INDEX_DTYPE), background]))
+    return _finish(cols, _values(rng, nnz), shape)
+
+
+# --------------------------------------------------------------------- #
+# banded_temporal
+# --------------------------------------------------------------------- #
+@register_generator(
+    "banded_temporal",
+    description="time-mode tensor whose last mode tracks the first: "
+                "nonzeros form a diagonal band (event-log structure)",
+    params=(
+        Param("bandwidth", float, 0.05, minimum=0.0, maximum=1.0,
+              doc="band half-width as a fraction of the time-mode length"),
+        Param("drift", float, 1.0, minimum=0.0,
+              doc="slope of the band: entity position -> time center"),
+        Param("entity_alpha", float, 0.8, minimum=0.0,
+              doc="Zipf exponent of entity (mode-0) popularity"),
+        Param("wrap", bool, True,
+              doc="wrap the band around the time mode instead of clipping"),
+    ),
+)
+def _gen_banded_temporal(shape, nnz, rng, *, bandwidth, drift, entity_alpha,
+                         wrap) -> CooTensor:
+    if len(shape) < 2:
+        raise DimensionError("banded_temporal needs at least 2 modes")
+    time_dim = shape[-1]
+    entity_dim = shape[0]
+
+    entities = rng.choice(entity_dim, size=nnz,
+                          p=_zipf_weights(entity_dim, entity_alpha))
+    centers = (entities.astype(np.float64) / entity_dim) * drift * time_dim
+    # bandwidth = 0 is a legitimate request for a perfectly diagonal band
+    jitter = rng.normal(0.0, bandwidth * time_dim, size=nnz)
+    times = np.rint(centers + jitter).astype(np.int64)
+    if wrap:
+        times %= time_dim
+    else:
+        times = np.clip(times, 0, time_dim - 1)
+
+    cols = [entities.astype(INDEX_DTYPE)]
+    cols += [rng.integers(0, shape[m], size=nnz, dtype=INDEX_DTYPE)
+             for m in range(1, len(shape) - 1)]
+    cols.append(times.astype(INDEX_DTYPE))
+    return _finish(cols, _values(rng, nnz), shape)
+
+
+# --------------------------------------------------------------------- #
+# kronecker_graph
+# --------------------------------------------------------------------- #
+@register_generator(
+    "kronecker_graph",
+    description="stochastic-Kronecker (R-MAT) recursion: self-similar skew "
+                "on every mode simultaneously",
+    params=(
+        Param("corner", float, 4.0, minimum=0.5,
+              doc="weight of the all-zeros initiator cell relative to decay"),
+        Param("decay", float, 0.45, minimum=0.01, maximum=1.0,
+              doc="per-set-bit multiplicative penalty of an initiator cell"),
+    ),
+)
+def _gen_kronecker(shape, nnz, rng, *, corner, decay) -> CooTensor:
+    order = len(shape)
+    num_cells = 1 << order
+    # initiator weight of a cell = corner * decay^popcount(cell); larger
+    # corner / smaller decay concentrate nonzeros toward low indices.
+    popcount = np.array([bin(c).count("1") for c in range(num_cells)],
+                        dtype=np.float64)
+    weights = float(corner) * np.power(float(decay), popcount)
+    weights /= weights.sum()
+
+    bits = [max(1, int(np.ceil(np.log2(max(2, dim))))) for dim in shape]
+    levels = max(bits)
+    idx = [np.zeros(nnz, dtype=np.int64) for _ in range(order)]
+    for level in range(levels):
+        cells = rng.choice(num_cells, size=nnz, p=weights)
+        for m in range(order):
+            if level < bits[m]:
+                idx[m] = (idx[m] << 1) | ((cells >> m) & 1)
+    cols = [(idx[m] % shape[m]).astype(INDEX_DTYPE) for m in range(order)]
+    return _finish(cols, _values(rng, nnz), shape)
+
+
+# --------------------------------------------------------------------- #
+# uniform_background
+# --------------------------------------------------------------------- #
+@register_generator(
+    "uniform_background",
+    description="uniform background plus a few extremely heavy slices and "
+                "fibers (darpa-style outlier mixture)",
+    params=(
+        Param("outlier_fraction", float, 0.3, minimum=0.0, maximum=1.0,
+              doc="fraction of the nnz budget concentrated in outliers"),
+        Param("num_heavy_slices", int, 2, minimum=1,
+              doc="number of mode-0 slices that receive the outliers"),
+        Param("heavy_fiber_fraction", float, 0.5, minimum=0.0, maximum=1.0,
+              doc="fraction of outliers further concentrated in heavy fibers"),
+        Param("num_heavy_fibers", int, 4, minimum=1,
+              doc="number of heavy (slice, mode-1) fiber prefixes"),
+    ),
+)
+def _gen_uniform_background(shape, nnz, rng, *, outlier_fraction,
+                            num_heavy_slices, heavy_fiber_fraction,
+                            num_heavy_fibers) -> CooTensor:
+    n_out = int(round(outlier_fraction * nnz))
+
+    # start fully uniform; the first n_out rows are then redirected into the
+    # heavy slices / fibers while the tail stays background noise
+    cols = [rng.integers(0, dim, size=nnz, dtype=INDEX_DTYPE) for dim in shape]
+
+    if n_out:
+        num_heavy_slices = int(min(num_heavy_slices, shape[0]))
+        heavy_slices = rng.choice(shape[0], size=num_heavy_slices, replace=False)
+        cols[0][:n_out] = heavy_slices[rng.integers(0, num_heavy_slices,
+                                                    size=n_out)]
+        n_fib = int(round(heavy_fiber_fraction * n_out))
+        if n_fib and len(shape) >= 2:
+            num_heavy_fibers = int(min(num_heavy_fibers, shape[1]))
+            fiber_cols = rng.choice(shape[1], size=num_heavy_fibers,
+                                    replace=False)
+            cols[1][:n_fib] = fiber_cols[rng.integers(0, num_heavy_fibers,
+                                                      size=n_fib)]
+    return _finish(cols, _values(rng, nnz), shape)

@@ -1,0 +1,210 @@
+"""Generator registry: named parametric workload generators.
+
+A *generator* is a function that turns ``(shape, nnz, rng, **params)`` into
+a :class:`~repro.tensor.coo.CooTensor`.  Generators self-register under a
+name together with a typed parameter schema (:class:`Param`), so scenario
+specs can be validated before any data is produced and the canonical spec
+hash (used by the on-disk cache) covers exactly the inputs that determine
+the output.
+
+Determinism contract: a generator must consume randomness only through the
+``rng`` argument it is given, so the same ``(shape, nnz, seed, params)``
+always yields a bit-identical tensor.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Mapping
+
+from repro.tensor.coo import CooTensor
+from repro.util.errors import DimensionError, ValidationError
+from repro.util.prng import default_rng
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (spec imports us)
+    from repro.scenarios.spec import ScenarioSpec
+
+__all__ = [
+    "Param",
+    "Generator",
+    "register_generator",
+    "get_generator",
+    "generator_names",
+    "materialize_spec",
+]
+
+#: sentinel for "no default: the parameter must be supplied"
+_REQUIRED = object()
+
+
+@dataclass(frozen=True)
+class Param:
+    """One entry of a generator's parameter schema.
+
+    ``kind`` is the Python type the value is coerced to (``int``, ``float``,
+    ``bool`` or ``str``); ``minimum`` / ``maximum`` are inclusive bounds for
+    the numeric kinds.  ``allow_none`` admits ``None`` (e.g. "no cap").
+    """
+
+    name: str
+    kind: type
+    default: object = _REQUIRED
+    minimum: float | None = None
+    maximum: float | None = None
+    allow_none: bool = False
+    doc: str = ""
+
+    @property
+    def required(self) -> bool:
+        return self.default is _REQUIRED
+
+    def coerce(self, value: object) -> object:
+        """Validate and normalize one value, raising :class:`ValidationError`."""
+        if value is None:
+            if self.allow_none:
+                return None
+            raise ValidationError(f"parameter {self.name!r} must not be None")
+        if self.kind is bool:
+            if not isinstance(value, bool):
+                raise ValidationError(
+                    f"parameter {self.name!r} expects a bool, got {value!r}")
+            return value
+        if self.kind is int:
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise ValidationError(
+                    f"parameter {self.name!r} expects an int, got {value!r}")
+            if isinstance(value, float) and not value.is_integer():
+                raise ValidationError(
+                    f"parameter {self.name!r} expects an int, got {value!r}")
+            value = int(value)
+        elif self.kind is float:
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise ValidationError(
+                    f"parameter {self.name!r} expects a number, got {value!r}")
+            value = float(value)
+            if not math.isfinite(value):
+                raise ValidationError(
+                    f"parameter {self.name!r} must be finite, got {value!r}")
+        elif self.kind is str:
+            if not isinstance(value, str):
+                raise ValidationError(
+                    f"parameter {self.name!r} expects a string, got {value!r}")
+        if self.minimum is not None and value < self.minimum:
+            raise ValidationError(
+                f"parameter {self.name!r} must be >= {self.minimum}, got {value}")
+        if self.maximum is not None and value > self.maximum:
+            raise ValidationError(
+                f"parameter {self.name!r} must be <= {self.maximum}, got {value}")
+        return value
+
+
+@dataclass(frozen=True)
+class Generator:
+    """A registered workload generator."""
+
+    name: str
+    fn: Callable[..., CooTensor]
+    description: str
+    params: tuple[Param, ...] = ()
+    min_order: int = 3
+    #: bumped when the generator's output changes for the same inputs, so
+    #: stale cache entries are not served.
+    version: int = 1
+
+    def param(self, name: str) -> Param:
+        for p in self.params:
+            if p.name == name:
+                return p
+        raise KeyError(name)
+
+    def validate_params(self, params: Mapping[str, object] | None) -> dict:
+        """Return a fully-defaulted, coerced parameter dict.
+
+        Unknown names, missing required parameters, type mismatches and
+        bound violations all raise :class:`ValidationError`.
+        """
+        params = dict(params or {})
+        known = {p.name for p in self.params}
+        unknown = sorted(set(params) - known)
+        if unknown:
+            raise ValidationError(
+                f"generator {self.name!r} does not accept parameter(s) "
+                f"{', '.join(map(repr, unknown))}; known: "
+                f"{', '.join(sorted(known)) or '(none)'}")
+        out: dict[str, object] = {}
+        for p in self.params:
+            if p.name in params:
+                out[p.name] = p.coerce(params[p.name])
+            elif p.required:
+                raise ValidationError(
+                    f"generator {self.name!r} requires parameter {p.name!r}")
+            else:
+                out[p.name] = p.default
+        return out
+
+    def generate(self, shape: tuple[int, ...], nnz: int,
+                 rng=None, **params) -> CooTensor:
+        """Validate inputs and run the generator."""
+        shape = tuple(int(s) for s in shape)
+        if len(shape) < self.min_order:
+            raise DimensionError(
+                f"generator {self.name!r} needs order >= {self.min_order} "
+                f"tensors, got shape {shape}")
+        if any(s <= 0 for s in shape):
+            raise DimensionError(f"all mode sizes must be positive, got {shape}")
+        nnz = int(nnz)
+        if nnz < 0:
+            raise ValidationError(f"nnz must be non-negative, got {nnz}")
+        full = self.validate_params(params)
+        rng = default_rng(rng)
+        if nnz == 0:
+            return CooTensor.empty(shape)
+        return self.fn(shape, nnz, rng, **full)
+
+
+#: name -> Generator
+_GENERATORS: dict[str, Generator] = {}
+
+
+def register_generator(name: str, *, description: str,
+                       params: tuple[Param, ...] = (),
+                       min_order: int = 3, version: int = 1,
+                       overwrite: bool = False):
+    """Decorator registering ``fn`` as generator ``name``."""
+
+    def decorator(fn: Callable[..., CooTensor]) -> Callable[..., CooTensor]:
+        if name in _GENERATORS and not overwrite:
+            raise ValidationError(f"generator {name!r} is already registered")
+        _GENERATORS[name] = Generator(
+            name=name, fn=fn, description=description, params=tuple(params),
+            min_order=min_order, version=version,
+        )
+        return fn
+
+    return decorator
+
+
+def get_generator(name: str) -> Generator:
+    try:
+        return _GENERATORS[name]
+    except KeyError:
+        raise ValidationError(
+            f"unknown generator {name!r}; available: "
+            f"{', '.join(sorted(_GENERATORS)) or '(none)'}"
+        ) from None
+
+
+def generator_names() -> list[str]:
+    return sorted(_GENERATORS)
+
+
+def materialize_spec(spec: "ScenarioSpec") -> CooTensor:
+    """Generate the tensor described by ``spec`` (no caching).
+
+    The RNG is seeded from ``spec.seed`` (``None`` uses the package-wide
+    default seed), so materializing the same spec twice is bit-identical.
+    """
+    gen = get_generator(spec.generator)
+    rng = default_rng(spec.seed)
+    return gen.generate(spec.shape, spec.nnz, rng, **spec.params_dict())

@@ -1,0 +1,234 @@
+"""Scenario specs: declarative descriptions of one synthetic workload.
+
+A :class:`ScenarioSpec` pins down everything that determines a generated
+tensor: the generator name, shape, nonzero budget, generator parameters and
+the seed.  Specs parse from plain dicts / JSON strings (the CLI and
+experiment drivers accept either), canonicalize to a stable JSON form, and
+hash to a content address used by :mod:`repro.scenarios.cache`.
+
+Named specs can also be registered (``register_scenario``) so experiments
+can refer to e.g. the 12 paper datasets by name through the same machinery.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, replace
+from typing import Mapping
+
+from repro.scenarios.registry import get_generator
+from repro.util.errors import ValidationError
+
+__all__ = [
+    "ScenarioSpec",
+    "parse_spec",
+    "register_scenario",
+    "get_scenario",
+    "scenario_names",
+]
+
+#: keys admitted in a spec dict ("scale" is folded into nnz at parse time)
+_SPEC_KEYS = {"generator", "shape", "nnz", "params", "seed", "scale", "name",
+              "min_nnz"}
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Fully-validated description of one synthetic tensor.
+
+    ``params`` is stored as a name-sorted tuple of pairs so the spec is
+    hashable and its canonical form does not depend on insertion order.
+    ``min_nnz`` is the floor :meth:`with_scale` clamps to (the legacy
+    dataset recipes use 64); it does not enter the content hash because
+    generation depends only on the effective ``nnz``.
+    """
+
+    generator: str
+    shape: tuple[int, ...]
+    nnz: int
+    params: tuple[tuple[str, object], ...] = ()
+    seed: int | None = None
+    name: str | None = None
+    min_nnz: int = 1
+
+    def params_dict(self) -> dict[str, object]:
+        return dict(self.params)
+
+    # ------------------------------------------------------------------ #
+    # derivation helpers
+    # ------------------------------------------------------------------ #
+    def with_nnz(self, nnz: int) -> "ScenarioSpec":
+        return replace(self, nnz=int(nnz))
+
+    def with_seed(self, seed: int | None) -> "ScenarioSpec":
+        return replace(self, seed=None if seed is None else int(seed))
+
+    def with_scale(self, scale: float, *, floor: int | None = None,
+                   ) -> "ScenarioSpec":
+        """Return a copy whose nonzero budget is multiplied by ``scale``,
+        clamped below at ``floor`` (defaults to ``self.min_nnz``)."""
+        if scale <= 0:
+            raise ValidationError(f"scale must be positive, got {scale}")
+        if scale == 1.0:
+            return self
+        floor = self.min_nnz if floor is None else int(floor)
+        return self.with_nnz(max(floor, int(round(self.nnz * scale))))
+
+    def with_name(self, name: str) -> "ScenarioSpec":
+        return replace(self, name=str(name))
+
+    # ------------------------------------------------------------------ #
+    # canonical form / content address
+    # ------------------------------------------------------------------ #
+    def canonical(self) -> dict:
+        """Canonical dict: defaulted params, generator version, no name.
+
+        The display ``name`` is deliberately excluded — two specs that
+        generate the same data share a cache entry regardless of label.
+        """
+        gen = get_generator(self.generator)
+        return {
+            "generator": self.generator,
+            "version": gen.version,
+            "shape": list(self.shape),
+            "nnz": self.nnz,
+            "seed": self.seed,
+            "params": dict(sorted(gen.validate_params(self.params_dict()).items())),
+        }
+
+    def canonical_json(self) -> str:
+        return json.dumps(self.canonical(), sort_keys=True, separators=(",", ":"))
+
+    def spec_hash(self) -> str:
+        """SHA-256 hex digest of the canonical JSON form."""
+        return hashlib.sha256(self.canonical_json().encode("utf-8")).hexdigest()
+
+    def display_name(self) -> str:
+        return self.name or f"{self.generator}:{self.spec_hash()[:10]}"
+
+
+def parse_spec(obj: "ScenarioSpec | Mapping | str") -> ScenarioSpec:
+    """Parse and validate a scenario spec.
+
+    Accepts an existing :class:`ScenarioSpec` (validated and returned
+    as-is), a dict like ``{"generator": "power_law", "shape": [100, 100,
+    100], "nnz": 5000, "params": {...}, "scale": 0.5, "seed": 7}``, or a
+    JSON string encoding such a dict.  All failure modes raise
+    :class:`~repro.util.errors.ValidationError`.
+    """
+    if isinstance(obj, ScenarioSpec):
+        _validate_fields(obj)
+        return obj
+    if isinstance(obj, str):
+        try:
+            obj = json.loads(obj)
+        except json.JSONDecodeError as exc:
+            raise ValidationError(f"scenario spec is not valid JSON: {exc}") from None
+    if not isinstance(obj, Mapping):
+        raise ValidationError(
+            f"scenario spec must be a dict or JSON object, got {type(obj).__name__}")
+
+    unknown = sorted(set(obj) - _SPEC_KEYS)
+    if unknown:
+        raise ValidationError(
+            f"unknown spec key(s) {', '.join(map(repr, unknown))}; "
+            f"allowed: {', '.join(sorted(_SPEC_KEYS))}")
+    if "generator" not in obj:
+        raise ValidationError('scenario spec needs a "generator" key')
+
+    generator = obj["generator"]
+    if not isinstance(generator, str):
+        raise ValidationError(f"generator name must be a string, got {generator!r}")
+
+    shape = obj.get("shape")
+    if shape is None:
+        raise ValidationError('scenario spec needs a "shape" key')
+    try:
+        shape = tuple(int(s) for s in shape)
+    except (TypeError, ValueError):
+        raise ValidationError(f"shape must be a sequence of ints, got {shape!r}") from None
+
+    nnz = obj.get("nnz")
+    if nnz is None:
+        raise ValidationError('scenario spec needs an "nnz" key')
+    if isinstance(nnz, bool) or not isinstance(nnz, int):
+        raise ValidationError(f"nnz must be an int, got {nnz!r}")
+
+    params = obj.get("params") or {}
+    if not isinstance(params, Mapping):
+        raise ValidationError(f"params must be a dict, got {params!r}")
+
+    seed = obj.get("seed")
+    if seed is not None and (isinstance(seed, bool) or not isinstance(seed, int)):
+        raise ValidationError(f"seed must be an int or null, got {seed!r}")
+
+    name = obj.get("name")
+    if name is not None and not isinstance(name, str):
+        raise ValidationError(f"name must be a string, got {name!r}")
+
+    min_nnz = obj.get("min_nnz", 1)
+    if isinstance(min_nnz, bool) or not isinstance(min_nnz, int) or min_nnz < 1:
+        raise ValidationError(f"min_nnz must be a positive int, got {min_nnz!r}")
+
+    spec = ScenarioSpec(
+        generator=generator,
+        shape=shape,
+        nnz=nnz,
+        params=tuple(sorted(params.items())),
+        seed=seed,
+        name=name,
+        min_nnz=min_nnz,
+    )
+    _validate_fields(spec)
+
+    scale = obj.get("scale", 1.0)
+    if isinstance(scale, bool) or not isinstance(scale, (int, float)):
+        raise ValidationError(f"scale must be a number, got {scale!r}")
+    if scale != 1.0:
+        spec = spec.with_scale(float(scale))
+    return spec
+
+
+def _validate_fields(spec: ScenarioSpec) -> None:
+    """Structural validation shared by every parse path."""
+    gen = get_generator(spec.generator)  # raises for unknown generators
+    if len(spec.shape) < gen.min_order:
+        raise ValidationError(
+            f"generator {spec.generator!r} needs order >= {gen.min_order}, "
+            f"got shape {spec.shape}")
+    if any(s <= 0 for s in spec.shape):
+        raise ValidationError(f"all mode sizes must be positive, got {spec.shape}")
+    if spec.nnz < 0:
+        raise ValidationError(f"nnz must be non-negative, got {spec.nnz}")
+    gen.validate_params(spec.params_dict())
+
+
+# --------------------------------------------------------------------- #
+# named scenarios
+# --------------------------------------------------------------------- #
+_SCENARIOS: dict[str, ScenarioSpec] = {}
+
+
+def register_scenario(name: str, spec: "ScenarioSpec | Mapping | str",
+                      *, overwrite: bool = False) -> ScenarioSpec:
+    """Register ``spec`` under ``name`` for lookup by :func:`get_scenario`."""
+    if name in _SCENARIOS and not overwrite:
+        raise ValidationError(f"scenario {name!r} is already registered")
+    parsed = parse_spec(spec).with_name(name)
+    _SCENARIOS[name] = parsed
+    return parsed
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    try:
+        return _SCENARIOS[name]
+    except KeyError:
+        raise ValidationError(
+            f"unknown scenario {name!r}; available: "
+            f"{', '.join(sorted(_SCENARIOS)) or '(none)'}"
+        ) from None
+
+
+def scenario_names() -> list[str]:
+    return sorted(_SCENARIOS)

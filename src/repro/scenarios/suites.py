@@ -1,0 +1,179 @@
+"""Named scenario suites: curated collections of workloads.
+
+A *suite* is an ordered list of ``(name, ScenarioSpec)`` pairs built on
+demand, so experiment drivers and benchmarks can iterate a whole workload
+family (``for name, tensor in iter_suite("imbalance_sweep")``) instead of
+hard-coding dataset lists.  Built-in suites:
+
+* ``paper12`` — the 12 FROSTT/HaTen2 stand-ins of Table III, through the
+  same specs :func:`repro.tensor.datasets.load_dataset` uses;
+* ``structure_zoo`` — one representative spec per registered generator
+  family;
+* ``imbalance_sweep`` — a controlled sweep of heavy-slice concentration
+  (the paper's load-imbalance axis) at fixed shape/budget;
+* ``scaling_ladder`` — the same workload at geometrically increasing
+  nonzero budgets (tiny → large tiers, scaled to pure-Python runtimes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.scenarios.cache import ScenarioCache, materialize
+from repro.scenarios.spec import ScenarioSpec, parse_spec
+from repro.tensor.coo import CooTensor
+from repro.util.errors import ValidationError
+
+__all__ = [
+    "Suite",
+    "register_suite",
+    "get_suite",
+    "suite_names",
+    "iter_suite",
+]
+
+
+@dataclass(frozen=True)
+class Suite:
+    """A named, lazily-built collection of scenario specs."""
+
+    name: str
+    description: str
+    build: Callable[[], list[tuple[str, ScenarioSpec]]]
+
+    def specs(self) -> list[tuple[str, ScenarioSpec]]:
+        return [(name, parse_spec(spec)) for name, spec in self.build()]
+
+
+_SUITES: dict[str, Suite] = {}
+
+
+def register_suite(name: str, *, description: str, overwrite: bool = False):
+    """Decorator registering a suite-builder callable under ``name``."""
+
+    def decorator(build: Callable[[], list[tuple[str, ScenarioSpec]]]):
+        if name in _SUITES and not overwrite:
+            raise ValidationError(f"suite {name!r} is already registered")
+        _SUITES[name] = Suite(name=name, description=description, build=build)
+        return build
+
+    return decorator
+
+
+def get_suite(name: str) -> Suite:
+    try:
+        return _SUITES[name]
+    except KeyError:
+        raise ValidationError(
+            f"unknown suite {name!r}; available: "
+            f"{', '.join(sorted(_SUITES)) or '(none)'}"
+        ) from None
+
+
+def suite_names() -> list[str]:
+    return sorted(_SUITES)
+
+
+def iter_suite(name: str, *, scale: float = 1.0, seed: int | None = None,
+               cache: ScenarioCache | None = None,
+               ) -> Iterator[tuple[str, CooTensor]]:
+    """Yield ``(scenario name, tensor)`` for every entry of suite ``name``."""
+    for entry_name, spec in get_suite(name).specs():
+        yield entry_name, materialize(spec, cache, scale=scale, seed=seed)
+
+
+# --------------------------------------------------------------------- #
+# built-in suites
+# --------------------------------------------------------------------- #
+@register_suite(
+    "paper12",
+    description="the 12 Table-III dataset stand-ins (deli ... uber)",
+)
+def _paper12() -> list[tuple[str, ScenarioSpec]]:
+    # Imported lazily: datasets.py routes generation through this package,
+    # so a module-level import would be circular.
+    from repro.tensor.datasets import dataset_scenarios
+
+    return list(dataset_scenarios().items())
+
+
+@register_suite(
+    "structure_zoo",
+    description="one representative workload per generator family",
+)
+def _structure_zoo() -> list[tuple[str, ScenarioSpec]]:
+    shape, nnz = (600, 500, 700), 20_000
+    entries = [
+        ("zoo-uniform", {"generator": "uniform", "shape": shape, "nnz": nnz,
+                         "seed": 901}),
+        ("zoo-power_law", {"generator": "power_law", "shape": shape,
+                           "nnz": nnz, "seed": 902,
+                           "params": {"fiber_alpha": 1.8, "slice_alpha": 0.9,
+                                      "max_fiber_nnz": 200}}),
+        ("zoo-block_community", {"generator": "block_community", "shape": shape,
+                                 "nnz": nnz, "seed": 903,
+                                 "params": {"num_blocks": 10,
+                                            "within_fraction": 0.9}}),
+        ("zoo-bipartite", {"generator": "block_community", "shape": shape,
+                           "nnz": nnz, "seed": 904,
+                           "params": {"num_blocks": 6, "bipartite": True}}),
+        ("zoo-banded_temporal", {"generator": "banded_temporal", "shape": shape,
+                                 "nnz": nnz, "seed": 905,
+                                 "params": {"bandwidth": 0.03}}),
+        ("zoo-kronecker", {"generator": "kronecker_graph", "shape": shape,
+                           "nnz": nnz, "seed": 906}),
+        ("zoo-outliers", {"generator": "uniform_background", "shape": shape,
+                          "nnz": nnz, "seed": 907,
+                          "params": {"outlier_fraction": 0.4,
+                                     "num_heavy_slices": 3}}),
+    ]
+    return [(name, parse_spec(spec)) for name, spec in entries]
+
+
+@register_suite(
+    "imbalance_sweep",
+    description="heavy-slice concentration sweep at fixed shape and budget "
+                "(the paper's load-imbalance axis, Section IV)",
+)
+def _imbalance_sweep() -> list[tuple[str, ScenarioSpec]]:
+    shape, nnz = (800, 400, 900), 30_000
+    entries = []
+    for i, frac in enumerate((0.0, 0.15, 0.3, 0.45, 0.6)):
+        spec = parse_spec({
+            "generator": "power_law",
+            "shape": shape,
+            "nnz": nnz,
+            "seed": 2_000 + i,
+            "params": {
+                "fiber_alpha": 1.9,
+                "max_fiber_nnz": 500,
+                "slice_alpha": 0.7,
+                "num_heavy_slices": 3,
+                "heavy_slice_fraction": frac,
+            },
+        })
+        entries.append((f"heavy-{int(round(frac * 100)):02d}pct", spec))
+    return entries
+
+
+@register_suite(
+    "scaling_ladder",
+    description="the same block-community workload at geometrically "
+                "increasing nonzero budgets (tiny -> large)",
+)
+def _scaling_ladder() -> list[tuple[str, ScenarioSpec]]:
+    tiers = (("tiny", 2_000), ("small", 8_000), ("medium", 32_000),
+             ("large", 128_000))
+    entries = []
+    for tier, nnz in tiers:
+        spec = parse_spec({
+            "generator": "block_community",
+            "shape": (2_000, 1_500, 2_500),
+            "nnz": nnz,
+            "seed": 3_000,
+            "params": {"num_blocks": 12, "within_fraction": 0.8,
+                       "block_alpha": 1.2},
+        })
+        entries.append((f"ladder-{tier}", spec))
+    return entries

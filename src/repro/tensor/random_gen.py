@@ -100,6 +100,25 @@ def _zipf_sizes(rng: np.random.Generator, n: int, alpha: float, cap: int) -> np.
     return np.clip(sizes, 1, max(1, cap))
 
 
+def _expected_zipf_size(alpha: float, cap: int) -> float:
+    """Mean of a Zipf(alpha) draw clipped to ``[1, cap]``.
+
+    Computed from the exact categorical weights ``k^-alpha`` over the
+    (truncated) support, with the tail mass beyond the truncation point
+    attributed to ``cap`` — which only overestimates the mean, i.e. makes
+    batch sizing conservative.
+    """
+    alpha = max(float(alpha), 1.01)
+    cap = max(1, int(cap))
+    support = np.arange(1, min(cap, 65_536) + 1, dtype=np.float64)
+    weights = support ** -alpha
+    head = float(weights.sum())
+    # zeta tail: sum_{k>N} k^-alpha ~ integral = N^(1-alpha) / (alpha-1)
+    tail = float(support[-1] ** (1.0 - alpha) / (alpha - 1.0))
+    mean = (float((support * weights).sum()) + tail * cap) / (head + tail)
+    return max(1.0, mean)
+
+
 def power_law_tensor(spec: PowerLawSpec,
                      rng: np.random.Generator | int | None = None) -> CooTensor:
     """Generate a :class:`CooTensor` according to ``spec``.
@@ -154,10 +173,15 @@ def _draw_fiber_sizes(rng: np.random.Generator, spec: PowerLawSpec,
         chunks.append(np.ones(singles_target, dtype=np.int64))
 
     drawn = 0
-    # Expected Zipf size is >= 1, so the batch size below overshoots only
-    # mildly; loop until the budget is covered.
+    # Size batches by the expected clipped-Zipf mean: for heavy-tailed
+    # fiber_alpha a single draw covers many nonzeros, so drawing
+    # ``remaining`` samples per iteration would over-allocate by the mean
+    # factor.  Each draw is >= 1, so ``remaining - drawn`` samples always
+    # suffice and bound the batch.
+    mean_size = _expected_zipf_size(spec.fiber_alpha, cap)
     while drawn < remaining:
-        batch = max(256, (remaining - drawn))
+        need = remaining - drawn
+        batch = min(need, max(256, int(need / mean_size * 1.1) + 16))
         sizes = _zipf_sizes(rng, batch, spec.fiber_alpha, cap)
         chunks.append(sizes)
         drawn += int(sizes.sum())
@@ -195,7 +219,8 @@ def _assign_slices(rng: np.random.Generator, spec: PowerLawSpec,
     perm = rng.permutation(num_slices)
     slice_ids = perm[ranks].astype(INDEX_DTYPE)
 
-    n_heavy = int(spec.num_heavy_slices)
+    # more heavy slices than slice ids degenerates to "all slices heavy"
+    n_heavy = min(int(spec.num_heavy_slices), num_slices)
     frac = float(spec.heavy_slice_fraction)
     if n_heavy > 0 and frac > 0.0:
         n_forced = int(round(frac * num_fibers))

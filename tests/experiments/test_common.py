@@ -4,8 +4,19 @@ from __future__ import annotations
 
 import pytest
 
-from repro.experiments.common import ExperimentResult, format_table, geometric_mean
-from repro.experiments.registry import EXPERIMENTS, main, run_experiment
+from repro.experiments.common import (
+    ExperimentResult,
+    format_table,
+    geometric_mean,
+    iter_experiment_tensors,
+    load_experiment_tensor,
+)
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    accepted_kwargs,
+    main,
+    run_experiment,
+)
 from repro.util.errors import ValidationError
 
 
@@ -60,3 +71,94 @@ class TestRegistry:
         assert rc == 0
         out = capsys.readouterr().out
         assert "table3" in out
+
+    def test_cli_routes_rank_only_where_accepted(self, capsys):
+        # table3 takes no rank; fig5 does.  Both must run from the CLI with
+        # --rank passed, via signature inspection (no exclusion list).
+        assert main(["table3", "fig5", "--scale", "0.05", "--rank", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "table3" in out and "fig5" in out
+
+
+class TestAcceptedKwargs:
+    def test_filters_to_signature(self):
+        def fn(scale=1.0, seed=None):
+            return scale
+
+        assert accepted_kwargs(fn, {"scale": 2.0, "rank": 8}) == {"scale": 2.0}
+
+    def test_var_keyword_accepts_everything(self):
+        def fn(scale=1.0, **rest):
+            return rest
+
+        kwargs = {"scale": 2.0, "rank": 8, "seed": 1}
+        assert accepted_kwargs(fn, kwargs) == kwargs
+
+    def test_every_registered_driver_accepts_its_filtered_cli_kwargs(self):
+        cli_kwargs = {"scale": 1.0, "seed": None, "rank": 32}
+        import inspect
+
+        for experiment_id, driver in EXPERIMENTS.items():
+            filtered = accepted_kwargs(driver, cli_kwargs)
+            # binding must not raise for any driver signature
+            inspect.signature(driver).bind(**filtered)
+
+
+class TestScenarioWorkloads:
+    SPEC = {"generator": "uniform", "shape": [12, 10, 14], "nnz": 200,
+            "seed": 3}
+
+    def test_load_by_dataset_name(self):
+        t = load_experiment_tensor("uber", scale=0.05)
+        assert t.order == 4
+
+    def test_load_by_spec_dict_and_json(self):
+        import json
+
+        a = load_experiment_tensor(self.SPEC)
+        b = load_experiment_tensor(json.dumps(self.SPEC))
+        assert a == b and a.shape == (12, 10, 14)
+
+    def test_load_by_registered_scenario_name(self):
+        from repro.tensor.datasets import dataset_scenarios
+
+        dataset_scenarios()
+        assert load_experiment_tensor("darpa") == load_experiment_tensor(
+            "darpa", scale=1.0)
+
+    def test_load_rejects_nonsense(self):
+        with pytest.raises(TypeError):
+            load_experiment_tensor(42)
+        with pytest.raises(ValidationError):
+            load_experiment_tensor("no-such-dataset-or-scenario")
+
+    def test_iter_suite_name(self):
+        pairs = list(iter_experiment_tensors("imbalance_sweep", scale=0.1))
+        assert len(pairs) == 5
+        assert all(t.nnz > 0 for _, t in pairs)
+        prefixed = list(iter_experiment_tensors("suite:imbalance_sweep",
+                                                scale=0.1))
+        assert [n for n, _ in prefixed] == [n for n, _ in pairs]
+
+    def test_iter_mixed_list(self):
+        pairs = dict(iter_experiment_tensors(["uber", self.SPEC], scale=0.1))
+        assert "uber" in pairs and len(pairs) == 2
+
+    def test_iter_single_spec(self):
+        pairs = list(iter_experiment_tensors(self.SPEC))
+        assert len(pairs) == 1 and pairs[0][0].startswith("uniform:")
+
+    def test_iter_json_string_gets_display_name(self):
+        import json
+
+        pairs = list(iter_experiment_tensors(json.dumps(self.SPEC)))
+        assert len(pairs) == 1 and pairs[0][0].startswith("uniform:")
+        assert "{" not in pairs[0][0]
+
+    def test_legacy_dataset_name_uses_cache(self, tmp_path):
+        from repro.scenarios import ScenarioCache
+
+        cache = ScenarioCache(tmp_path)
+        a = load_experiment_tensor("uber", scale=0.1, cache=cache)
+        assert len(cache.manifest()) == 1
+        assert load_experiment_tensor("uber", scale=0.1, cache=cache) == a

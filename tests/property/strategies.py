@@ -14,7 +14,8 @@ from hypothesis.extra import numpy as npst
 
 from repro.tensor.coo import CooTensor
 
-__all__ = ["shapes", "coo_tensors", "tensors_with_factors", "positive_ranks"]
+__all__ = ["shapes", "coo_tensors", "tensors_with_factors", "positive_ranks",
+           "scenario_specs"]
 
 
 def shapes(min_order: int = 3, max_order: int = 4, max_dim: int = 12):
@@ -44,6 +45,43 @@ def coo_tensors(draw, min_order: int = 3, max_order: int = 4,
 
 
 positive_ranks = st.integers(min_value=1, max_value=6)
+
+
+@st.composite
+def scenario_specs(draw, generator: str | None = None, max_dim: int = 40,
+                   max_nnz: int = 400):
+    """A valid :class:`~repro.scenarios.spec.ScenarioSpec` for any (or one
+    given) registered generator, with parameters drawn inside their schema
+    bounds — exercising the whole registry, not just the defaults."""
+    from repro.scenarios import ScenarioSpec, generator_names, get_generator
+
+    name = generator or draw(st.sampled_from(generator_names()))
+    gen = get_generator(name)
+    order = draw(st.integers(max(3, gen.min_order), 4))
+    shape = tuple(draw(st.lists(st.integers(2, max_dim), min_size=order,
+                                max_size=order)))
+    nnz = draw(st.integers(1, max_nnz))
+    seed = draw(st.integers(0, 2**31 - 1))
+
+    params = {}
+    for p in gen.params:
+        if not draw(st.booleans()):
+            continue  # leave at default
+        if p.allow_none and draw(st.booleans()):
+            params[p.name] = None
+        elif p.kind is bool:
+            params[p.name] = draw(st.booleans())
+        elif p.kind is int:
+            lo = int(p.minimum) if p.minimum is not None else 0
+            hi = int(p.maximum) if p.maximum is not None else lo + 16
+            params[p.name] = draw(st.integers(lo, hi))
+        elif p.kind is float:
+            lo = float(p.minimum) if p.minimum is not None else 0.0
+            hi = float(p.maximum) if p.maximum is not None else lo + 8.0
+            params[p.name] = draw(st.floats(lo, hi, allow_nan=False,
+                                            allow_infinity=False))
+    return ScenarioSpec(generator=name, shape=shape, nnz=nnz,
+                        params=tuple(sorted(params.items())), seed=seed)
 
 
 @st.composite

@@ -1,0 +1,75 @@
+"""Tests for the ``python -m repro.scenarios`` CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.scenarios.cli import main
+from repro.tensor.io import read_tns
+
+SPEC = {"generator": "uniform_background", "shape": [30, 20, 40],
+        "nnz": 400, "seed": 5}
+
+
+class TestList:
+    def test_lists_generators_and_suites(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for gen in ("power_law", "block_community", "banded_temporal",
+                    "kronecker_graph", "uniform_background"):
+            assert gen in out
+        for suite in ("paper12", "imbalance_sweep", "scaling_ladder"):
+            assert suite in out
+        assert "deli" in out  # named scenarios section
+
+
+class TestShow:
+    def test_show_schema(self, capsys):
+        assert main(["show", "power_law"]) == 0
+        out = capsys.readouterr().out
+        assert "fiber_alpha" in out and "heavy_slice_fraction" in out
+
+    def test_show_unknown_generator(self, capsys):
+        assert main(["show", "nope"]) == 2
+        assert "unknown generator" in capsys.readouterr().err
+
+
+class TestMaterialize:
+    def test_inline_json(self, capsys):
+        assert main(["materialize", json.dumps(SPEC), "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "CooTensor" in out and "stdev nnz/slc" in out
+
+    def test_spec_file_and_tns_output(self, tmp_path, capsys):
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text(json.dumps(SPEC))
+        out_file = tmp_path / "out.tns"
+        assert main(["materialize", f"@{spec_file}",
+                     "--out", str(out_file)]) == 0
+        tensor = read_tns(out_file)
+        assert tensor.shape == (30, 20, 40)
+
+    def test_cache_dir(self, tmp_path, capsys):
+        args = ["materialize", json.dumps(SPEC),
+                "--cache-dir", str(tmp_path / "c")]
+        assert main(args) == 0
+        assert main(args) == 0
+        assert (tmp_path / "c" / "manifest.json").exists()
+
+    def test_bad_spec_is_a_clean_error(self, capsys):
+        assert main(["materialize", '{"generator": "nope"}']) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestSuite:
+    def test_suite_table(self, capsys):
+        assert main(["suite", "structure_zoo", "--scale", "0.05",
+                     "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "zoo-kronecker" in out and "stdev nnz/slc" in out
+
+    def test_unknown_suite(self, capsys):
+        assert main(["suite", "nope"]) == 2
+        assert "unknown suite" in capsys.readouterr().err

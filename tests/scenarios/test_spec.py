@@ -1,0 +1,143 @@
+"""Tests for scenario-spec parsing, canonicalization and hashing."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.scenarios import (
+    ScenarioSpec,
+    get_scenario,
+    parse_spec,
+    register_scenario,
+    scenario_names,
+)
+from repro.scenarios.spec import _SCENARIOS
+from repro.util.errors import ValidationError
+
+GOOD = {"generator": "power_law", "shape": [50, 40, 60], "nnz": 1_000,
+        "seed": 7, "params": {"fiber_alpha": 2.0}}
+
+
+class TestParse:
+    def test_from_dict(self):
+        spec = parse_spec(GOOD)
+        assert spec.generator == "power_law"
+        assert spec.shape == (50, 40, 60)
+        assert spec.nnz == 1_000
+        assert spec.seed == 7
+        assert spec.params_dict() == {"fiber_alpha": 2.0}
+
+    def test_from_json_string(self):
+        assert parse_spec(json.dumps(GOOD)) == parse_spec(GOOD)
+
+    def test_spec_passthrough(self):
+        spec = parse_spec(GOOD)
+        assert parse_spec(spec) is spec
+
+    def test_scale_folds_into_nnz(self):
+        spec = parse_spec({**GOOD, "scale": 0.5})
+        assert spec.nnz == 500
+
+    def test_name_is_kept(self):
+        assert parse_spec({**GOOD, "name": "mine"}).display_name() == "mine"
+
+    def test_anonymous_display_name_uses_hash(self):
+        name = parse_spec(GOOD).display_name()
+        assert name.startswith("power_law:")
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize("mutate,match", [
+        (lambda d: d.pop("generator"), "generator"),
+        (lambda d: d.pop("shape"), "shape"),
+        (lambda d: d.pop("nnz"), "nnz"),
+        (lambda d: d.update(generator="nope"), "unknown generator"),
+        (lambda d: d.update(nnz=-5), "non-negative"),
+        (lambda d: d.update(nnz="many"), "nnz must be an int"),
+        (lambda d: d.update(shape=[10, 0, 10]), "positive"),
+        (lambda d: d.update(shape="big"), "sequence of ints"),
+        (lambda d: d.update(seed="x"), "seed"),
+        (lambda d: d.update(scale=-1.0), "scale"),
+        (lambda d: d.update(params={"bogus": 1}), "does not accept"),
+        (lambda d: d.update(params=[1, 2]), "params"),
+        (lambda d: d.update(typo=1), "unknown spec key"),
+    ])
+    def test_bad_spec(self, mutate, match):
+        bad = {k: (dict(v) if isinstance(v, dict) else v)
+               for k, v in GOOD.items()}
+        mutate(bad)
+        with pytest.raises(ValidationError, match=match):
+            parse_spec(bad)
+
+    def test_invalid_json(self):
+        with pytest.raises(ValidationError, match="not valid JSON"):
+            parse_spec("{nope")
+
+    def test_non_mapping(self):
+        with pytest.raises(ValidationError, match="dict or JSON object"):
+            parse_spec([1, 2, 3])
+
+    def test_order_below_generator_minimum(self):
+        with pytest.raises(ValidationError, match="order >="):
+            parse_spec({"generator": "power_law", "shape": [10, 10],
+                        "nnz": 10})
+
+
+class TestCanonicalHash:
+    def test_param_order_does_not_matter(self):
+        a = parse_spec({**GOOD, "params": {"fiber_alpha": 2.0,
+                                           "slice_alpha": 1.0}})
+        b = parse_spec({**GOOD, "params": {"slice_alpha": 1.0,
+                                           "fiber_alpha": 2.0}})
+        assert a.spec_hash() == b.spec_hash()
+
+    def test_defaults_are_canonicalized(self):
+        explicit = parse_spec({**GOOD, "params": {"fiber_alpha": 2.0,
+                                                  "slice_alpha": 1.8}})
+        implicit = parse_spec(GOOD)  # slice_alpha defaults to 1.8
+        assert explicit.spec_hash() == implicit.spec_hash()
+
+    def test_name_does_not_change_hash(self):
+        assert (parse_spec({**GOOD, "name": "a"}).spec_hash()
+                == parse_spec({**GOOD, "name": "b"}).spec_hash())
+
+    def test_every_generative_field_changes_hash(self):
+        base = parse_spec(GOOD)
+        assert base.with_nnz(999).spec_hash() != base.spec_hash()
+        assert base.with_seed(8).spec_hash() != base.spec_hash()
+        other_shape = parse_spec({**GOOD, "shape": [50, 40, 61]})
+        assert other_shape.spec_hash() != base.spec_hash()
+
+    def test_canonical_json_is_stable(self):
+        spec = parse_spec(GOOD)
+        assert spec.canonical_json() == spec.canonical_json()
+        assert json.loads(spec.canonical_json())["generator"] == "power_law"
+
+
+class TestDerivation:
+    def test_with_scale_floor(self):
+        spec = parse_spec(GOOD)
+        assert spec.with_scale(0.0001, floor=64).nnz == 64
+        assert spec.with_scale(2.0).nnz == 2_000
+
+    def test_with_scale_rejects_nonpositive(self):
+        with pytest.raises(ValidationError):
+            parse_spec(GOOD).with_scale(0.0)
+
+
+class TestNamedScenarios:
+    def test_register_and_get(self):
+        try:
+            spec = register_scenario("_test_scn", GOOD)
+            assert get_scenario("_test_scn") == spec
+            assert "_test_scn" in scenario_names()
+            with pytest.raises(ValidationError, match="already registered"):
+                register_scenario("_test_scn", GOOD)
+        finally:
+            _SCENARIOS.pop("_test_scn", None)
+
+    def test_unknown_scenario(self):
+        with pytest.raises(ValidationError, match="unknown scenario"):
+            get_scenario("_never_registered")

@@ -10,8 +10,10 @@ from repro.tensor.datasets import (
     PAPER_REFERENCE,
     THREE_D_DATASETS,
     dataset_names,
+    dataset_scenarios,
     load_dataset,
 )
+from repro.tensor.random_gen import power_law_tensor
 from repro.tensor.stats import mode_stats
 from repro.util.errors import ValidationError
 
@@ -58,6 +60,60 @@ class TestGeneration:
     def test_scale_must_be_positive(self):
         with pytest.raises(ValidationError):
             load_dataset("deli", scale=0.0)
+
+
+class TestScenarioRegistryPath:
+    """load_dataset now routes through repro.scenarios; the rewiring must
+    not change a single bit of any recipe's output."""
+
+    @pytest.mark.parametrize("name", ALL_DATASETS)
+    def test_bit_identical_to_direct_recipe(self, name):
+        import numpy as np
+
+        direct = power_law_tensor(DATASETS[name].spec)  # pre-refactor path
+        via_registry = load_dataset(name)
+        assert via_registry.shape == direct.shape
+        assert np.array_equal(via_registry.indices, direct.indices)
+        assert np.array_equal(via_registry.values, direct.values)
+
+    def test_bit_identical_with_scale_and_seed(self):
+        import numpy as np
+
+        spec = DATASETS["nell2"].spec
+        legacy = power_law_tensor(
+            spec.with_nnz(max(64, int(round(spec.nnz * 0.1)))).with_seed(77))
+        new = load_dataset("nell2", scale=0.1, seed=77)
+        assert np.array_equal(new.indices, legacy.indices)
+        assert np.array_equal(new.values, legacy.values)
+
+    def test_all_recipes_registered_as_scenarios(self):
+        from repro.scenarios import get_scenario, materialize
+
+        scenarios = dataset_scenarios()
+        assert list(scenarios) == list(ALL_DATASETS)
+        for name in ALL_DATASETS:
+            spec = get_scenario(name)
+            assert spec.generator == "power_law"
+            assert spec.shape == DATASETS[name].spec.shape
+        assert materialize(get_scenario("uber")) == load_dataset("uber")
+
+    def test_suite_path_and_shim_agree_at_tiny_scale(self):
+        # both paths must clamp the scaled budget at the recipe floor (64)
+        from repro.scenarios import get_scenario, materialize
+
+        dataset_scenarios()
+        via_suite_spec = materialize(get_scenario("uber").with_scale(0.0001))
+        via_shim = load_dataset("uber", scale=0.0001)
+        assert via_suite_spec == via_shim
+
+    def test_generation_can_use_a_cache(self, tmp_path):
+        from repro.scenarios import ScenarioCache
+
+        cache = ScenarioCache(tmp_path)
+        a = DATASETS["uber"].generate(scale=0.1, cache=cache)
+        assert len(cache.manifest()) == 1
+        b = DATASETS["uber"].generate(scale=0.1, cache=cache)
+        assert a == b
 
 
 class TestStructuralRegimes:
