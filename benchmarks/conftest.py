@@ -20,6 +20,7 @@ import os
 
 import pytest
 
+from repro.bench.targets import get_target
 from repro.tensor.datasets import load_dataset
 
 #: dataset scale used by the benchmark harness (1.0 = the scale used for
@@ -39,6 +40,21 @@ def run_once(benchmark, fn, *args, **kwargs):
     """
     return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1,
                               iterations=1, warmup_rounds=0)
+
+
+def run_target(benchmark, target_name, tensor, rank=BENCH_RANK):
+    """Benchmark a registered :mod:`repro.bench` target on ``tensor``.
+
+    Setup (format construction, factor generation) happens outside the
+    timed region, exactly as in ``repro-bench`` — the pytest harness and
+    the CLI share one definition of what each measurement means.  The
+    target name is recorded in ``extra_info`` so ``--benchmark-json``
+    output can be joined against ``BENCH_*.json`` artifacts.
+    """
+    target = get_target(target_name)
+    fn = target.setup(tensor, rank)
+    benchmark.extra_info["bench_target"] = target_name
+    return benchmark(fn)
 
 
 def attach_rows(benchmark, result) -> None:

@@ -1,63 +1,59 @@
 """Micro-benchmarks of the host-side kernels and format builders.
 
 Unlike the per-figure benchmarks (which time the experiment drivers), these
-measure the real wall-clock cost of the library's own building blocks:
-format construction (the pre-processing the paper's Figures 9/10 reason
-about) and the exact MTTKRP kernels.
+measure the real wall-clock cost of the library's own building blocks.
+Every case routes through the :mod:`repro.bench` target registry
+(``run_target``) so pytest-benchmark and ``repro-bench`` time exactly the
+same closures — no duplicated setup/timing logic.
 """
 
 from __future__ import annotations
 
 import numpy as np
+import pytest
 
-from benchmarks.conftest import BENCH_RANK
-from repro.core.bcsf import build_bcsf
-from repro.core.hybrid import build_hbcsf
-from repro.core.mttkrp import mttkrp
-from repro.kernels.coo_mttkrp import coo_mttkrp
-from repro.kernels.csf_mttkrp import csf_mttkrp
-from repro.tensor.csf import build_csf
-from repro.util.prng import default_rng
-
-
-def _factors(shape, rank=BENCH_RANK, seed=0):
-    rng = default_rng(seed)
-    return [rng.standard_normal((s, rank)) for s in shape]
+from benchmarks.conftest import run_target
 
 
 class TestFormatConstruction:
     def test_bench_build_csf(self, benchmark, deli_tensor):
-        csf = benchmark(build_csf, deli_tensor, 0)
+        csf = run_target(benchmark, "build.csf", deli_tensor)
         assert csf.nnz == deli_tensor.nnz
 
     def test_bench_build_bcsf(self, benchmark, darpa_tensor):
-        bcsf = benchmark(build_bcsf, darpa_tensor, 0)
+        bcsf = run_target(benchmark, "build.b-csf", darpa_tensor)
         assert bcsf.max_nnz_per_fiber() <= 128
 
     def test_bench_build_hbcsf(self, benchmark, frm_tensor):
-        hb = benchmark(build_hbcsf, frm_tensor, 0)
+        hb = run_target(benchmark, "build.hb-csf", frm_tensor)
         assert hb.nnz == frm_tensor.nnz
 
 
 class TestExactMttkrp:
-    def test_bench_coo_mttkrp(self, benchmark, deli_tensor):
-        factors = _factors(deli_tensor.shape)
-        out = benchmark(coo_mttkrp, deli_tensor, factors, 0)
+    @pytest.mark.parametrize("target", ["kernel.coo", "kernel.coo-scatter",
+                                        "kernel.coo-sorted",
+                                        "kernel.coo-bincount"])
+    def test_bench_coo_mttkrp(self, benchmark, deli_tensor, target):
+        out = run_target(benchmark, target, deli_tensor)
+        assert out.shape[0] == deli_tensor.shape[0]
         assert np.isfinite(out).all()
 
     def test_bench_csf_mttkrp(self, benchmark, deli_tensor):
-        factors = _factors(deli_tensor.shape)
-        csf = build_csf(deli_tensor, 0)
-        out = benchmark(csf_mttkrp, csf, factors)
+        out = run_target(benchmark, "kernel.csf", deli_tensor)
+        assert out.shape[0] == deli_tensor.shape[0]
+        assert np.isfinite(out).all()
+
+    def test_bench_bcsf_mttkrp(self, benchmark, darpa_tensor):
+        out = run_target(benchmark, "kernel.b-csf", darpa_tensor)
+        assert out.shape[0] == darpa_tensor.shape[0]
         assert np.isfinite(out).all()
 
     def test_bench_hbcsf_mttkrp(self, benchmark, nell2_tensor):
-        factors = _factors(nell2_tensor.shape)
-        hb = build_hbcsf(nell2_tensor, 0)
-        out = benchmark(hb.mttkrp, factors)
+        out = run_target(benchmark, "kernel.hb-csf", nell2_tensor)
+        assert out.shape[0] == nell2_tensor.shape[0]
         assert np.isfinite(out).all()
 
     def test_bench_public_api_mttkrp(self, benchmark, darpa_tensor):
-        factors = _factors(darpa_tensor.shape)
-        out = benchmark(mttkrp, darpa_tensor, factors, 0, "hb-csf")
-        assert out.shape == (darpa_tensor.shape[0], BENCH_RANK)
+        out = run_target(benchmark, "kernel.dispatch", darpa_tensor)
+        assert out.shape[0] == darpa_tensor.shape[0]
+        assert np.isfinite(out).all()

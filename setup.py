@@ -28,6 +28,7 @@ setup(
         "console_scripts": [
             "repro-experiments=repro.experiments.registry:main",
             "repro-scenarios=repro.scenarios.cli:main",
+            "repro-bench=repro.bench.cli:main",
         ],
     },
 )

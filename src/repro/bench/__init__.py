@@ -1,0 +1,61 @@
+"""Performance measurement and regression tracking.
+
+The paper's contribution *is* measured speed, so this package gives the
+repo a machine-readable performance record:
+
+* :mod:`repro.bench.targets` — registry of timeable operations (exact
+  MTTKRP kernels, format builders, gpusim simulations, CPD-ALS);
+* :mod:`repro.bench.runner` — warmup/repeat sweeps of targets x scenarios
+  with robust statistics;
+* :mod:`repro.bench.schema` — versioned JSON artifacts
+  (``BENCH_<name>.json`` + append-only ``BENCH_history.jsonl``);
+* :mod:`repro.bench.compare` — before/after regression verdicts;
+* :mod:`repro.bench.cli` — ``repro-bench list | run | matrix | compare``.
+
+Every perf-focused PR should attach a baseline and candidate artifact and
+let ``repro-bench compare`` state the verdict (see README "Benchmarking").
+"""
+
+from repro.bench.compare import CompareReport, Delta, compare_runs
+from repro.bench.env import capture_environment
+from repro.bench.runner import BUDGETS, BenchConfig, run_benchmarks
+from repro.bench.schema import (
+    SCHEMA_VERSION,
+    BenchRun,
+    Measurement,
+    append_history,
+    bench_artifact_path,
+    load_run,
+    save_run,
+)
+from repro.bench.targets import (
+    BenchTarget,
+    expand_targets,
+    get_target,
+    register_target,
+    target_groups,
+    target_names,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "BUDGETS",
+    "BenchConfig",
+    "BenchRun",
+    "BenchTarget",
+    "CompareReport",
+    "Delta",
+    "Measurement",
+    "append_history",
+    "bench_artifact_path",
+    "capture_environment",
+    "compare_runs",
+    "expand_targets",
+    "get_target",
+    "load_run",
+    "register_target",
+    "run_benchmarks",
+    "save_run",
+    "target_groups",
+    "target_names",
+]

@@ -1,0 +1,298 @@
+"""Command-line interface for the benchmarking subsystem.
+
+Usage::
+
+    python -m repro.bench list
+    python -m repro.bench run --target kernel.coo --scenario deli --budget tiny
+    python -m repro.bench run --target kernel --suite scaling_ladder \
+        --repeats 7 --name ladder
+    python -m repro.bench matrix --suite paper12 --budget tiny
+    python -m repro.bench compare BENCH_kernels.json BENCH_candidate.json \
+        --threshold 0.15
+
+``run`` and ``matrix`` write ``BENCH_<name>.json`` (latest run, pretty
+JSON) into ``--out-dir`` and append one line to ``BENCH_history.jsonl``
+there.  ``compare`` exits with status 1 when any cell regresses beyond the
+threshold — wire it straight into CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.bench.compare import DEFAULT_THRESHOLD, compare_runs
+from repro.bench.runner import BUDGETS, BenchConfig, run_benchmarks, suite_scenarios
+from repro.bench.schema import (
+    HISTORY_FILE,
+    append_history,
+    bench_artifact_path,
+    load_run,
+    save_run,
+)
+from repro.bench.targets import (
+    DEFAULT_MATRIX_GROUP,
+    get_target,
+    target_groups,
+    target_names,
+)
+from repro.scenarios.cache import ScenarioCache
+from repro.scenarios.spec import get_scenario, parse_spec, scenario_names
+from repro.scenarios.suites import suite_names
+from repro.util.errors import ReproError
+
+__all__ = ["main", "build_parser"]
+
+
+def _format_table(rows: list[dict]) -> str:
+    from repro.experiments.common import format_table
+
+    return format_table(rows)
+
+
+def _ensure_named_scenarios() -> None:
+    """Register the 12 paper-dataset scenarios (lazy in datasets.py)."""
+    from repro.tensor.datasets import dataset_scenarios
+
+    dataset_scenarios()
+
+
+def _make_cache(args) -> ScenarioCache | None:
+    if getattr(args, "cache_dir", None):
+        return ScenarioCache(args.cache_dir)
+    if getattr(args, "cache", False):
+        return ScenarioCache()
+    return None
+
+
+def _make_config(args) -> BenchConfig:
+    if args.budget is not None:
+        config = BenchConfig.from_budget(args.budget, rank=args.rank,
+                                         seed=args.seed)
+        # explicit flags override the budget presets
+        overrides = {}
+        if args.repeats is not None:
+            overrides["repeats"] = args.repeats
+        if args.warmup is not None:
+            overrides["warmup"] = args.warmup
+        if args.scale is not None:
+            overrides["scale"] = args.scale
+        if overrides:
+            from dataclasses import replace
+
+            config = replace(config, **overrides)
+        return config
+    return BenchConfig(
+        repeats=args.repeats if args.repeats is not None else 5,
+        warmup=args.warmup if args.warmup is not None else 1,
+        rank=args.rank,
+        scale=args.scale if args.scale is not None else 1.0,
+        seed=args.seed,
+    )
+
+
+def _resolve_scenarios(args) -> list[tuple[str, object]]:
+    """--scenario entries (named or inline JSON) plus an optional --suite."""
+    _ensure_named_scenarios()
+    scenarios: list[tuple[str, object]] = []
+    for text in args.scenario or ():
+        if text.startswith("@"):
+            with open(text[1:], encoding="utf-8") as fh:
+                text = fh.read()
+        if text.lstrip().startswith("{"):
+            spec = parse_spec(text)
+            scenarios.append((spec.display_name(), spec))
+        else:
+            scenarios.append((text, get_scenario(text)))
+    if args.suite:
+        scenarios.extend(suite_scenarios(args.suite))
+    return scenarios
+
+
+def _execute_sweep(args, targets: list[str], default_name: str) -> int:
+    config = _make_config(args)
+    scenarios = _resolve_scenarios(args)
+    name = args.name or default_name
+    run = run_benchmarks(
+        targets,
+        scenarios,
+        config,
+        name=name,
+        cache=_make_cache(args),
+        progress=None if args.quiet else lambda line: print(line),
+    )
+    out_path = args.out or bench_artifact_path(name, args.out_dir)
+    save_run(run, out_path)
+    print(f"wrote {out_path}  ({len(run.measurements)} measurements)")
+    if not args.no_history:
+        history = append_history(run, f"{args.out_dir}/{HISTORY_FILE}")
+        print(f"appended to {history}")
+    return 0
+
+
+def _cmd_list(args) -> int:
+    _ensure_named_scenarios()
+    print("targets:")
+    for group in target_groups():
+        print(f"  [{group}]")
+        for name in target_names(group):
+            print(f"    {name:<20} {get_target(name).description}")
+    print()
+    print(f"suites: {', '.join(suite_names())}")
+    named = scenario_names()
+    if named:
+        print(f"named scenarios ({len(named)}): {', '.join(named)}")
+    print()
+    print("budgets (scale, repeats, warmup):")
+    for budget, (scale, repeats, warmup) in BUDGETS.items():
+        print(f"  {budget:<8} scale={scale:<5} repeats={repeats} warmup={warmup}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    targets = args.target or [DEFAULT_MATRIX_GROUP]
+    return _execute_sweep(args, targets, default_name="run")
+
+
+def _cmd_matrix(args) -> int:
+    targets = args.target or [DEFAULT_MATRIX_GROUP]
+    # default artifact name: the shared group prefix (BENCH_kernels.json for
+    # the default kernel sweep), else "matrix"
+    from repro.bench.targets import expand_targets
+
+    groups = {get_target(t).group for t in expand_targets(targets)}
+    default_name = f"{next(iter(groups))}s" if len(groups) == 1 else "matrix"
+    return _execute_sweep(args, targets, default_name=default_name)
+
+
+def _cmd_compare(args) -> int:
+    baseline = load_run(args.baseline)
+    candidate = load_run(args.candidate)
+    report = compare_runs(baseline, candidate, threshold=args.threshold,
+                          metric=args.metric)
+    if args.json:
+        counts = report.counts()
+        print(json.dumps({
+            "baseline": report.baseline_name,
+            "candidate": report.candidate_name,
+            "metric": report.metric,
+            "threshold": report.threshold,
+            "counts": counts,
+            "cells": report.rows(),
+        }, indent=2))
+    else:
+        print(f"baseline : {args.baseline} ({report.baseline_name})")
+        print(f"candidate: {args.candidate} ({report.candidate_name})")
+        print(f"metric   : {report.metric}   threshold: +/-"
+              f"{report.threshold:.0%}")
+        print(_format_table(report.rows()))
+        counts = report.counts()
+        print(", ".join(f"{v}: {counts[v]}" for v in
+                        ("regression", "improvement", "neutral", "added",
+                         "removed")))
+    if report.has_regressions:
+        worst = max(report.regressions, key=lambda d: d.ratio or 0.0)
+        print(f"REGRESSION: {len(report.regressions)} cell(s) slower than "
+              f"{1.0 + report.threshold:.2f}x baseline "
+              f"(worst: {worst.target} on {worst.scenario}, "
+              f"{worst.ratio:.2f}x)", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _add_sweep_options(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("--target", "-t", action="append", default=None,
+                     help="target name, group or glob (repeatable; default: "
+                          f"the {DEFAULT_MATRIX_GROUP!r} group)")
+    sub.add_argument("--scenario", "-s", action="append", default=None,
+                     help="named scenario, inline JSON spec, or @spec-file "
+                          "(repeatable)")
+    sub.add_argument("--suite", default=None,
+                     help=f"scenario suite to sweep ({', '.join(suite_names())})")
+    sub.add_argument("--budget", choices=sorted(BUDGETS), default=None,
+                     help="measurement budget preset (scale/repeats/warmup)")
+    sub.add_argument("--repeats", type=int, default=None,
+                     help="timed repetitions per cell")
+    sub.add_argument("--warmup", type=int, default=None,
+                     help="untimed warmup calls per cell")
+    sub.add_argument("--rank", type=int, default=32,
+                     help="factor-matrix rank R (paper default 32)")
+    sub.add_argument("--scale", type=float, default=None,
+                     help="scenario nonzero-budget multiplier")
+    sub.add_argument("--seed", type=int, default=None,
+                     help="override every scenario's seed")
+    sub.add_argument("--name", default=None,
+                     help="run name (artifact becomes BENCH_<name>.json)")
+    sub.add_argument("--out", default=None,
+                     help="explicit artifact path (overrides --name/--out-dir)")
+    sub.add_argument("--out-dir", default=".",
+                     help="directory for BENCH_*.json artifacts (default: cwd)")
+    sub.add_argument("--no-history", action="store_true",
+                     help=f"do not append the run to {HISTORY_FILE}")
+    sub.add_argument("--quiet", "-q", action="store_true",
+                     help="suppress per-cell progress lines")
+    sub.add_argument("--cache", action="store_true",
+                     help="cache materialized tensors in the default cache dir")
+    sub.add_argument("--cache-dir", default=None,
+                     help="cache materialized tensors in this directory")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Measure, persist and compare performance of the "
+                    "library's kernels, builders, simulations and solvers")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list benchmark targets, suites and budgets")
+
+    run = sub.add_parser("run", help="time selected targets on selected "
+                                     "scenarios")
+    _add_sweep_options(run)
+
+    matrix = sub.add_parser("matrix",
+                            help="sweep targets x a whole scenario suite "
+                                 "(default: paper12)")
+    _add_sweep_options(matrix)
+
+    comp = sub.add_parser("compare",
+                          help="diff two BENCH_*.json runs; exit 1 on "
+                               "regression")
+    comp.add_argument("baseline", help="baseline BENCH_*.json")
+    comp.add_argument("candidate", help="candidate BENCH_*.json")
+    comp.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                      help="relative change flagged as regression/improvement "
+                           "(default 0.10)")
+    comp.add_argument("--metric", default="median",
+                      choices=("min", "median", "p95", "mean", "total"),
+                      help="statistic compared per cell (default median)")
+    comp.add_argument("--json", action="store_true",
+                      help="emit the report as JSON instead of a table")
+
+    return parser
+
+
+_COMMANDS = {
+    "list": _cmd_list,
+    "run": _cmd_run,
+    "matrix": _cmd_matrix,
+    "compare": _cmd_compare,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "matrix" and not args.suite:
+        args.suite = "paper12"
+    if args.command in ("run", "matrix") and not (args.scenario or args.suite):
+        build_parser().error("run needs --scenario and/or --suite")
+    try:
+        return _COMMANDS[args.command](args)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

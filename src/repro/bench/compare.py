@@ -1,0 +1,154 @@
+"""Regression comparison between two benchmark runs.
+
+:func:`compare_runs` lines up the (target, scenario) cells of a *baseline*
+and a *candidate* run and classifies each shared cell by the ratio of a
+chosen robust statistic (median by default):
+
+* ``regression``  — candidate slower by more than the threshold,
+* ``improvement`` — candidate faster by more than the threshold,
+* ``neutral``     — within the threshold either way,
+
+plus ``added`` / ``removed`` for cells present in only one run.  The CLI
+exits non-zero when any regression is flagged, so CI and perf PRs get a
+mechanical before/after verdict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bench.schema import BenchRun
+from repro.util.errors import ValidationError
+
+__all__ = ["Delta", "CompareReport", "compare_runs", "DEFAULT_THRESHOLD"]
+
+#: relative slowdown/speedup beyond which a cell is flagged (10%).
+DEFAULT_THRESHOLD = 0.10
+
+_VERDICTS = ("regression", "improvement", "neutral", "added", "removed")
+
+
+@dataclass(frozen=True)
+class Delta:
+    """Comparison outcome for one (target, scenario) cell."""
+
+    target: str
+    scenario: str
+    verdict: str
+    baseline_seconds: float | None = None
+    candidate_seconds: float | None = None
+
+    @property
+    def ratio(self) -> float | None:
+        """candidate / baseline (None unless both cells were measured)."""
+        if self.baseline_seconds is None or self.candidate_seconds is None:
+            return None
+        if self.baseline_seconds == 0.0:
+            return None
+        return self.candidate_seconds / self.baseline_seconds
+
+    @property
+    def speedup(self) -> float | None:
+        """baseline / candidate — > 1 means the candidate got faster."""
+        if self.candidate_seconds in (None, 0.0) or self.baseline_seconds is None:
+            return None
+        return self.baseline_seconds / self.candidate_seconds
+
+
+@dataclass
+class CompareReport:
+    """All cell deltas of one baseline/candidate comparison."""
+
+    baseline_name: str
+    candidate_name: str
+    metric: str
+    threshold: float
+    deltas: list[Delta] = field(default_factory=list)
+
+    def by_verdict(self, verdict: str) -> list[Delta]:
+        if verdict not in _VERDICTS:
+            raise ValidationError(
+                f"unknown verdict {verdict!r}; choose one of "
+                f"{', '.join(_VERDICTS)}")
+        return [d for d in self.deltas if d.verdict == verdict]
+
+    @property
+    def regressions(self) -> list[Delta]:
+        return self.by_verdict("regression")
+
+    @property
+    def improvements(self) -> list[Delta]:
+        return self.by_verdict("improvement")
+
+    @property
+    def has_regressions(self) -> bool:
+        return any(d.verdict == "regression" for d in self.deltas)
+
+    def counts(self) -> dict[str, int]:
+        out = {v: 0 for v in _VERDICTS}
+        for d in self.deltas:
+            out[d.verdict] += 1
+        return out
+
+    def rows(self) -> list[dict]:
+        """Table rows for :func:`repro.experiments.common.format_table`."""
+        rows = []
+        for d in self.deltas:
+            rows.append({
+                "target": d.target,
+                "scenario": d.scenario,
+                "base ms": "-" if d.baseline_seconds is None
+                           else round(d.baseline_seconds * 1e3, 4),
+                "cand ms": "-" if d.candidate_seconds is None
+                           else round(d.candidate_seconds * 1e3, 4),
+                "ratio": "-" if d.ratio is None else round(d.ratio, 3),
+                "verdict": d.verdict,
+            })
+        return rows
+
+
+def compare_runs(
+    baseline: BenchRun,
+    candidate: BenchRun,
+    *,
+    threshold: float = DEFAULT_THRESHOLD,
+    metric: str = "median",
+) -> CompareReport:
+    """Classify every (target, scenario) cell of ``candidate`` vs ``baseline``."""
+    if threshold < 0:
+        raise ValidationError(f"threshold must be >= 0, got {threshold}")
+
+    report = CompareReport(
+        baseline_name=baseline.name,
+        candidate_name=candidate.name,
+        metric=metric,
+        threshold=threshold,
+    )
+    base_keys = set(baseline.keys())
+    cand_keys = set(candidate.keys())
+
+    for target, scenario in sorted(base_keys | cand_keys):
+        base = baseline.measurement(target, scenario)
+        cand = candidate.measurement(target, scenario)
+        if base is None:
+            report.deltas.append(Delta(
+                target=target, scenario=scenario, verdict="added",
+                candidate_seconds=cand.seconds(metric)))
+            continue
+        if cand is None:
+            report.deltas.append(Delta(
+                target=target, scenario=scenario, verdict="removed",
+                baseline_seconds=base.seconds(metric)))
+            continue
+        base_s = base.seconds(metric)
+        cand_s = cand.seconds(metric)
+        if base_s > 0 and cand_s > base_s * (1.0 + threshold):
+            verdict = "regression"
+        elif base_s > 0 and cand_s < base_s * (1.0 - threshold):
+            verdict = "improvement"
+        else:
+            verdict = "neutral"
+        report.deltas.append(Delta(
+            target=target, scenario=scenario, verdict=verdict,
+            baseline_seconds=base_s, candidate_seconds=cand_s))
+    return report

@@ -1,0 +1,82 @@
+"""Execution-environment capture for benchmark provenance.
+
+A performance number without its environment is noise: the same kernel is
+2-10x apart between laptops, and a regression report is only actionable if
+both runs name their interpreter, NumPy build, CPU and source revision.
+:func:`capture_environment` collects exactly the fields the paper's own
+evaluation tables pin down (hardware, software versions) plus the git SHA
+of the working tree.
+"""
+
+from __future__ import annotations
+
+import datetime
+import os
+import platform
+import subprocess
+import sys
+
+import numpy as np
+
+__all__ = ["capture_environment", "git_revision", "utc_now_iso"]
+
+
+def utc_now_iso() -> str:
+    """Current UTC time as an ISO-8601 string (second resolution)."""
+    return (
+        datetime.datetime.now(datetime.timezone.utc)
+        .replace(microsecond=0)
+        .isoformat()
+    )
+
+
+def git_revision(cwd: str | None = None) -> str | None:
+    """Short git SHA of ``cwd`` (or the process cwd); None outside a repo.
+
+    A ``-dirty`` suffix marks uncommitted changes — a measurement of an
+    edited tree must not claim the provenance of a clean commit.
+    """
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short=12", "HEAD"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    sha = proc.stdout.strip()
+    if proc.returncode != 0 or not sha:
+        return None
+    try:
+        status = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return sha
+    if status.returncode == 0 and status.stdout.strip():
+        return f"{sha}-dirty"
+    return sha
+
+
+def capture_environment(cwd: str | None = None) -> dict:
+    """Snapshot the measurement environment as a plain JSON-safe dict."""
+    uname = platform.uname()
+    return {
+        "python": platform.python_version(),
+        "python_implementation": platform.python_implementation(),
+        "numpy": np.__version__,
+        "platform": sys.platform,
+        "os": f"{uname.system} {uname.release}",
+        "machine": uname.machine,
+        "processor": uname.processor or uname.machine,
+        "cpu_count": os.cpu_count(),
+        "hostname": uname.node,
+        "git_sha": git_revision(cwd),
+        "captured_at": utc_now_iso(),
+    }

@@ -1,0 +1,172 @@
+"""Benchmark runner: sweep targets over scenarios with warmup/repeat control.
+
+The runner materialises each scenario once, then times every requested
+target against it through :func:`repro.util.timing.repeat` — the library's
+single measurement loop — and assembles a :class:`~repro.bench.schema.BenchRun`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from repro.bench.env import capture_environment, utc_now_iso
+from repro.bench.schema import BenchRun, Measurement, stats_from_timer
+from repro.bench.targets import expand_targets, get_target
+from repro.scenarios.cache import ScenarioCache, materialize
+from repro.scenarios.spec import ScenarioSpec, parse_spec
+from repro.scenarios.suites import get_suite
+from repro.util.errors import ValidationError
+from repro.util.timing import repeat
+
+__all__ = ["BenchConfig", "BUDGETS", "run_benchmarks", "suite_scenarios"]
+
+#: named measurement budgets: (scenario scale, repeats, warmup).  ``tiny``
+#: keeps a full kernel x paper12 matrix around ten seconds of wall clock.
+BUDGETS: dict[str, tuple[float, int, int]] = {
+    "tiny": (0.04, 3, 1),
+    "small": (0.2, 5, 1),
+    "medium": (0.5, 7, 2),
+    "full": (1.0, 9, 3),
+}
+
+
+@dataclass(frozen=True)
+class BenchConfig:
+    """Measurement parameters shared by every cell of a run."""
+
+    repeats: int = 5
+    warmup: int = 1
+    rank: int = 32
+    scale: float = 1.0
+    seed: int | None = None
+    budget: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.repeats < 1:
+            raise ValidationError(f"repeats must be >= 1, got {self.repeats}")
+        if self.warmup < 0:
+            raise ValidationError(f"warmup must be >= 0, got {self.warmup}")
+        if self.rank < 1:
+            raise ValidationError(f"rank must be >= 1, got {self.rank}")
+        if self.scale <= 0:
+            raise ValidationError(f"scale must be positive, got {self.scale}")
+
+    @classmethod
+    def from_budget(cls, budget: str, *, rank: int = 32,
+                    seed: int | None = None) -> "BenchConfig":
+        try:
+            scale, repeats, warmup = BUDGETS[budget]
+        except KeyError:
+            raise ValidationError(
+                f"unknown budget {budget!r}; choose one of "
+                f"{', '.join(BUDGETS)}") from None
+        return cls(repeats=repeats, warmup=warmup, rank=rank, scale=scale,
+                   seed=seed, budget=budget)
+
+    def to_dict(self) -> dict:
+        return {
+            "repeats": self.repeats,
+            "warmup": self.warmup,
+            "rank": self.rank,
+            "scale": self.scale,
+            "seed": self.seed,
+            "budget": self.budget,
+        }
+
+
+def suite_scenarios(name: str) -> list[tuple[str, ScenarioSpec]]:
+    """The (name, spec) entries of a scenario suite, unscaled."""
+    return get_suite(name).specs()
+
+
+def run_benchmarks(
+    targets: Iterable[str],
+    scenarios: Sequence[tuple[str, "ScenarioSpec | dict | str"]],
+    config: BenchConfig | None = None,
+    *,
+    name: str = "run",
+    cache: ScenarioCache | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> BenchRun:
+    """Time every target against every scenario; return the assembled run.
+
+    Parameters
+    ----------
+    targets:
+        Target names / group names / glob patterns
+        (:func:`repro.bench.targets.expand_targets` semantics).
+    scenarios:
+        ``(display name, spec-like)`` pairs; specs are parsed and scaled by
+        ``config.scale`` (respecting each spec's ``min_nnz`` floor).
+    config:
+        Measurement parameters (defaults to :class:`BenchConfig`'s).
+    name:
+        Run name — becomes the ``BENCH_<name>.json`` artifact stem.
+    cache:
+        Optional scenario cache so repeated runs skip regeneration.
+    progress:
+        Optional callback receiving one human-readable line per cell.
+    """
+    config = config or BenchConfig()
+    resolved = expand_targets(targets)
+    if not resolved:
+        raise ValidationError("no benchmark targets selected")
+    if not scenarios:
+        raise ValidationError("no scenarios selected")
+
+    # Resolve effective specs up front and keep (target, scenario) cells
+    # unique: an exact duplicate (same name, same content hash) is dropped,
+    # a name collision over different content is disambiguated with the
+    # hash — compare_runs matches cells by name, so silent shadowing here
+    # would hide measurements from every later comparison.
+    resolved_scenarios: list[tuple[str, ScenarioSpec]] = []
+    seen: dict[str, str] = {}
+    for scenario_name, spec_like in scenarios:
+        spec = parse_spec(spec_like).with_scale(config.scale)
+        if config.seed is not None:
+            spec = spec.with_seed(config.seed)
+        spec_hash = spec.spec_hash()
+        if scenario_name in seen:
+            if seen[scenario_name] == spec_hash:
+                continue
+            scenario_name = f"{scenario_name}@{spec_hash[:8]}"
+            if seen.get(scenario_name) == spec_hash:
+                continue
+        seen[scenario_name] = spec_hash
+        resolved_scenarios.append((scenario_name, spec))
+
+    run = BenchRun(
+        name=name,
+        created_at=utc_now_iso(),
+        env=capture_environment(),
+        config=config.to_dict(),
+    )
+
+    for scenario_name, effective in resolved_scenarios:
+        tensor = materialize(effective, cache)
+        for target_name in resolved:
+            target = get_target(target_name)
+            fn = target.setup(tensor, config.rank)
+            result, timer = repeat(fn, n=config.repeats, warmup=config.warmup)
+            metrics = dict(target.probe(result)) if target.probe else {}
+            measurement = Measurement(
+                target=target_name,
+                scenario=scenario_name,
+                spec_hash=effective.spec_hash(),
+                shape=tuple(tensor.shape),
+                nnz=tensor.nnz,
+                rank=config.rank,
+                stats=stats_from_timer(timer, config.warmup),
+                metrics=metrics,
+            )
+            run.measurements.append(measurement)
+            if progress is not None:
+                progress(
+                    f"{target_name:<18} {scenario_name:<18} "
+                    f"median {measurement.seconds('median') * 1e3:9.3f} ms  "
+                    f"(min {measurement.seconds('min') * 1e3:.3f}, "
+                    f"p95 {measurement.seconds('p95') * 1e3:.3f}, "
+                    f"x{config.repeats})"
+                )
+    return run

@@ -1,0 +1,282 @@
+"""Benchmark-target registry.
+
+A *target* is any timeable operation of the library: an exact MTTKRP
+kernel, a format build, a gpusim-simulated kernel, a full CPD-ALS solve.
+Each target declares a ``setup(tensor, rank)`` callable that does all
+untimed preparation (format construction, factor generation) and returns a
+zero-argument closure — the closure is what the runner times.  ``build.*``
+targets invert that: construction *is* the timed operation.
+
+Targets are registered declaratively (the same pattern as
+:mod:`repro.scenarios.registry`), so both the ``repro-bench`` CLI and the
+pytest benchmark harness (``benchmarks/conftest.py``) iterate one shared
+list instead of duplicating timing glue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
+from typing import Callable, Iterable
+
+import numpy as np
+
+from repro.tensor.coo import CooTensor
+from repro.util.errors import ValidationError
+from repro.util.prng import default_rng
+
+__all__ = [
+    "BenchTarget",
+    "register_target",
+    "get_target",
+    "target_names",
+    "target_groups",
+    "expand_targets",
+    "DEFAULT_MATRIX_GROUP",
+]
+
+#: target group the ``matrix`` subcommand sweeps by default.
+DEFAULT_MATRIX_GROUP = "kernel"
+
+#: seed used for benchmark factor matrices (fixed: factors must not vary
+#: between the runs a comparison wants to line up).
+_FACTOR_SEED = 20190520
+
+
+@dataclass(frozen=True)
+class BenchTarget:
+    """One registered timeable operation.
+
+    ``setup(tensor, rank)`` returns the closure the runner times;
+    ``probe(result)`` (optional) receives the closure's final return value
+    and extracts extra JSON-safe metrics recorded alongside the timings
+    (e.g. the simulated GPU seconds for ``sim.*`` targets, where
+    wall-clock measures the *simulator*).
+    """
+
+    name: str
+    group: str
+    description: str
+    setup: Callable[[CooTensor, int], Callable[[], object]]
+    probe: Callable[[object], dict] | None = field(default=None)
+
+
+_TARGETS: dict[str, BenchTarget] = {}
+
+
+def register_target(name: str, *, group: str, description: str,
+                    probe: Callable[[object], dict] | None = None,
+                    overwrite: bool = False):
+    """Decorator registering a ``setup`` callable as benchmark target ``name``."""
+
+    def decorator(setup: Callable[[CooTensor, int], Callable[[], object]]):
+        if name in _TARGETS and not overwrite:
+            raise ValidationError(f"bench target {name!r} is already registered")
+        _TARGETS[name] = BenchTarget(name=name, group=group,
+                                     description=description, setup=setup,
+                                     probe=probe)
+        return setup
+
+    return decorator
+
+
+def get_target(name: str) -> BenchTarget:
+    try:
+        return _TARGETS[name]
+    except KeyError:
+        raise ValidationError(
+            f"unknown bench target {name!r}; available: "
+            f"{', '.join(sorted(_TARGETS)) or '(none)'}"
+        ) from None
+
+
+def target_names(group: str | None = None) -> list[str]:
+    """Sorted target names (deterministic listing), optionally one group."""
+    return sorted(n for n, t in _TARGETS.items()
+                  if group is None or t.group == group)
+
+
+def target_groups() -> list[str]:
+    return sorted({t.group for t in _TARGETS.values()})
+
+
+def expand_targets(patterns: Iterable[str]) -> list[str]:
+    """Resolve names / group names / glob patterns to sorted target names.
+
+    ``"kernel"`` (a group) and ``"kernel.*"`` (a glob) are equivalent; an
+    exact name passes through.  Unknown patterns raise.
+    """
+    selected: set[str] = set()
+    for pattern in patterns:
+        pattern = pattern.strip()
+        if not pattern:
+            continue
+        if pattern in _TARGETS:
+            selected.add(pattern)
+            continue
+        if pattern in target_groups():
+            selected.update(target_names(pattern))
+            continue
+        matches = [n for n in _TARGETS if fnmatchcase(n, pattern)]
+        if not matches:
+            raise ValidationError(
+                f"target pattern {pattern!r} matches nothing; targets: "
+                f"{', '.join(sorted(_TARGETS))}")
+        selected.update(matches)
+    return sorted(selected)
+
+
+def bench_factors(shape: tuple[int, ...], rank: int) -> list[np.ndarray]:
+    """Deterministic factor matrices shared by every kernel target."""
+    rng = default_rng(_FACTOR_SEED)
+    return [rng.standard_normal((s, rank)) for s in shape]
+
+
+# --------------------------------------------------------------------- #
+# kernel.* — exact MTTKRP kernels (mode 0, the paper's reporting mode)
+# --------------------------------------------------------------------- #
+@register_target("kernel.coo", group="kernel",
+                 description="COO MTTKRP, auto accumulation (Algorithm 2)")
+def _kernel_coo(tensor: CooTensor, rank: int) -> Callable[[], object]:
+    from repro.kernels.coo_mttkrp import coo_mttkrp
+
+    factors = bench_factors(tensor.shape, rank)
+    return lambda: coo_mttkrp(tensor, factors, 0)
+
+
+@register_target("kernel.coo-scatter", group="kernel",
+                 description="COO MTTKRP forced onto the np.add.at scatter path")
+def _kernel_coo_scatter(tensor: CooTensor, rank: int) -> Callable[[], object]:
+    from repro.kernels.coo_mttkrp import coo_mttkrp
+
+    factors = bench_factors(tensor.shape, rank)
+    return lambda: coo_mttkrp(tensor, factors, 0, method="add_at")
+
+
+@register_target("kernel.coo-sorted", group="kernel",
+                 description="COO MTTKRP forced onto the sorted segment-sum path")
+def _kernel_coo_sorted(tensor: CooTensor, rank: int) -> Callable[[], object]:
+    from repro.kernels.coo_mttkrp import coo_mttkrp
+
+    factors = bench_factors(tensor.shape, rank)
+    return lambda: coo_mttkrp(tensor, factors, 0, method="sort")
+
+
+@register_target("kernel.coo-bincount", group="kernel",
+                 description="COO MTTKRP forced onto the bincount-per-column path")
+def _kernel_coo_bincount(tensor: CooTensor, rank: int) -> Callable[[], object]:
+    from repro.kernels.coo_mttkrp import coo_mttkrp
+
+    factors = bench_factors(tensor.shape, rank)
+    return lambda: coo_mttkrp(tensor, factors, 0, method="bincount")
+
+
+@register_target("kernel.csf", group="kernel",
+                 description="CSF MTTKRP (Algorithm 3); build untimed")
+def _kernel_csf(tensor: CooTensor, rank: int) -> Callable[[], object]:
+    from repro.kernels.csf_mttkrp import csf_mttkrp
+    from repro.tensor.csf import build_csf
+
+    csf = build_csf(tensor, 0)
+    factors = bench_factors(tensor.shape, rank)
+    return lambda: csf_mttkrp(csf, factors)
+
+
+@register_target("kernel.b-csf", group="kernel",
+                 description="B-CSF MTTKRP (balanced fibers); build untimed")
+def _kernel_bcsf(tensor: CooTensor, rank: int) -> Callable[[], object]:
+    from repro.core.bcsf import build_bcsf
+
+    bcsf = build_bcsf(tensor, 0)
+    factors = bench_factors(tensor.shape, rank)
+    return lambda: bcsf.mttkrp(factors)
+
+
+@register_target("kernel.hb-csf", group="kernel",
+                 description="HB-CSF MTTKRP (COO+CSL+B-CSF groups); build untimed")
+def _kernel_hbcsf(tensor: CooTensor, rank: int) -> Callable[[], object]:
+    from repro.core.hybrid import build_hbcsf
+
+    hb = build_hbcsf(tensor, 0)
+    factors = bench_factors(tensor.shape, rank)
+    return lambda: hb.mttkrp(factors)
+
+
+@register_target("kernel.dispatch", group="kernel",
+                 description="public mttkrp() dispatch API, hb-csf "
+                             "(includes per-call format construction)")
+def _kernel_dispatch(tensor: CooTensor, rank: int) -> Callable[[], object]:
+    from repro.core.mttkrp import mttkrp
+
+    factors = bench_factors(tensor.shape, rank)
+    return lambda: mttkrp(tensor, factors, 0, "hb-csf")
+
+
+# --------------------------------------------------------------------- #
+# build.* — format construction (the paper's pre-processing axis)
+# --------------------------------------------------------------------- #
+@register_target("build.csf", group="build",
+                 description="CSF construction from COO (mode-0 root)")
+def _build_csf(tensor: CooTensor, rank: int) -> Callable[[], object]:
+    from repro.tensor.csf import build_csf
+
+    return lambda: build_csf(tensor, 0)
+
+
+@register_target("build.b-csf", group="build",
+                 description="B-CSF construction (fiber/slice splitting)")
+def _build_bcsf(tensor: CooTensor, rank: int) -> Callable[[], object]:
+    from repro.core.bcsf import build_bcsf
+
+    return lambda: build_bcsf(tensor, 0)
+
+
+@register_target("build.hb-csf", group="build",
+                 description="HB-CSF construction (partition + three groups)")
+def _build_hbcsf(tensor: CooTensor, rank: int) -> Callable[[], object]:
+    from repro.core.hybrid import build_hbcsf
+
+    return lambda: build_hbcsf(tensor, 0)
+
+
+# --------------------------------------------------------------------- #
+# sim.* — analytical GPU simulations.  Wall-clock times the simulator
+# itself (its cost matters for experiment-driver throughput); the probe
+# reads the simulated kernel time/GFLOPS the figures are built from off
+# the timed closure's (deterministic) result.
+# --------------------------------------------------------------------- #
+def _sim_probe(result: object) -> dict:
+    return {
+        "simulated_seconds": result.time_seconds,
+        "simulated_gflops": result.gflops,
+    }
+
+
+def _register_sim(fmt: str) -> None:
+    @register_target(f"sim.{fmt}", group="sim",
+                     description=f"analytical GPU simulation of the {fmt} "
+                                 "MTTKRP kernel (times the simulator)",
+                     probe=_sim_probe)
+    def _sim(tensor: CooTensor, rank: int,
+             _fmt: str = fmt) -> Callable[[], object]:
+        from repro.gpusim.api import simulate_mttkrp
+
+        return lambda: simulate_mttkrp(tensor, 0, rank, format=_fmt)
+
+
+for _fmt in ("coo", "csf", "b-csf", "hb-csf", "f-coo"):
+    _register_sim(_fmt)
+
+
+# --------------------------------------------------------------------- #
+# cpd.* — end-to-end CPD-ALS iterations
+# --------------------------------------------------------------------- #
+@register_target("cpd.als", group="cpd",
+                 description="two CPD-ALS iterations (HB-CSF plan, with fit)")
+def _cpd_als(tensor: CooTensor, rank: int) -> Callable[[], object]:
+    from repro.cpd.als import cp_als
+
+    # a fresh RNG per lap: every repetition must solve the identically
+    # initialized problem or laps (and runs) are not comparable
+    return lambda: cp_als(tensor, rank, n_iters=2, tol=0.0,
+                          format="hb-csf", rng=default_rng(_FACTOR_SEED))

@@ -3,8 +3,26 @@
 For every nonzero ``X[i0, ..., i_{N-1}]`` the kernel forms the elementwise
 (Hadamard) product of the corresponding rows of all factor matrices except
 the target mode's, scales it by the value and accumulates it into the output
-row of the target mode.  The scatter-accumulate (``np.add.at``) is the
-vectorized equivalent of the atomic adds the GPU COO kernels (ParTI) issue.
+row of the target mode.
+
+Three accumulation strategies are available:
+
+* ``"add_at"`` — ``np.add.at`` scatter-accumulate, the vectorized
+  equivalent of the atomic adds the GPU COO kernels (ParTI) issue.  Its
+  random-access write pattern is cache-hostile on large tensors.
+* ``"sort"`` — sorted segment-sum: stable-argsort the target-mode indices,
+  reduce each run of equal indices with one ``np.add.reduceat`` over all
+  ``R`` columns at once, and scatter the per-row totals.  One radix sort
+  plus sequential reductions; the fastest path once nnz is large.
+* ``"bincount"`` — one sort-free ``np.bincount(weights=...)`` pass per
+  factor column.  Kept as an alternative dense-output path (it can win when
+  ``R`` is very small); measured slower than ``"sort"`` at the paper's
+  ``R = 32`` on NumPy 2.x.
+
+``"auto"`` (the default) picks ``"sort"`` for large-nnz tensors and keeps
+the scatter path for tiny ones, where sort overhead dominates.  All paths
+produce the same sums up to float addition order (they agree to allclose
+tolerance; per-row partial sums are reassociated).
 """
 
 from __future__ import annotations
@@ -13,9 +31,41 @@ import numpy as np
 
 from repro.tensor.coo import CooTensor
 from repro.tensor.dense import _check_factors
-from repro.util.errors import DimensionError
+from repro.util.errors import DimensionError, ValidationError
 
-__all__ = ["coo_mttkrp"]
+__all__ = ["coo_mttkrp", "COO_ACCUMULATE_METHODS", "SORT_MIN_NNZ"]
+
+#: accumulation strategies accepted by :func:`coo_mttkrp`.
+COO_ACCUMULATE_METHODS = ("auto", "add_at", "sort", "bincount")
+
+#: nnz threshold above which ``"auto"`` switches to the sorted path.
+SORT_MIN_NNZ = 2048
+
+
+def _accumulate_add_at(out: np.ndarray, idx: np.ndarray, acc: np.ndarray) -> None:
+    np.add.at(out, idx, acc)
+
+
+def _accumulate_sort(out: np.ndarray, idx: np.ndarray, acc: np.ndarray) -> None:
+    order = np.argsort(idx, kind="stable")
+    sorted_idx = idx[order]
+    sorted_acc = acc[order]
+    starts = np.concatenate(
+        ([0], np.flatnonzero(np.diff(sorted_idx)) + 1))
+    out[sorted_idx[starts]] += np.add.reduceat(sorted_acc, starts, axis=0)
+
+
+def _accumulate_bincount(out: np.ndarray, idx: np.ndarray, acc: np.ndarray) -> None:
+    rows = out.shape[0]
+    for r in range(acc.shape[1]):
+        out[:, r] += np.bincount(idx, weights=acc[:, r], minlength=rows)
+
+
+_ACCUMULATORS = {
+    "add_at": _accumulate_add_at,
+    "sort": _accumulate_sort,
+    "bincount": _accumulate_bincount,
+}
 
 
 def coo_mttkrp(
@@ -23,6 +73,7 @@ def coo_mttkrp(
     factors: list[np.ndarray],
     mode: int,
     out: np.ndarray | None = None,
+    method: str = "auto",
 ) -> np.ndarray:
     """Mode-``mode`` MTTKRP of a COO tensor.
 
@@ -38,7 +89,15 @@ def coo_mttkrp(
     out:
         Optional pre-allocated ``(shape[mode], R)`` output; accumulated into
         (not cleared), mirroring the GPU kernels' atomic accumulation.
+    method:
+        ``"auto"`` (default), ``"add_at"``, ``"sort"`` or ``"bincount"`` —
+        see the module docstring.
     """
+    if method not in COO_ACCUMULATE_METHODS:
+        raise ValidationError(
+            f"unknown COO accumulation method {method!r}; choose one of "
+            f"{', '.join(COO_ACCUMULATE_METHODS)}"
+        )
     rank = _check_factors(tensor.shape, factors, mode)
     rows = tensor.shape[mode]
     if out is None:
@@ -56,5 +115,8 @@ def coo_mttkrp(
         if m == mode:
             continue
         acc *= np.asarray(factors[m], dtype=np.float64)[tensor.indices[:, m]]
-    np.add.at(out, tensor.indices[:, mode], acc)
+
+    if method == "auto":
+        method = "sort" if tensor.nnz >= SORT_MIN_NNZ else "add_at"
+    _ACCUMULATORS[method](out, tensor.indices[:, mode], acc)
     return out

@@ -7,7 +7,7 @@ from repro.util.errors import (
     DimensionError,
 )
 from repro.util.prng import default_rng, spawn_rng
-from repro.util.timing import Timer, timed
+from repro.util.timing import Timer, repeat, timed
 
 __all__ = [
     "ReproError",
@@ -17,5 +17,6 @@ __all__ = [
     "default_rng",
     "spawn_rng",
     "Timer",
+    "repeat",
     "timed",
 ]

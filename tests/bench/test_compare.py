@@ -1,0 +1,100 @@
+"""compare_runs verdict tests: regression / improvement / neutral / added /
+removed, threshold sensitivity and report bookkeeping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.compare import compare_runs
+from repro.bench.schema import BenchRun, Measurement
+from repro.util.errors import ValidationError
+
+
+def run_with(cells: dict[tuple[str, str], float], name: str = "r") -> BenchRun:
+    measurements = []
+    for (target, scenario), median in cells.items():
+        stats = {"repeats": 3, "warmup": 1, "min": median * 0.9,
+                 "median": median, "p95": median * 1.1, "mean": median,
+                 "stddev": 0.0, "total": median * 3,
+                 "laps": [median] * 3}
+        measurements.append(Measurement(
+            target=target, scenario=scenario, spec_hash="x",
+            shape=(2, 2, 2), nnz=4, rank=4, stats=stats))
+    return BenchRun(name=name, created_at="2026-07-28T00:00:00+00:00",
+                    env={}, config={}, measurements=measurements)
+
+
+KEY = ("kernel.coo", "s1")
+
+
+class TestVerdicts:
+    def test_neutral_within_threshold(self):
+        report = compare_runs(run_with({KEY: 1.0}), run_with({KEY: 1.05}))
+        assert [d.verdict for d in report.deltas] == ["neutral"]
+        assert not report.has_regressions
+
+    def test_two_x_slowdown_is_regression(self):
+        report = compare_runs(run_with({KEY: 1.0}), run_with({KEY: 2.0}))
+        (delta,) = report.deltas
+        assert delta.verdict == "regression"
+        assert delta.ratio == pytest.approx(2.0)
+        assert report.has_regressions
+
+    def test_speedup_is_improvement(self):
+        report = compare_runs(run_with({KEY: 2.0}), run_with({KEY: 1.0}))
+        (delta,) = report.deltas
+        assert delta.verdict == "improvement"
+        assert delta.speedup == pytest.approx(2.0)
+
+    def test_threshold_boundary_not_flagged(self):
+        # exactly at threshold stays neutral (strict inequality)
+        report = compare_runs(run_with({KEY: 1.0}), run_with({KEY: 1.10}),
+                              threshold=0.10)
+        assert report.deltas[0].verdict == "neutral"
+
+    def test_custom_threshold(self):
+        base, cand = run_with({KEY: 1.0}), run_with({KEY: 1.15})
+        assert compare_runs(base, cand, threshold=0.10).has_regressions
+        assert not compare_runs(base, cand, threshold=0.20).has_regressions
+
+    def test_added_and_removed(self):
+        base = run_with({("a", "s"): 1.0, ("b", "s"): 1.0})
+        cand = run_with({("a", "s"): 1.0, ("c", "s"): 1.0})
+        report = compare_runs(base, cand)
+        verdicts = {(d.target, d.scenario): d.verdict for d in report.deltas}
+        assert verdicts[("b", "s")] == "removed"
+        assert verdicts[("c", "s")] == "added"
+        assert report.counts()["neutral"] == 1
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValidationError):
+            compare_runs(run_with({KEY: 1.0}), run_with({KEY: 1.0}),
+                         threshold=-0.1)
+
+
+class TestReport:
+    def test_metric_selection(self):
+        base = run_with({KEY: 1.0})
+        cand = run_with({KEY: 1.0})
+        # min differs by the 0.9 factor symmetrically -> still neutral
+        report = compare_runs(base, cand, metric="min")
+        assert report.metric == "min"
+        assert report.deltas[0].verdict == "neutral"
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ValidationError):
+            compare_runs(run_with({KEY: 1.0}), run_with({KEY: 1.0}),
+                         metric="harmonic")
+
+    def test_rows_are_table_ready(self):
+        report = compare_runs(run_with({KEY: 1.0}), run_with({KEY: 2.0}))
+        (row,) = report.rows()
+        assert row["verdict"] == "regression"
+        assert row["ratio"] == pytest.approx(2.0)
+
+    def test_counts_cover_all_verdicts(self):
+        report = compare_runs(run_with({KEY: 1.0}), run_with({KEY: 1.0}))
+        counts = report.counts()
+        assert set(counts) == {"regression", "improvement", "neutral",
+                               "added", "removed"}
+        assert sum(counts.values()) == len(report.deltas)

@@ -1,0 +1,116 @@
+"""Target-registry tests: deterministic listing, expansion, execution."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.targets import (
+    DEFAULT_MATRIX_GROUP,
+    bench_factors,
+    expand_targets,
+    get_target,
+    register_target,
+    target_groups,
+    target_names,
+)
+from repro.scenarios.cache import materialize
+from repro.util.errors import ValidationError
+
+TINY = {"generator": "uniform", "shape": [12, 10, 14], "nnz": 300, "seed": 9}
+
+#: the four MTTKRP kernel formats of the paper.
+FOUR_KERNELS = ["kernel.b-csf", "kernel.coo", "kernel.csf", "kernel.hb-csf"]
+
+
+class TestListing:
+    def test_listing_is_sorted_and_stable(self):
+        names = target_names()
+        assert names == sorted(names)
+        assert names == target_names()  # deterministic across calls
+
+    def test_groups(self):
+        assert set(target_groups()) == {"kernel", "build", "sim", "cpd"}
+        assert DEFAULT_MATRIX_GROUP in target_groups()
+
+    def test_four_mttkrp_kernels_registered(self):
+        for name in FOUR_KERNELS:
+            assert name in target_names("kernel")
+
+    def test_unknown_target(self):
+        with pytest.raises(ValidationError):
+            get_target("kernel.nope")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValidationError):
+            register_target("kernel.coo", group="kernel",
+                            description="dup")(lambda t, r: lambda: None)
+
+
+class TestExpansion:
+    def test_exact_name(self):
+        assert expand_targets(["kernel.coo"]) == ["kernel.coo"]
+
+    def test_group_name(self):
+        assert expand_targets(["build"]) == target_names("build")
+
+    def test_glob(self):
+        assert expand_targets(["kernel.coo*"]) == [
+            "kernel.coo", "kernel.coo-bincount", "kernel.coo-scatter",
+            "kernel.coo-sorted"]
+
+    def test_group_equals_glob(self):
+        assert expand_targets(["sim"]) == expand_targets(["sim.*"])
+
+    def test_dedup_and_sort(self):
+        got = expand_targets(["kernel.csf", "kernel.coo", "kernel.csf"])
+        assert got == ["kernel.coo", "kernel.csf"]
+
+    def test_unknown_pattern(self):
+        with pytest.raises(ValidationError):
+            expand_targets(["nope.*"])
+
+
+class TestExecution:
+    @pytest.fixture(scope="class")
+    def tiny(self):
+        return materialize(TINY)
+
+    def test_kernel_targets_agree(self, tiny):
+        outs = {}
+        for name in FOUR_KERNELS:
+            fn = get_target(name).setup(tiny, 6)
+            outs[name] = fn()
+        base = outs["kernel.coo"]
+        for name, out in outs.items():
+            np.testing.assert_allclose(out, base, rtol=1e-9, atol=1e-9,
+                                       err_msg=name)
+
+    def test_build_target_runs(self, tiny):
+        csf = get_target("build.csf").setup(tiny, 6)()
+        assert csf.nnz == tiny.nnz
+
+    def test_sim_target_probe(self, tiny):
+        target = get_target("sim.hb-csf")
+        result = target.setup(tiny, 6)()
+        assert result.time_seconds > 0
+        metrics = target.probe(result)
+        assert metrics["simulated_seconds"] == pytest.approx(
+            result.time_seconds)
+        assert "simulated_gflops" in metrics
+
+    def test_cpd_target_deterministic_across_laps(self, tiny):
+        fn = get_target("cpd.als").setup(tiny, 4)
+        a, b = fn(), fn()
+        np.testing.assert_array_equal(a.factors[0], b.factors[0])
+
+    def test_dispatch_target_matches_kernels(self, tiny):
+        got = get_target("kernel.dispatch").setup(tiny, 6)()
+        want = get_target("kernel.coo").setup(tiny, 6)()
+        np.testing.assert_allclose(got, want, rtol=1e-9, atol=1e-9)
+
+    def test_factors_deterministic(self):
+        a = bench_factors((5, 6, 7), 4)
+        b = bench_factors((5, 6, 7), 4)
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
