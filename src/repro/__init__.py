@@ -51,6 +51,16 @@ from repro.core import (
     MttkrpPlan,
     FORMATS,
 )
+from repro.formats import (
+    FormatSpec,
+    register_format,
+    canonical_format,
+    get_format,
+    format_names,
+    build_plan,
+    plan_cache_stats,
+    clear_plan_cache,
+)
 from repro.gpusim import (
     DeviceSpec,
     TESLA_P100,
@@ -81,6 +91,9 @@ __all__ = [
     "SplitConfig", "BcsfTensor", "build_bcsf", "CslGroup", "build_csl_group",
     "HbcsfTensor", "build_hbcsf", "partition_slices", "mttkrp", "MttkrpPlan",
     "FORMATS",
+    # format registry / build-plan cache
+    "FormatSpec", "register_format", "canonical_format", "get_format",
+    "format_names", "build_plan", "plan_cache_stats", "clear_plan_cache",
     # GPU simulation
     "DeviceSpec", "TESLA_P100", "TESLA_V100", "LaunchConfig",
     "simulate_mttkrp", "KernelResult",

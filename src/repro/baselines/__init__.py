@@ -10,6 +10,12 @@ the dense reference) and report performance through cost models:
 * :mod:`repro.baselines.hicoo`     — HiCOO's blocked-COO MTTKRP;
 * :mod:`repro.baselines.parti`     — ParTI!'s COO GPU MTTKRP (atomic adds);
 * :mod:`repro.baselines.fcoo`      — F-COO's segmented-scan GPU MTTKRP.
+
+The baseline builders are registered as formats (``splatt``,
+``splatt-tiled``, ``hicoo``, ``parti``, ``f-coo``) in
+:mod:`repro.formats.builtin`, so they are reachable from the public
+:func:`repro.mttkrp` dispatch and enumerable alongside the paper's own
+formats instead of being free-standing classes only.
 """
 
 from repro.baselines.cpu_model import CpuSpec, XEON_E5_2680_V4, CpuKernelResult

@@ -3,6 +3,7 @@
 Usage::
 
     python -m repro.bench list
+    python -m repro.bench list --formats
     python -m repro.bench run --target kernel.coo --scenario deli --budget tiny
     python -m repro.bench run --target kernel --suite scaling_ladder \
         --repeats 7 --name ladder
@@ -131,7 +132,39 @@ def _execute_sweep(args, targets: list[str], default_name: str) -> int:
     return 0
 
 
+def _list_formats() -> int:
+    from repro.formats import iter_formats
+
+    rows = []
+    for spec in iter_formats():
+        flags = []
+        if spec.needs_split_config:
+            flags.append("split-config")
+        if not spec.per_mode_build:
+            flags.append("allmode-build")
+        if spec.requires_singleton_fibers:
+            flags.append("singleton-fibers")
+        if spec.cpu_supported_orders is not None:
+            orders = "/".join(str(o) for o in spec.cpu_supported_orders)
+            flags.append(f"order-{orders}-only")
+        rows.append({
+            "format": spec.name,
+            "kind": spec.kind,
+            "cpu": "yes" if spec.cpu_kernel else "-",
+            "gpusim": "yes" if spec.gpusim else "-",
+            "aliases": ", ".join(spec.aliases) or "-",
+            "flags": ", ".join(flags) or "-",
+        })
+    print(_format_table(rows))
+    print()
+    print("All format enumeration flows through repro.formats; "
+          "see src/repro/formats/README.md to register a new one.")
+    return 0
+
+
 def _cmd_list(args) -> int:
+    if args.formats:
+        return _list_formats()
     _ensure_named_scenarios()
     print("targets:")
     for group in target_groups():
@@ -245,7 +278,11 @@ def build_parser() -> argparse.ArgumentParser:
                     "library's kernels, builders, simulations and solvers")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list benchmark targets, suites and budgets")
+    lst = sub.add_parser("list",
+                         help="list benchmark targets, suites and budgets")
+    lst.add_argument("--formats", action="store_true",
+                     help="list the sparse-format registry instead "
+                          "(name, aliases, kernels, capability flags)")
 
     run = sub.add_parser("run", help="time selected targets on selected "
                                      "scenarios")

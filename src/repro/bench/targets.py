@@ -133,15 +133,73 @@ def bench_factors(shape: tuple[int, ...], rank: int) -> list[np.ndarray]:
 
 
 # --------------------------------------------------------------------- #
-# kernel.* — exact MTTKRP kernels (mode 0, the paper's reporting mode)
+# kernel.* — exact MTTKRP kernels (mode 0, the paper's reporting mode),
+# one target per registry entry of the paper's format family.  No format
+# names are written out here: the registry is the single enumeration.
 # --------------------------------------------------------------------- #
-@register_target("kernel.coo", group="kernel",
-                 description="COO MTTKRP, auto accumulation (Algorithm 2)")
-def _kernel_coo(tensor: CooTensor, rank: int) -> Callable[[], object]:
-    from repro.kernels.coo_mttkrp import coo_mttkrp
+def _csl_eligible_inputs(tensor: CooTensor):
+    """Mode-0 CSF tree plus the mask of CSL-*representable* slices.
 
-    factors = bench_factors(tensor.shape, rank)
-    return lambda: coo_mttkrp(tensor, factors, 0)
+    Representable means every fiber of the slice is a singleton; that is
+    the partitioner's csl group plus the single-nonzero slices (which
+    HB-CSF routes to its COO kernel, but which CSL can store just as well).
+    Shared by ``kernel.csl`` and ``build.csl`` so both measure the same
+    slice subset.
+    """
+    from repro.core.hybrid import partition_slices
+    from repro.tensor.csf import build_csf
+
+    csf = build_csf(tensor, 0)
+    partition = partition_slices(csf)
+    return csf, partition.coo_mask | partition.csl_mask
+
+
+def _bench_representation(spec, tensor: CooTensor):
+    """Mode-0 representation for benchmarking; formats restricted to
+    all-singleton-fiber slices (CSL) get the eligible subset."""
+    if spec.requires_singleton_fibers:
+        from repro.core.csl import build_csl_group
+
+        return build_csl_group(*_csl_eligible_inputs(tensor))
+    return spec.build(tensor, 0)
+
+
+def _register_format_kernel(name: str) -> None:
+    from repro.formats import get_format
+
+    spec = get_format(name)
+    suffix = (" over the CSL-eligible slices" if spec.requires_singleton_fibers
+              else "")
+    @register_target(f"kernel.{name}", group="kernel",
+                     description=f"{name} MTTKRP{suffix}; build untimed")
+    def _kernel(tensor: CooTensor, rank: int,
+                _name: str = name) -> Callable[[], object]:
+        from repro.formats import get_format
+
+        fmt = get_format(_name)
+        rep = _bench_representation(fmt, tensor)
+        factors = bench_factors(tensor.shape, rank)
+        return lambda: fmt.mttkrp(rep, factors, 0)
+
+
+def _register_registry_targets() -> None:
+    from repro.formats import format_names, get_format
+
+    for fmt_name in format_names(kind="own", cpu=True):
+        _register_format_kernel(fmt_name)
+
+    # build.* — format construction (the paper's pre-processing axis).
+    for fmt_name in format_names(kind="own"):
+        spec = get_format(fmt_name)
+        if spec.requires_singleton_fibers:
+            _register_csl_build(fmt_name)
+            continue
+        _register_format_build(fmt_name)
+
+    # sim.* — analytical GPU simulations of the format kernels.
+    for fmt_name in format_names(gpusim=True):
+        if get_format(fmt_name).sim_in_bench:
+            _register_sim(fmt_name)
 
 
 @register_target("kernel.coo-scatter", group="kernel",
@@ -171,40 +229,9 @@ def _kernel_coo_bincount(tensor: CooTensor, rank: int) -> Callable[[], object]:
     return lambda: coo_mttkrp(tensor, factors, 0, method="bincount")
 
 
-@register_target("kernel.csf", group="kernel",
-                 description="CSF MTTKRP (Algorithm 3); build untimed")
-def _kernel_csf(tensor: CooTensor, rank: int) -> Callable[[], object]:
-    from repro.kernels.csf_mttkrp import csf_mttkrp
-    from repro.tensor.csf import build_csf
-
-    csf = build_csf(tensor, 0)
-    factors = bench_factors(tensor.shape, rank)
-    return lambda: csf_mttkrp(csf, factors)
-
-
-@register_target("kernel.b-csf", group="kernel",
-                 description="B-CSF MTTKRP (balanced fibers); build untimed")
-def _kernel_bcsf(tensor: CooTensor, rank: int) -> Callable[[], object]:
-    from repro.core.bcsf import build_bcsf
-
-    bcsf = build_bcsf(tensor, 0)
-    factors = bench_factors(tensor.shape, rank)
-    return lambda: bcsf.mttkrp(factors)
-
-
-@register_target("kernel.hb-csf", group="kernel",
-                 description="HB-CSF MTTKRP (COO+CSL+B-CSF groups); build untimed")
-def _kernel_hbcsf(tensor: CooTensor, rank: int) -> Callable[[], object]:
-    from repro.core.hybrid import build_hbcsf
-
-    hb = build_hbcsf(tensor, 0)
-    factors = bench_factors(tensor.shape, rank)
-    return lambda: hb.mttkrp(factors)
-
-
 @register_target("kernel.dispatch", group="kernel",
-                 description="public mttkrp() dispatch API, hb-csf "
-                             "(includes per-call format construction)")
+                 description="public mttkrp() registry dispatch, hb-csf "
+                             "(format construction served by the plan cache)")
 def _kernel_dispatch(tensor: CooTensor, rank: int) -> Callable[[], object]:
     from repro.core.mttkrp import mttkrp
 
@@ -212,31 +239,66 @@ def _kernel_dispatch(tensor: CooTensor, rank: int) -> Callable[[], object]:
     return lambda: mttkrp(tensor, factors, 0, "hb-csf")
 
 
+def _plan_reuse_probe(result: object) -> dict:
+    return dict(result)
+
+
+@register_target("kernel.plan_reuse", group="kernel",
+                 description="MttkrpPlan (all modes) + one ALLMODE MTTKRP "
+                             "sweep through the build-plan cache: the first "
+                             "invocation builds, later ones reuse",
+                 probe=_plan_reuse_probe)
+def _kernel_plan_reuse(tensor: CooTensor, rank: int) -> Callable[[], object]:
+    from repro.core.mttkrp import MttkrpPlan
+    from repro.formats import plan_cache, plan_cache_stats, tensor_fingerprint
+
+    factors = bench_factors(tensor.shape, rank)
+    # Self-contained measurement: evict only this tensor's hb-csf entries
+    # so the first lap pays the builds and every later lap demonstrates the
+    # amortisation — without wiping unrelated cached representations.
+    plan_cache().discard(format="hb-csf",
+                         fingerprint=tensor_fingerprint(tensor))
+
+    def run() -> dict:
+        before = plan_cache_stats()
+        plan = MttkrpPlan(tensor, format="hb-csf")
+        for m in range(tensor.order):
+            plan.mttkrp(factors, m)
+        after = plan_cache_stats()
+        return {
+            "plan_cache_hits": after["hits"] - before["hits"],
+            "plan_cache_misses": after["misses"] - before["misses"],
+            "preprocessing_seconds": plan.preprocessing_seconds,
+        }
+
+    return run
+
+
 # --------------------------------------------------------------------- #
 # build.* — format construction (the paper's pre-processing axis)
 # --------------------------------------------------------------------- #
-@register_target("build.csf", group="build",
-                 description="CSF construction from COO (mode-0 root)")
-def _build_csf(tensor: CooTensor, rank: int) -> Callable[[], object]:
-    from repro.tensor.csf import build_csf
+def _register_format_build(name: str) -> None:
+    @register_target(f"build.{name}", group="build",
+                     description=f"{name} construction from COO "
+                                 "(mode-0 root)")
+    def _build(tensor: CooTensor, rank: int,
+               _name: str = name) -> Callable[[], object]:
+        from repro.formats import get_format
 
-    return lambda: build_csf(tensor, 0)
-
-
-@register_target("build.b-csf", group="build",
-                 description="B-CSF construction (fiber/slice splitting)")
-def _build_bcsf(tensor: CooTensor, rank: int) -> Callable[[], object]:
-    from repro.core.bcsf import build_bcsf
-
-    return lambda: build_bcsf(tensor, 0)
+        fmt = get_format(_name)
+        return lambda: fmt.build(tensor, 0)
 
 
-@register_target("build.hb-csf", group="build",
-                 description="HB-CSF construction (partition + three groups)")
-def _build_hbcsf(tensor: CooTensor, rank: int) -> Callable[[], object]:
-    from repro.core.hybrid import build_hbcsf
+def _register_csl_build(name: str) -> None:
+    @register_target(f"build.{name}", group="build",
+                     description=f"{name} group construction over the "
+                                 "CSL-eligible slices (CSF build untimed)")
+    def _build(tensor: CooTensor, rank: int,
+               _name: str = name) -> Callable[[], object]:
+        from repro.core.csl import build_csl_group
 
-    return lambda: build_hbcsf(tensor, 0)
+        csf, mask = _csl_eligible_inputs(tensor)
+        return lambda: build_csl_group(csf, mask)
 
 
 # --------------------------------------------------------------------- #
@@ -264,8 +326,7 @@ def _register_sim(fmt: str) -> None:
         return lambda: simulate_mttkrp(tensor, 0, rank, format=_fmt)
 
 
-for _fmt in ("coo", "csf", "b-csf", "hb-csf", "f-coo"):
-    _register_sim(_fmt)
+_register_registry_targets()
 
 
 # --------------------------------------------------------------------- #

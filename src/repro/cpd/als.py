@@ -5,9 +5,13 @@ Every iteration updates each factor matrix in turn:
     A_n ← MTTKRP_n(X, factors) · (∗_{m≠n} A_mᵀA_m)⁺
 
 then normalises the columns into ``λ``.  The MTTKRP is executed through a
-:class:`repro.core.mttkrp.MttkrpPlan`, so the choice of format (COO, CSF,
-B-CSF, HB-CSF) and its preprocessing cost are explicit — this is exactly the
-trade-off Figures 9 and 10 analyse.
+:class:`repro.core.mttkrp.MttkrpPlan`, so the choice of format (any entry of
+the :mod:`repro.formats` registry with a CPU kernel) and its preprocessing
+cost are explicit — this is exactly the trade-off Figures 9 and 10 analyse.
+Because the plan draws its representations from the content-addressed
+build-plan cache, repeated solves of the same tensor (rank sweeps, figure
+drivers, bench laps) pay the format construction once; the reported
+``preprocessing_seconds`` remains the recorded cost of the original build.
 """
 
 from __future__ import annotations

@@ -7,6 +7,7 @@ from typing import Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
+from repro.formats import format_names, get_format
 from repro.gpusim.device import DeviceSpec, TESLA_P100
 from repro.scenarios.cache import ScenarioCache, materialize
 from repro.scenarios.spec import ScenarioSpec, parse_spec
@@ -20,11 +21,20 @@ __all__ = [
     "geometric_mean",
     "load_experiment_tensor",
     "iter_experiment_tensors",
+    "balanced_format_names",
     "DEFAULT_RANK",
 ]
 
 #: The paper uses rank 32 for every experiment (Section VI-A).
 DEFAULT_RANK = 32
+
+
+def balanced_format_names() -> tuple[str, ...]:
+    """The paper's split-configurable formats (B-CSF, HB-CSF), from the
+    registry — the pair Figures 9/10 compare against SPLATT's
+    preprocessing."""
+    return tuple(name for name in format_names(kind="own")
+                 if get_format(name).needs_split_config)
 
 
 def format_table(rows: Sequence[dict], columns: Sequence[str] | None = None) -> str:

@@ -10,7 +10,11 @@ from __future__ import annotations
 
 from repro.baselines.splatt import SplattMttkrp
 from repro.core.mttkrp import MttkrpPlan
-from repro.experiments.common import ExperimentResult, load_experiment_tensor
+from repro.experiments.common import (
+    ExperimentResult,
+    balanced_format_names,
+    load_experiment_tensor,
+)
 from repro.tensor.datasets import ALL_DATASETS
 
 __all__ = ["run"]
@@ -23,19 +27,21 @@ def run(scale: float = 1.0, datasets: tuple[str, ...] = ALL_DATASETS,
         tensor = load_experiment_tensor(name, scale=scale, seed=seed)
         splatt_nt = SplattMttkrp(tensor, tiled=False)
         splatt_t = SplattMttkrp(tensor, tiled=True)
-        bcsf_plan = MttkrpPlan(tensor, format="b-csf")
-        hbcsf_plan = MttkrpPlan(tensor, format="hb-csf")
+        plans = {fmt: MttkrpPlan(tensor, format=fmt)
+                 for fmt in balanced_format_names()}
         base = max(splatt_nt.preprocessing_seconds, 1e-12)
-        rows.append({
-            "tensor": name,
-            "b-csf / splatt-nt": round(bcsf_plan.preprocessing_seconds / base, 2),
-            "hb-csf / splatt-nt": round(hbcsf_plan.preprocessing_seconds / base, 2),
-            "splatt-tiled / splatt-nt": round(
-                splatt_t.preprocessing_seconds / base, 2),
-            "splatt-nt (ms)": round(base * 1e3, 2),
-        })
-    bcsf_cheaper = all(r["b-csf / splatt-nt"] <= r["hb-csf / splatt-nt"] * 1.05
-                       for r in rows)
+        row = {"tensor": name}
+        for fmt, plan in plans.items():
+            row[f"{fmt} / splatt-nt"] = round(
+                plan.preprocessing_seconds / base, 2)
+        row["splatt-tiled / splatt-nt"] = round(
+            splatt_t.preprocessing_seconds / base, 2)
+        row["splatt-nt (ms)"] = round(base * 1e3, 2)
+        rows.append(row)
+    first, *others = balanced_format_names()
+    bcsf_cheaper = all(
+        r[f"{first} / splatt-nt"] <= r[f"{fmt} / splatt-nt"] * 1.05
+        for r in rows for fmt in others)
     return ExperimentResult(
         experiment_id="fig9",
         title="Pre-processing time normalised to SPLATT-nontiled",

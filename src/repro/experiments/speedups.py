@@ -11,10 +11,6 @@ from __future__ import annotations
 
 from typing import Callable
 
-from repro.baselines.fcoo import FcooGpuMttkrp
-from repro.baselines.hicoo import HicooMttkrp
-from repro.baselines.parti import PartiGpuMttkrp
-from repro.baselines.splatt import SplattMttkrp
 from repro.core.mttkrp import MttkrpPlan
 from repro.experiments.common import (
     DEFAULT_RANK,
@@ -22,41 +18,48 @@ from repro.experiments.common import (
     geometric_mean,
     load_experiment_tensor,
 )
+from repro.formats import canonical_format, format_names, get_format
 from repro.gpusim.api import simulate_mttkrp
 from repro.gpusim.device import DeviceSpec, TESLA_P100
 from repro.tensor.datasets import ALL_DATASETS
 
-__all__ = ["speedup_experiment", "BASELINE_FACTORIES"]
+__all__ = ["speedup_experiment", "baseline_factory", "BASELINE_FACTORIES"]
 
 
-def _splatt_tiled(tensor):
-    return SplattMttkrp(tensor, tiled=True)
+def _registry_factory(name: str) -> Callable:
+    spec = get_format(name)
+    return lambda tensor: spec.build(tensor, 0)
 
 
-def _splatt_nontiled(tensor):
-    return SplattMttkrp(tensor, tiled=False)
+#: baseline name -> (constructor, supports_4d), listed under the canonical
+#: registry name *and* every registered alias (so the historical keys
+#: ``"splatt-nontiled"``, ``"parti-gpu"``, ``"fcoo-gpu"`` keep working).
+#: A snapshot of the registry at import time; :func:`baseline_factory`
+#: resolves against the live registry, so baselines registered later are
+#: picked up too.
+BASELINE_FACTORIES: dict[str, tuple[Callable, bool]] = {}
+for _name in format_names(kind="baseline"):
+    _entry = (_registry_factory(_name),
+              get_format(_name).cpu_supported_orders is None)
+    BASELINE_FACTORIES[_name] = _entry
+    for _alias in get_format(_name).aliases:
+        BASELINE_FACTORIES.setdefault(_alias, _entry)
+del _name, _entry, _alias
 
 
-def _hicoo(tensor):
-    return HicooMttkrp(tensor)
+def baseline_factory(name: str) -> tuple[Callable, bool]:
+    """Resolve any accepted baseline spelling (``"fcoo-gpu"``,
+    ``"splatt-nontiled"``, ...) to its constructor and 4-D capability."""
+    from repro.util.errors import ValidationError
 
-
-def _parti(tensor):
-    return PartiGpuMttkrp(tensor)
-
-
-def _fcoo(tensor):
-    return FcooGpuMttkrp(tensor)
-
-
-#: baseline name -> (constructor, supports_4d)
-BASELINE_FACTORIES: dict[str, tuple[Callable, bool]] = {
-    "splatt-tiled": (_splatt_tiled, True),
-    "splatt-nontiled": (_splatt_nontiled, True),
-    "hicoo": (_hicoo, True),
-    "parti-gpu": (_parti, False),
-    "fcoo-gpu": (_fcoo, False),
-}
+    canonical = canonical_format(name)
+    spec = get_format(canonical)
+    if spec.kind != "baseline":
+        raise ValidationError(
+            f"{name!r} is not a baseline format; choose one of "
+            f"{', '.join(format_names(kind='baseline'))}")
+    return (_registry_factory(canonical),
+            spec.cpu_supported_orders is None)
 
 
 def hbcsf_time_all_modes(tensor, rank: int, device: DeviceSpec) -> float:
@@ -85,7 +88,7 @@ def speedup_experiment(
     seed: int | None = None,
 ) -> ExperimentResult:
     """Build the per-dataset speedup table for one baseline."""
-    factory, supports_4d = BASELINE_FACTORIES[baseline_name]
+    factory, supports_4d = baseline_factory(baseline_name)
     rows = []
     speedups = []
     for name in datasets:

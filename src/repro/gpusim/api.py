@@ -5,35 +5,52 @@ a target mode, a rank and a format name and returns the simulated
 :class:`~repro.gpusim.metrics.KernelResult` for one MTTKRP execution on the
 chosen device — the quantity every figure of the paper's evaluation is built
 from.
+
+Kernel selection flows through the :mod:`repro.formats` registry: every
+registered format with a ``gpusim`` hook is simulatable by name, and the
+name-built representations come from the shared build-plan cache, so an
+experiment sweeping several figures over the same tensor builds each
+structure once.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.core.bcsf import BcsfTensor, build_bcsf
+from repro.core.bcsf import BcsfTensor
 from repro.core.csl import CslGroup
-from repro.core.hybrid import HbcsfTensor, build_hbcsf
+from repro.core.hybrid import HbcsfTensor
 from repro.core.splitting import SplitConfig
+from repro.formats import DEFAULT_FORMAT, format_names, get_format
 from repro.gpusim.costs import CostModel, DEFAULT_COSTS
 from repro.gpusim.device import DeviceSpec, TESLA_P100
 from repro.gpusim.executor import simulate_kernel
-from repro.gpusim.kernels.coo_kernel import build_coo_workload
 from repro.gpusim.kernels.csf_kernel import build_bcsf_workload, build_csf_workload
 from repro.gpusim.kernels.csl_kernel import build_csl_workload
-from repro.gpusim.kernels.fcoo_kernel import build_fcoo_workload
 from repro.gpusim.kernels.hbcsf_kernel import build_hbcsf_workloads
 from repro.gpusim.launch import LaunchConfig
 from repro.gpusim.memory import MemoryModel
 from repro.gpusim.metrics import KernelResult
 from repro.tensor.coo import CooTensor
-from repro.tensor.csf import CsfTensor, build_csf
+from repro.tensor.csf import CsfTensor
 from repro.util.errors import ValidationError
 
-__all__ = ["simulate_mttkrp", "GPU_FORMATS", "atomic_conflict_factor"]
+__all__ = [
+    "simulate_mttkrp",
+    "simulate_hbcsf_structure",
+    "GPU_FORMATS",
+    "atomic_conflict_factor",
+]
 
-#: Format names accepted by :func:`simulate_mttkrp`.
-GPU_FORMATS = ("csf", "b-csf", "hb-csf", "coo", "parti", "f-coo")
+#: Formats :func:`simulate_mttkrp` accepts by name on *any* tensor —
+#: computed from the registry (``csl`` is additionally simulatable on
+#: singleton-fiber tensors or via a pre-built :class:`CslGroup`).  The
+#: order-3 restriction of ParTI / F-COO binds their exact CPU kernels, not
+#: the analytical GPU models, so both stay listed here.
+GPU_FORMATS = tuple(
+    name for name in format_names(gpusim=True)
+    if not get_format(name).requires_singleton_fibers
+)
 
 
 def atomic_conflict_factor(tensor: CooTensor, mode: int) -> float:
@@ -49,23 +66,52 @@ def atomic_conflict_factor(tensor: CooTensor, mode: int) -> float:
     return 1.0 + min(8.0, mean / 32.0)
 
 
-def _normalise(fmt: str) -> str:
-    key = fmt.strip().lower().replace("_", "-")
-    aliases = {"bcsf": "b-csf", "hbcsf": "hb-csf", "hybrid": "hb-csf",
-               "gpu-csf": "csf", "fcoo": "f-coo", "coo-atomic": "coo"}
-    key = aliases.get(key, key)
-    if key not in GPU_FORMATS:
-        raise ValidationError(
-            f"unknown GPU format {fmt!r}; choose one of {', '.join(GPU_FORMATS)}"
-        )
-    return key
+def simulate_hbcsf_structure(
+    hbcsf: HbcsfTensor,
+    rank: int,
+    device: DeviceSpec = TESLA_P100,
+    launch: LaunchConfig | None = None,
+    costs: CostModel = DEFAULT_COSTS,
+    memory_model: MemoryModel | None = None,
+) -> KernelResult:
+    """Simulate the three-group HB-CSF launch for a pre-built structure."""
+    launch = launch or LaunchConfig()
+    memory_model = memory_model or MemoryModel()
+    workloads = build_hbcsf_workloads(hbcsf, rank, launch, costs)
+    if not workloads:
+        from repro.gpusim.workload import empty_workload
+
+        return simulate_kernel(empty_workload("hb-csf", launch), device,
+                               memory_model)
+    # The three group kernels are independent, so they are issued in
+    # separate CUDA streams and fill the GPU together; model that as a
+    # single merged launch (one launch overhead, shared SM pool).
+    merged = workloads[0]
+    for extra in workloads[1:]:
+        merged = merged.merged_with(extra)
+    merged.name = "hb-csf"
+    # The groups reference largely overlapping factor rows and share L2,
+    # so summing their per-group distinct working sets overstates the
+    # footprint; the largest group's working set is the better estimate.
+    from repro.gpusim.workload import MemoryTraffic
+
+    merged.traffic = MemoryTraffic(
+        streamed_bytes=merged.traffic.streamed_bytes,
+        factor_read_bytes=merged.traffic.factor_read_bytes,
+        factor_distinct_bytes=max(w.traffic.factor_distinct_bytes
+                                  for w in workloads),
+    )
+    result = simulate_kernel(merged, device, memory_model)
+    parts = [simulate_kernel(w, device, memory_model) for w in workloads]
+    result.details["parts"] = [p.as_row() for p in parts]
+    return result
 
 
 def simulate_mttkrp(
     tensor,
     mode: int = 0,
     rank: int = 32,
-    format: str = "hb-csf",
+    format: str = DEFAULT_FORMAT,
     device: DeviceSpec = TESLA_P100,
     launch: LaunchConfig | None = None,
     config: SplitConfig | None = None,
@@ -78,15 +124,16 @@ def simulate_mttkrp(
     ----------
     tensor:
         A :class:`CooTensor`, or an already-built :class:`CsfTensor`,
-        :class:`BcsfTensor` or :class:`HbcsfTensor` (in which case
-        ``format`` defaults to the matching kernel and ``mode`` must agree
-        with the structure's root mode).
+        :class:`BcsfTensor`, :class:`CslGroup` or :class:`HbcsfTensor` (in
+        which case ``format`` defaults to the matching kernel and ``mode``
+        must agree with the structure's root mode).
     mode:
         Target mode.
     rank:
         Factor-matrix rank ``R`` (the paper uses 32 everywhere).
     format:
-        ``"csf"`` (the unsplit GPU-CSF baseline), ``"b-csf"``, ``"hb-csf"``,
+        Any registered format with a GPU kernel: ``"csf"`` (the unsplit
+        GPU-CSF baseline), ``"b-csf"``, ``"hb-csf"``, ``"csl"``,
         ``"coo"``/``"parti"`` (atomic COO) or ``"f-coo"``.
     device / launch / config / costs / memory_model:
         Hardware, launch geometry, splitting configuration and cost-model
@@ -97,34 +144,8 @@ def simulate_mttkrp(
 
     # Pre-built structures carry their own format.
     if isinstance(tensor, HbcsfTensor):
-        workloads = build_hbcsf_workloads(tensor, rank, launch, costs)
-        if not workloads:
-            from repro.gpusim.workload import empty_workload
-
-            return simulate_kernel(empty_workload("hb-csf", launch), device,
-                                   memory_model)
-        # The three group kernels are independent, so they are issued in
-        # separate CUDA streams and fill the GPU together; model that as a
-        # single merged launch (one launch overhead, shared SM pool).
-        merged = workloads[0]
-        for extra in workloads[1:]:
-            merged = merged.merged_with(extra)
-        merged.name = "hb-csf"
-        # The groups reference largely overlapping factor rows and share L2,
-        # so summing their per-group distinct working sets overstates the
-        # footprint; the largest group's working set is the better estimate.
-        from repro.gpusim.workload import MemoryTraffic
-
-        merged.traffic = MemoryTraffic(
-            streamed_bytes=merged.traffic.streamed_bytes,
-            factor_read_bytes=merged.traffic.factor_read_bytes,
-            factor_distinct_bytes=max(w.traffic.factor_distinct_bytes
-                                      for w in workloads),
-        )
-        result = simulate_kernel(merged, device, memory_model)
-        parts = [simulate_kernel(w, device, memory_model) for w in workloads]
-        result.details["parts"] = [p.as_row() for p in parts]
-        return result
+        return simulate_hbcsf_structure(tensor, rank, device, launch, costs,
+                                        memory_model)
     if isinstance(tensor, BcsfTensor):
         return simulate_kernel(build_bcsf_workload(tensor, rank, launch, costs),
                                device, memory_model)
@@ -140,24 +161,10 @@ def simulate_mttkrp(
             f"cannot simulate MTTKRP for object of type {type(tensor).__name__}"
         )
 
-    key = _normalise(format)
-    if key == "csf":
-        wl = build_csf_workload(build_csf(tensor, mode), rank, launch, costs)
-        return simulate_kernel(wl, device, memory_model)
-    if key == "b-csf":
-        bcsf = build_bcsf(tensor, mode, config)
-        return simulate_kernel(build_bcsf_workload(bcsf, rank, launch, costs),
-                               device, memory_model)
-    if key == "hb-csf":
-        hbcsf = build_hbcsf(tensor, mode, config)
-        return simulate_mttkrp(hbcsf, mode, rank, format, device, launch,
-                               config, costs, memory_model)
-    if key in ("coo", "parti"):
-        factor = atomic_conflict_factor(tensor, mode)
-        wl = build_coo_workload(tensor, mode, rank, launch, costs,
-                                atomic_conflict_factor=factor,
-                                name="parti-coo")
-        return simulate_kernel(wl, device, memory_model)
-    # f-coo
-    wl = build_fcoo_workload(tensor, mode, rank, launch, costs)
-    return simulate_kernel(wl, device, memory_model)
+    spec = get_format(format)
+    if spec.gpusim is None:
+        raise ValidationError(
+            f"format {spec.name!r} has no GPU kernel; choose one of "
+            f"{', '.join(format_names(gpusim=True))}")
+    return spec.gpusim(tensor, mode, rank, device, launch, config, costs,
+                       memory_model)

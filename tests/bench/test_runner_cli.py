@@ -88,6 +88,16 @@ class TestCli:
         assert "kernel.coo" in out and "sim.hb-csf" in out
         assert "paper12" in out and "tiny" in out
 
+    def test_list_formats(self, capsys):
+        assert main(["list", "--formats"]) == 0
+        out = capsys.readouterr().out
+        # the whole registry, own formats and baselines alike
+        for name in ("coo", "csf", "b-csf", "hb-csf", "csl",
+                     "splatt", "splatt-tiled", "hicoo", "parti", "f-coo"):
+            assert name in out, name
+        assert "singleton-fibers" in out   # capability flags rendered
+        assert "allmode-build" in out
+
     def test_run_writes_schema_valid_artifact(self, tmp_path, capsys):
         code = main(["run", "--target", "kernel.coo",
                      "--scenario", TINY_JSON,

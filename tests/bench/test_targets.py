@@ -37,6 +37,28 @@ class TestListing:
         for name in FOUR_KERNELS:
             assert name in target_names("kernel")
 
+    def test_registry_formats_generate_targets(self):
+        """Targets are generated from repro.formats — every own format with
+        a CPU kernel gets a kernel.* entry, every own format a build.*."""
+        from repro.formats import format_names
+
+        kernels = target_names("kernel")
+        builds = target_names("build")
+        for fmt in format_names(kind="own", cpu=True):
+            assert f"kernel.{fmt}" in kernels, fmt
+        for fmt in format_names(kind="own"):
+            assert f"build.{fmt}" in builds, fmt
+        assert "kernel.csl" in kernels
+        assert "kernel.plan_reuse" in kernels
+
+    def test_sim_targets_follow_registry(self):
+        from repro.formats import format_names, get_format
+
+        expected = sorted(
+            f"sim.{fmt}" for fmt in format_names(gpusim=True)
+            if get_format(fmt).sim_in_bench)
+        assert target_names("sim") == expected
+
     def test_unknown_target(self):
         with pytest.raises(ValidationError):
             get_target("kernel.nope")
@@ -108,6 +130,29 @@ class TestExecution:
         got = get_target("kernel.dispatch").setup(tiny, 6)()
         want = get_target("kernel.coo").setup(tiny, 6)()
         np.testing.assert_allclose(got, want, rtol=1e-9, atol=1e-9)
+
+    def test_csl_kernel_target_runs_on_eligible_subset(self, tiny):
+        """kernel.csl measures the CSL kernel over the CSL-eligible slices
+        (the same ones HB-CSF routes to CSL), so it runs on any tensor."""
+        out = get_target("kernel.csl").setup(tiny, 6)()
+        assert out.shape == (tiny.shape[0], 6)
+        assert np.all(np.isfinite(out))
+        built = get_target("build.csl").setup(tiny, 6)()
+        assert built.nnz <= tiny.nnz
+
+    def test_plan_reuse_amortises_on_second_invocation(self, tiny):
+        target = get_target("kernel.plan_reuse")
+        fn = target.setup(tiny, 6)
+        first = fn()
+        assert first["plan_cache_misses"] == tiny.order
+        assert first["preprocessing_seconds"] > 0.0
+        second = fn()
+        assert second["plan_cache_misses"] == 0
+        assert second["plan_cache_hits"] == tiny.order
+        # the recorded (amortised) build cost stays the honest original
+        assert second["preprocessing_seconds"] == pytest.approx(
+            first["preprocessing_seconds"])
+        assert target.probe(second) == second
 
     def test_factors_deterministic(self):
         a = bench_factors((5, 6, 7), 4)

@@ -162,3 +162,28 @@ class TestScenarioWorkloads:
         a = load_experiment_tensor("uber", scale=0.1, cache=cache)
         assert len(cache.manifest()) == 1
         assert load_experiment_tensor("uber", scale=0.1, cache=cache) == a
+
+
+class TestBaselineFactories:
+    def test_legacy_and_canonical_keys_present(self):
+        from repro.experiments.speedups import BASELINE_FACTORIES
+
+        for key in ("splatt", "splatt-nontiled", "splatt-tiled", "hicoo",
+                    "parti", "parti-gpu", "f-coo", "fcoo-gpu"):
+            assert key in BASELINE_FACTORIES, key
+
+    def test_baseline_factory_resolves_aliases(self):
+        from repro.experiments.speedups import baseline_factory
+
+        _, supports_4d = baseline_factory("fcoo-gpu")
+        assert supports_4d is False
+        _, supports_4d = baseline_factory("splatt-nontiled")
+        assert supports_4d is True
+
+    def test_non_baseline_format_rejected_fast(self):
+        from repro.experiments.speedups import baseline_factory
+        from repro.util.errors import ValidationError
+        import pytest
+
+        with pytest.raises(ValidationError, match="not a baseline"):
+            baseline_factory("csf")

@@ -1,0 +1,31 @@
+"""Fixtures for the format-registry and plan-cache tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.formats import clear_plan_cache
+from repro.tensor.coo import CooTensor
+from repro.util.prng import default_rng
+
+
+@pytest.fixture(autouse=True)
+def _fresh_plan_cache():
+    """Every test starts (and leaves) with an empty global plan cache."""
+    clear_plan_cache()
+    yield
+    clear_plan_cache()
+
+
+def singleton_fiber_tensor(dim: int = 24, seed: int = 7) -> CooTensor:
+    """A 3-D tensor that is CSL-eligible for *every* root mode.
+
+    All three coordinate columns are permutations, so any two nonzeros
+    differ in every coordinate — whichever mode is the root, each slice
+    holds exactly one (singleton) fiber.
+    """
+    rng = default_rng(seed)
+    idx = np.stack([rng.permutation(dim) for _ in range(3)], axis=1)
+    values = rng.standard_normal(dim)
+    return CooTensor(idx, values, (dim, dim, dim))

@@ -1,0 +1,110 @@
+"""Cross-format equivalence property suite.
+
+Every registered format's MTTKRP must match the dense einsum reference on a
+small scenario-suite slice, for *all* modes — the paper's Table/Figure
+machinery silently depends on this.  The parametrisation iterates the
+registry, so a newly registered format is pulled into the suite (and into
+the CI formats-matrix job) automatically; a format without an equivalence
+path here fails :mod:`tests.formats.test_registry_coverage`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.mttkrp import mttkrp
+from repro.formats import format_names, get_format
+from repro.scenarios.cache import materialize
+from repro.tensor.dense import einsum_mttkrp
+from repro.util.errors import ValidationError
+from tests.conftest import make_factors
+from tests.formats.conftest import singleton_fiber_tensor
+
+#: the scenario slice the suite sweeps — one skewed 3-D workload (the
+#: paper's regime, shrunk until the dense reference is affordable) and one
+#: 4-D workload for the formats that support higher orders.
+SUITE_SCENARIOS = (
+    ("power-law-3d",
+     {"generator": "power_law", "shape": [24, 18, 15], "nnz": 400,
+      "seed": 23}),
+    ("uniform-4d",
+     {"generator": "uniform", "shape": [10, 8, 9, 7], "nnz": 250,
+      "seed": 24}),
+)
+
+#: every format with a CPU kernel is equivalence-tested; this is the list
+#: test_registry_coverage checks for completeness.
+EQUIVALENCE_FORMATS = format_names(cpu=True)
+
+
+@pytest.fixture(scope="module")
+def suite_tensors():
+    return [(name, materialize(spec)) for name, spec in SUITE_SCENARIOS]
+
+
+@pytest.fixture(scope="module")
+def csl_tensor():
+    return singleton_fiber_tensor(dim=24, seed=7)
+
+
+@pytest.mark.parametrize("fmt", EQUIVALENCE_FORMATS)
+def test_matches_dense_reference_all_modes(fmt, suite_tensors, csl_tensor):
+    spec = get_format(fmt)
+    if spec.requires_singleton_fibers:
+        workloads = [("singleton-fibers", csl_tensor)]
+    else:
+        workloads = [
+            (name, tensor) for name, tensor in suite_tensors
+            if (spec.cpu_supported_orders is None
+                or tensor.order in spec.cpu_supported_orders)
+        ]
+    assert workloads, f"no equivalence workload fits format {fmt!r}"
+    for name, tensor in workloads:
+        factors = make_factors(tensor.shape, 6, seed=29)
+        for mode in range(tensor.order):
+            got = mttkrp(tensor, factors, mode, format=fmt)
+            want = einsum_mttkrp(tensor, factors, mode)
+            np.testing.assert_allclose(
+                got, want, rtol=1e-8, atol=1e-8,
+                err_msg=f"{fmt} disagrees with the dense reference on "
+                        f"{name}, mode {mode}")
+
+
+@pytest.mark.parametrize("fmt", format_names(cpu=True, universal=True))
+def test_out_accumulation_all_formats(fmt, suite_tensors):
+    _, tensor = suite_tensors[0]
+    factors = make_factors(tensor.shape, 4, seed=31)
+    out = np.ones((tensor.shape[0], 4), dtype=np.float64)
+    got = mttkrp(tensor, factors, 0, format=fmt, out=out)
+    want = 1.0 + einsum_mttkrp(tensor, factors, 0)
+    np.testing.assert_allclose(got, want, rtol=1e-8, atol=1e-8)
+
+
+def test_csl_rejects_ineligible_tensor(suite_tensors):
+    """Real-world skewed tensors have multi-nonzero fibers: CSL must refuse
+    them with a pointer at hb-csf rather than compute wrong numbers."""
+    _, tensor = suite_tensors[0]
+    factors = make_factors(tensor.shape, 4, seed=37)
+    with pytest.raises(ValidationError, match="singleton"):
+        mttkrp(tensor, factors, 0, format="csl")
+
+
+def test_order3_baselines_reject_4d(small4d, factors4d):
+    for fmt in ("parti", "f-coo"):
+        with pytest.raises(ValidationError, match="order"):
+            mttkrp(small4d, factors4d, 0, format=fmt)
+
+
+def test_csl_reachable_via_plan(csl_tensor):
+    """Satellite: csl is a first-class member of the MttkrpPlan dispatch."""
+    from repro.core.mttkrp import MttkrpPlan
+
+    factors = make_factors(csl_tensor.shape, 5, seed=41)
+    plan = MttkrpPlan(csl_tensor, format="cs-l")
+    assert plan.format == "csl"
+    for mode in range(csl_tensor.order):
+        got = plan.mttkrp(factors, mode)
+        want = einsum_mttkrp(csl_tensor, factors, mode)
+        np.testing.assert_allclose(got, want, rtol=1e-9, atol=1e-9)
+    assert plan.index_storage_words() > 0
