@@ -76,6 +76,12 @@ from repro.baselines import (
     FcooGpuMttkrp,
 )
 from repro.cpd import cp_als, CpdResult, init_factors
+from repro.tune import (
+    decide,
+    TuneDecision,
+    decision_cache_stats,
+    clear_decision_cache,
+)
 from repro.analysis import storage_comparison, load_balance_report
 from repro.experiments import run_experiment, EXPERIMENTS
 
@@ -101,6 +107,8 @@ __all__ = [
     "SplattMttkrp", "HicooMttkrp", "PartiGpuMttkrp", "FcooGpuMttkrp",
     # CPD
     "cp_als", "CpdResult", "init_factors",
+    # autotuner (format="auto")
+    "decide", "TuneDecision", "decision_cache_stats", "clear_decision_cache",
     # analysis / experiments
     "storage_comparison", "load_balance_report", "run_experiment",
     "EXPERIMENTS",

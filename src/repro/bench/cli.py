@@ -5,8 +5,10 @@ Usage::
     python -m repro.bench list
     python -m repro.bench list --formats
     python -m repro.bench run --target kernel.coo --scenario deli --budget tiny
+    python -m repro.bench run --format auto --format hb-csf --scenario deli \
+        --budget tiny
     python -m repro.bench run --target kernel --suite scaling_ladder \
-        --repeats 7 --name ladder
+        --repeats 7 --name ladder --dtype float32
     python -m repro.bench matrix --suite paper12 --budget tiny
     python -m repro.bench compare BENCH_kernels.json BENCH_candidate.json \
         --threshold 0.15
@@ -70,7 +72,7 @@ def _make_cache(args) -> ScenarioCache | None:
 def _make_config(args) -> BenchConfig:
     if args.budget is not None:
         config = BenchConfig.from_budget(args.budget, rank=args.rank,
-                                         seed=args.seed)
+                                         seed=args.seed, dtype=args.dtype)
         # explicit flags override the budget presets
         overrides = {}
         if args.repeats is not None:
@@ -90,7 +92,26 @@ def _make_config(args) -> BenchConfig:
         rank=args.rank,
         scale=args.scale if args.scale is not None else 1.0,
         seed=args.seed,
+        dtype=args.dtype,
     )
+
+
+def _format_targets(args) -> list[str]:
+    """Translate ``--format`` selections into ``kernel.*`` targets.
+
+    ``--format auto`` selects the autotuned-dispatch target; any other
+    spelling is normalised through the registry, so ``--format hbcsf``
+    and ``--format hb-csf`` are the same selection.
+    """
+    targets: list[str] = []
+    for name in args.format or ():
+        if name.strip().lower() == "auto":
+            targets.append("kernel.auto")
+            continue
+        from repro.formats import canonical_format
+
+        targets.append(f"kernel.{canonical_format(name)}")
+    return targets
 
 
 def _resolve_scenarios(args) -> list[tuple[str, object]]:
@@ -184,12 +205,16 @@ def _cmd_list(args) -> int:
 
 
 def _cmd_run(args) -> int:
-    targets = args.target or [DEFAULT_MATRIX_GROUP]
+    targets = (args.target or []) + _format_targets(args)
+    if not targets:
+        targets = [DEFAULT_MATRIX_GROUP]
     return _execute_sweep(args, targets, default_name="run")
 
 
 def _cmd_matrix(args) -> int:
-    targets = args.target or [DEFAULT_MATRIX_GROUP]
+    targets = (args.target or []) + _format_targets(args)
+    if not targets:
+        targets = [DEFAULT_MATRIX_GROUP]
     # default artifact name: the shared group prefix (BENCH_kernels.json for
     # the default kernel sweep), else "matrix"
     from repro.bench.targets import expand_targets
@@ -238,6 +263,13 @@ def _add_sweep_options(sub: argparse.ArgumentParser) -> None:
     sub.add_argument("--target", "-t", action="append", default=None,
                      help="target name, group or glob (repeatable; default: "
                           f"the {DEFAULT_MATRIX_GROUP!r} group)")
+    sub.add_argument("--format", "-f", action="append", default=None,
+                     help="kernel format to time (repeatable); any registry "
+                          "name/alias, or 'auto' for the autotuned dispatch "
+                          "target — shorthand for --target kernel.<format>")
+    sub.add_argument("--dtype", choices=("float32", "float64"), default=None,
+                     help="compute dtype for kernel/build/cpd targets "
+                          "(default float64)")
     sub.add_argument("--scenario", "-s", action="append", default=None,
                      help="named scenario, inline JSON spec, or @spec-file "
                           "(repeatable)")

@@ -16,15 +16,21 @@ from repro.bench.targets import expand_targets, get_target
 from repro.scenarios.cache import ScenarioCache, materialize
 from repro.scenarios.spec import ScenarioSpec, parse_spec
 from repro.scenarios.suites import get_suite
+from repro.util.dtypes import resolve_dtype
 from repro.util.errors import ValidationError
 from repro.util.timing import repeat
 
 __all__ = ["BenchConfig", "BUDGETS", "run_benchmarks", "suite_scenarios"]
 
 #: named measurement budgets: (scenario scale, repeats, warmup).  ``tiny``
-#: keeps a full kernel x paper12 matrix around ten seconds of wall clock.
+#: keeps a full kernel x paper12 matrix under a minute of wall clock.  Its
+#: warmup is 5 because the first few calls on a freshly built
+#: representation run up to 3x slow (first-touch page faults on the new
+#: arrays), and its repeats 5 so one jittery lap cannot drag the median —
+#: with fewer laps, recordings differ by >10% on random cells and show up
+#: as phantom regressions in ``repro-bench compare``.
 BUDGETS: dict[str, tuple[float, int, int]] = {
-    "tiny": (0.04, 3, 1),
+    "tiny": (0.04, 5, 5),
     "small": (0.2, 5, 1),
     "medium": (0.5, 7, 2),
     "full": (1.0, 9, 3),
@@ -33,7 +39,12 @@ BUDGETS: dict[str, tuple[float, int, int]] = {
 
 @dataclass(frozen=True)
 class BenchConfig:
-    """Measurement parameters shared by every cell of a run."""
+    """Measurement parameters shared by every cell of a run.
+
+    ``dtype`` applies the compute-dtype policy (:mod:`repro.util.dtypes`)
+    to every target that supports it (``kernel.*``, ``build.*``,
+    ``cpd.*``); ``None`` measures the float64 default.
+    """
 
     repeats: int = 5
     warmup: int = 1
@@ -41,6 +52,7 @@ class BenchConfig:
     scale: float = 1.0
     seed: int | None = None
     budget: str | None = None
+    dtype: str | None = None
 
     def __post_init__(self) -> None:
         if self.repeats < 1:
@@ -51,10 +63,13 @@ class BenchConfig:
             raise ValidationError(f"rank must be >= 1, got {self.rank}")
         if self.scale <= 0:
             raise ValidationError(f"scale must be positive, got {self.scale}")
+        if self.dtype is not None:
+            resolve_dtype(self.dtype)
 
     @classmethod
     def from_budget(cls, budget: str, *, rank: int = 32,
-                    seed: int | None = None) -> "BenchConfig":
+                    seed: int | None = None,
+                    dtype: str | None = None) -> "BenchConfig":
         try:
             scale, repeats, warmup = BUDGETS[budget]
         except KeyError:
@@ -62,7 +77,7 @@ class BenchConfig:
                 f"unknown budget {budget!r}; choose one of "
                 f"{', '.join(BUDGETS)}") from None
         return cls(repeats=repeats, warmup=warmup, rank=rank, scale=scale,
-                   seed=seed, budget=budget)
+                   seed=seed, budget=budget, dtype=dtype)
 
     def to_dict(self) -> dict:
         return {
@@ -72,12 +87,26 @@ class BenchConfig:
             "scale": self.scale,
             "seed": self.seed,
             "budget": self.budget,
+            "dtype": self.dtype,
         }
 
 
 def suite_scenarios(name: str) -> list[tuple[str, ScenarioSpec]]:
     """The (name, spec) entries of a scenario suite, unscaled."""
     return get_suite(name).specs()
+
+
+def _setup_target(target, tensor, config: BenchConfig):
+    """Run a target's untimed setup, forwarding the dtype knob when the
+    target declares it (``sim.*`` targets, for instance, have no compute
+    dtype — the simulator is analytical).  Uses the registry's shared,
+    memoised signature inspection."""
+    if config.dtype is not None:
+        from repro.formats.registry import optional_call_params
+
+        if "dtype" in optional_call_params(target.setup):
+            return target.setup(tensor, config.rank, dtype=config.dtype)
+    return target.setup(tensor, config.rank)
 
 
 def run_benchmarks(
@@ -147,7 +176,7 @@ def run_benchmarks(
         tensor = materialize(effective, cache)
         for target_name in resolved:
             target = get_target(target_name)
-            fn = target.setup(tensor, config.rank)
+            fn = _setup_target(target, tensor, config)
             result, timer = repeat(fn, n=config.repeats, warmup=config.warmup)
             metrics = dict(target.probe(result)) if target.probe else {}
             measurement = Measurement(

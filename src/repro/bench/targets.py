@@ -126,10 +126,20 @@ def expand_targets(patterns: Iterable[str]) -> list[str]:
     return sorted(selected)
 
 
-def bench_factors(shape: tuple[int, ...], rank: int) -> list[np.ndarray]:
-    """Deterministic factor matrices shared by every kernel target."""
+def bench_factors(shape: tuple[int, ...], rank: int,
+                  dtype=None) -> list[np.ndarray]:
+    """Deterministic factor matrices shared by every kernel target.
+
+    ``dtype`` applies the compute-dtype policy (:mod:`repro.util.dtypes`);
+    the float32 factors are the float64 draws cast down, so both dtypes
+    measure the same problem.
+    """
+    from repro.util.dtypes import resolve_dtype
+
     rng = default_rng(_FACTOR_SEED)
-    return [rng.standard_normal((s, rank)) for s in shape]
+    resolved = resolve_dtype(dtype)
+    return [rng.standard_normal((s, rank)).astype(resolved, copy=False)
+            for s in shape]
 
 
 # --------------------------------------------------------------------- #
@@ -154,14 +164,19 @@ def _csl_eligible_inputs(tensor: CooTensor):
     return csf, partition.coo_mask | partition.csl_mask
 
 
-def _bench_representation(spec, tensor: CooTensor):
+def _bench_representation(spec, tensor: CooTensor, dtype=None):
     """Mode-0 representation for benchmarking; formats restricted to
-    all-singleton-fiber slices (CSL) get the eligible subset."""
+    all-singleton-fiber slices (CSL) get the eligible subset.
+
+    Value arrays are downcast at build time (like the registered
+    builders), so the timed laps never pay a per-call dtype conversion."""
     if spec.requires_singleton_fibers:
         from repro.core.csl import build_csl_group
+        from repro.util.dtypes import cast_values
 
-        return build_csl_group(*_csl_eligible_inputs(tensor))
-    return spec.build(tensor, 0)
+        return cast_values(build_csl_group(*_csl_eligible_inputs(tensor)),
+                           dtype)
+    return spec.build(tensor, 0, None, dtype)
 
 
 def _register_format_kernel(name: str) -> None:
@@ -172,14 +187,14 @@ def _register_format_kernel(name: str) -> None:
               else "")
     @register_target(f"kernel.{name}", group="kernel",
                      description=f"{name} MTTKRP{suffix}; build untimed")
-    def _kernel(tensor: CooTensor, rank: int,
+    def _kernel(tensor: CooTensor, rank: int, dtype=None,
                 _name: str = name) -> Callable[[], object]:
         from repro.formats import get_format
 
         fmt = get_format(_name)
-        rep = _bench_representation(fmt, tensor)
-        factors = bench_factors(tensor.shape, rank)
-        return lambda: fmt.mttkrp(rep, factors, 0)
+        rep = _bench_representation(fmt, tensor, dtype)
+        factors = bench_factors(tensor.shape, rank, dtype)
+        return lambda: fmt.mttkrp(rep, factors, 0, dtype=dtype)
 
 
 def _register_registry_targets() -> None:
@@ -202,41 +217,62 @@ def _register_registry_targets() -> None:
             _register_sim(fmt_name)
 
 
-@register_target("kernel.coo-scatter", group="kernel",
-                 description="COO MTTKRP forced onto the np.add.at scatter path")
-def _kernel_coo_scatter(tensor: CooTensor, rank: int) -> Callable[[], object]:
-    from repro.kernels.coo_mttkrp import coo_mttkrp
+def _register_coo_variant(suffix: str, method: str) -> None:
+    @register_target(f"kernel.coo-{suffix}", group="kernel",
+                     description=f"COO MTTKRP forced onto the {method!r} "
+                                 "accumulation path")
+    def _kernel(tensor: CooTensor, rank: int, dtype=None,
+                _method: str = method) -> Callable[[], object]:
+        from repro.kernels.coo_mttkrp import coo_mttkrp
 
-    factors = bench_factors(tensor.shape, rank)
-    return lambda: coo_mttkrp(tensor, factors, 0, method="add_at")
-
-
-@register_target("kernel.coo-sorted", group="kernel",
-                 description="COO MTTKRP forced onto the sorted segment-sum path")
-def _kernel_coo_sorted(tensor: CooTensor, rank: int) -> Callable[[], object]:
-    from repro.kernels.coo_mttkrp import coo_mttkrp
-
-    factors = bench_factors(tensor.shape, rank)
-    return lambda: coo_mttkrp(tensor, factors, 0, method="sort")
+        factors = bench_factors(tensor.shape, rank, dtype)
+        return lambda: coo_mttkrp(tensor, factors, 0, method=_method,
+                                  dtype=dtype)
 
 
-@register_target("kernel.coo-bincount", group="kernel",
-                 description="COO MTTKRP forced onto the bincount-per-column path")
-def _kernel_coo_bincount(tensor: CooTensor, rank: int) -> Callable[[], object]:
-    from repro.kernels.coo_mttkrp import coo_mttkrp
-
-    factors = bench_factors(tensor.shape, rank)
-    return lambda: coo_mttkrp(tensor, factors, 0, method="bincount")
+for _suffix, _method in (("scatter", "add_at"), ("sorted", "sort"),
+                         ("bincount", "bincount")):
+    _register_coo_variant(_suffix, _method)
 
 
 @register_target("kernel.dispatch", group="kernel",
                  description="public mttkrp() registry dispatch, hb-csf "
                              "(format construction served by the plan cache)")
-def _kernel_dispatch(tensor: CooTensor, rank: int) -> Callable[[], object]:
+def _kernel_dispatch(tensor: CooTensor, rank: int,
+                     dtype=None) -> Callable[[], object]:
     from repro.core.mttkrp import mttkrp
 
-    factors = bench_factors(tensor.shape, rank)
-    return lambda: mttkrp(tensor, factors, 0, "hb-csf")
+    factors = bench_factors(tensor.shape, rank, dtype)
+    return lambda: mttkrp(tensor, factors, 0, "hb-csf", dtype=dtype)
+
+
+def _auto_probe(result: object) -> dict:
+    return dict(result)
+
+
+@register_target("kernel.auto", group="kernel",
+                 description="autotuned mttkrp(format='auto') dispatch; the "
+                             "probe and the winning format's build run "
+                             "untimed, so this measures steady-state tuned "
+                             "dispatch",
+                 probe=_auto_probe)
+def _kernel_auto(tensor: CooTensor, rank: int,
+                 dtype=None) -> Callable[[], object]:
+    from repro.core.mttkrp import mttkrp
+    from repro.tune import decide
+
+    factors = bench_factors(tensor.shape, rank, dtype)
+    # Untimed: make the decision (and build the winner's representation)
+    # now, so the timed closure exercises the decision-cache hit path that
+    # production ALS sweeps see.
+    decision = decide(tensor, 0, rank, dtype=dtype)
+    elected = {"elected": decision.label}
+
+    def run() -> dict:
+        mttkrp(tensor, factors, 0, format="auto", dtype=dtype)
+        return elected
+
+    return run
 
 
 def _plan_reuse_probe(result: object) -> dict:
@@ -281,12 +317,12 @@ def _register_format_build(name: str) -> None:
     @register_target(f"build.{name}", group="build",
                      description=f"{name} construction from COO "
                                  "(mode-0 root)")
-    def _build(tensor: CooTensor, rank: int,
+    def _build(tensor: CooTensor, rank: int, dtype=None,
                _name: str = name) -> Callable[[], object]:
         from repro.formats import get_format
 
         fmt = get_format(_name)
-        return lambda: fmt.build(tensor, 0)
+        return lambda: fmt.build(tensor, 0, None, dtype)
 
 
 def _register_csl_build(name: str) -> None:
@@ -334,10 +370,12 @@ _register_registry_targets()
 # --------------------------------------------------------------------- #
 @register_target("cpd.als", group="cpd",
                  description="two CPD-ALS iterations (HB-CSF plan, with fit)")
-def _cpd_als(tensor: CooTensor, rank: int) -> Callable[[], object]:
+def _cpd_als(tensor: CooTensor, rank: int,
+             dtype=None) -> Callable[[], object]:
     from repro.cpd.als import cp_als
 
     # a fresh RNG per lap: every repetition must solve the identically
     # initialized problem or laps (and runs) are not comparable
     return lambda: cp_als(tensor, rank, n_iters=2, tol=0.0,
-                          format="hb-csf", rng=default_rng(_FACTOR_SEED))
+                          format="hb-csf", rng=default_rng(_FACTOR_SEED),
+                          dtype=dtype)

@@ -17,6 +17,7 @@ from repro.core.splitting import SplitConfig, slice_block_bins, split_long_fiber
 from repro.kernels.csf_mttkrp import csf_mttkrp
 from repro.tensor.coo import CooTensor
 from repro.tensor.csf import CsfTensor, build_csf
+from repro.tensor.dense import _check_factors
 from repro.util.errors import DimensionError
 
 __all__ = ["BcsfTensor", "build_bcsf"]
@@ -85,9 +86,20 @@ class BcsfTensor:
     # computation / accounting
     # ------------------------------------------------------------------ #
     def mttkrp(self, factors: list[np.ndarray],
-               out: np.ndarray | None = None) -> np.ndarray:
-        """Exact MTTKRP for the root mode (same result as plain CSF)."""
-        return csf_mttkrp(self.csf, factors, out=out)
+               out: np.ndarray | None = None,
+               dtype=None, validate: bool = True) -> np.ndarray:
+        """Exact MTTKRP for the root mode (same result as plain CSF).
+
+        The split tree was produced by :func:`build_bcsf` and satisfies the
+        CSF invariants by construction, so the per-level monotonicity scans
+        are skipped regardless of ``validate``; ``validate=False``
+        additionally skips the factor-shape checks for trusted
+        re-invocations (ALS inner loops).
+        """
+        if validate:
+            _check_factors(self.shape, factors, self.root_mode)
+        return csf_mttkrp(self.csf, factors, out=out, dtype=dtype,
+                          validate=False)
 
     def index_storage_words(self) -> int:
         """32-bit index words of the materialised (split) structure."""

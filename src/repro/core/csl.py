@@ -66,10 +66,17 @@ class CslGroup:
     def nnz_per_slice(self) -> np.ndarray:
         return np.diff(self.slice_ptr).astype(INDEX_DTYPE)
 
-    def mttkrp(self, factors: list[np.ndarray], out: np.ndarray) -> np.ndarray:
-        """Accumulate this group's MTTKRP contribution into ``out``."""
+    def mttkrp(self, factors: list[np.ndarray], out: np.ndarray,
+               validate: bool = True) -> np.ndarray:
+        """Accumulate this group's MTTKRP contribution into ``out``.
+
+        ``validate=False`` skips the kernel's structural re-checks — safe
+        for groups produced by :func:`build_csl_group`, which validates the
+        slice pointers once at construction.
+        """
         return csl_mttkrp(self.slice_ptr, self.slice_inds, self.rest_indices,
-                          self.values, factors, self.mode_order, out)
+                          self.values, factors, self.mode_order, out,
+                          validate=validate)
 
     def index_storage_words(self) -> int:
         """32-bit index words: ``2 S`` for the slice arrays plus ``(N-1)``

@@ -24,6 +24,7 @@ from repro.kernels.coo_mttkrp import coo_mttkrp
 from repro.tensor.coo import CooTensor, INDEX_DTYPE
 from repro.tensor.csf import CsfTensor, build_csf
 from repro.tensor.dense import _check_factors
+from repro.util.dtypes import resolve_dtype
 from repro.util.errors import DimensionError
 
 __all__ = ["SlicePartition", "HbcsfTensor", "partition_slices", "build_hbcsf"]
@@ -116,20 +117,31 @@ class HbcsfTensor:
     # computation / accounting
     # ------------------------------------------------------------------ #
     def mttkrp(self, factors: list[np.ndarray],
-               out: np.ndarray | None = None) -> np.ndarray:
-        """Execute the three group kernels (Algorithm 5, lines 18-20)."""
-        rank = _check_factors(self.shape, factors, self.root_mode)
+               out: np.ndarray | None = None,
+               dtype=None, validate: bool = True) -> np.ndarray:
+        """Execute the three group kernels (Algorithm 5, lines 18-20).
+
+        The factor shapes are checked once here; the three group kernels
+        run with ``validate=False`` — their structures were validated at
+        build time and re-scanning the pointers on every call would undo
+        the fast path.  ``validate=False`` skips the shape check too.
+        """
+        if validate:
+            rank = _check_factors(self.shape, factors, self.root_mode)
+        else:
+            rank = factors[self.root_mode].shape[1]
         rows = self.shape[self.root_mode]
         if out is None:
-            out = np.zeros((rows, rank), dtype=np.float64)
+            out = np.zeros((rows, rank), dtype=resolve_dtype(dtype))
         elif out.shape != (rows, rank):
             raise DimensionError(f"out has shape {out.shape}, expected {(rows, rank)}")
         if self.coo_group.nnz:
-            coo_mttkrp(self.coo_group, factors, self.root_mode, out=out)
+            coo_mttkrp(self.coo_group, factors, self.root_mode, out=out,
+                       validate=False)
         if self.csl_group.nnz:
-            self.csl_group.mttkrp(factors, out)
+            self.csl_group.mttkrp(factors, out, validate=False)
         if self.bcsf_group is not None and self.bcsf_group.nnz:
-            self.bcsf_group.mttkrp(factors, out=out)
+            self.bcsf_group.mttkrp(factors, out=out, validate=False)
         return out
 
     def index_storage_words(self) -> int:

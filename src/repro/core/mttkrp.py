@@ -6,7 +6,9 @@ Dispatch flows through the :mod:`repro.formats` registry, so every
 registered format with a CPU kernel — the paper's own family (``coo``,
 ``csf``, ``b-csf``, ``hb-csf``, ``csl``) and the baseline frameworks
 (``splatt``, ``splatt-tiled``, ``hicoo``, ``parti``, ``f-coo``) — is
-reachable from here.
+reachable from here.  Passing ``format="auto"`` delegates the choice to the
+empirical autotuner (:mod:`repro.tune`), which probes the eligible kernels
+once per ``(tensor, mode, rank bucket, dtype)`` cell and caches the winner.
 
 :class:`MttkrpPlan` is what CPD-ALS uses: it prepares one representation per
 mode up front (SPLATT's ALLMODE strategy, which the paper adopts for both
@@ -18,6 +20,11 @@ bench sweeps.  The plan still exposes the preprocessing time that Figures 9
 and 10 reason about — on a cache hit it reports the recorded wall-clock cost
 of the original build, so the accounting is unchanged while the rebuild is
 amortised away.
+
+Both entry points accept a ``dtype`` (:mod:`repro.util.dtypes`): float32
+roughly halves the memory traffic of these bandwidth-bound kernels at the
+price of single-precision accuracy; float64 (the default) is the paper's
+reference precision.
 """
 
 from __future__ import annotations
@@ -34,6 +41,7 @@ from repro.formats import (
     get_format,
 )
 from repro.tensor.coo import CooTensor
+from repro.util.dtypes import resolve_dtype
 from repro.util.errors import ValidationError
 
 __all__ = ["FORMATS", "mttkrp", "MttkrpPlan"]
@@ -55,6 +63,34 @@ def _resolve(format: str):
     return spec
 
 
+def _is_auto(format: str) -> bool:
+    return isinstance(format, str) and format.strip().lower() == "auto"
+
+
+def _decide(tensor, mode: int, rank: int, config, dtype):
+    from repro.tune import decide
+
+    return decide(tensor, mode, rank, dtype=dtype, config=config)
+
+
+def _execute(spec, rep, factors, mode: int, out, coo_method, dtype,
+             validate: bool = True):
+    """One kernel execution, optionally pinned to a COO accumulation variant.
+
+    The pinned-COO path calls :func:`repro.kernels.coo_mttkrp.coo_mttkrp`
+    with the elected ``method`` — exactly what an explicit caller forcing
+    that variant would run, so autotuned results are bit-identical to the
+    explicitly chosen winner's.
+    """
+    if coo_method is not None:
+        from repro.kernels.coo_mttkrp import coo_mttkrp
+
+        return coo_mttkrp(rep, factors, mode, out=out, method=coo_method,
+                          dtype=dtype, validate=validate)
+    return spec.mttkrp(rep, factors, mode, out=out, validate=validate,
+                       dtype=dtype)
+
+
 def mttkrp(
     tensor: CooTensor,
     factors: list[np.ndarray],
@@ -62,6 +98,7 @@ def mttkrp(
     format: str = DEFAULT_FORMAT,
     config: SplitConfig | None = None,
     out: np.ndarray | None = None,
+    dtype=None,
 ) -> np.ndarray:
     """Compute the mode-``mode`` MTTKRP of ``tensor``.
 
@@ -79,22 +116,41 @@ def mttkrp(
         formats produce the same result; they differ in storage and in the
         performance models.  ``"csl"`` additionally requires every fiber of
         the target mode to hold exactly one nonzero (Section V-A).
+        ``"auto"`` asks the autotuner (:mod:`repro.tune`) to probe the
+        eligible kernels and dispatches to the recorded winner.
     config:
         Splitting configuration for the balanced formats.
     out:
-        Optional pre-allocated output to accumulate into.
+        Optional pre-allocated output to accumulate into (its dtype is the
+        compute dtype).
+    dtype:
+        Compute dtype when ``out`` is not supplied: ``"float32"`` or
+        ``"float64"`` (default).  See :mod:`repro.util.dtypes`.
 
     Notes
     -----
     The representation (including COO's mode-major sort) is built through
     the content-addressed plan cache: the first call on a tensor pays the
     format's preprocessing, repeat calls for the same tensor x mode x
-    config reuse the cached structure.
+    config x dtype reuse the cached structure.
     """
+    if dtype is None and out is not None:
+        # the kernels compute in out's dtype, so the autotuner's decision
+        # and the built representation must be for that dtype too
+        dtype = out.dtype
+    resolve_dtype(dtype)  # validate the spelling before any work
+    coo_method = None
+    if _is_auto(format):
+        decision = _decide(tensor, mode, factors[mode].shape[1], config,
+                           dtype)
+        format = decision.format
+        coo_method = decision.coo_method
     spec = _resolve(format)
     spec.check_tensor(tensor)
-    rep = build_plan(tensor, spec.name, mode, config).rep
-    return spec.mttkrp(rep, factors, mode, out=out)
+    # build_plan normalises config/dtype for formats that do not consume
+    # them, so the cache key always matches the builder's actual input
+    rep = build_plan(tensor, spec.name, mode, config, dtype).rep
+    return _execute(spec, rep, factors, mode, out, coo_method, dtype)
 
 
 @dataclass
@@ -106,7 +162,12 @@ class MttkrpPlan:
     tensor:
         The source COO tensor.
     format:
-        Normalised format name.
+        Normalised format name, or ``"auto"`` — then every mode's format is
+        elected by the autotuner and recorded in :attr:`mode_formats` /
+        :attr:`decisions`.
+    dtype:
+        Compute dtype for the planned executions (see
+        :mod:`repro.util.dtypes`); participates in the build-plan cache key.
     representations:
         ``representations[m]`` is the structure used for mode-``m`` MTTKRP
         (the registered builder's output — a :class:`CooTensor`,
@@ -114,6 +175,11 @@ class MttkrpPlan:
         :class:`CslGroup` or a baseline framework object depending on the
         format).  Formats that build one ALLMODE structure (the baselines)
         share a single object across modes.
+    mode_formats:
+        Canonical format name actually used for each planned mode (equal to
+        :attr:`format` unless the plan is autotuned).
+    decisions:
+        Autotuner decisions per mode (empty unless ``format="auto"``).
     preprocessing_seconds:
         Wall-clock time spent building all representations — the quantity
         Figure 9 normalises and Figure 10 amortises.  When a representation
@@ -127,22 +193,42 @@ class MttkrpPlan:
     format: str = DEFAULT_FORMAT
     config: SplitConfig | None = None
     modes: tuple[int, ...] | None = None
+    dtype: object = None
+    rank: int | None = None
     representations: dict[int, object] = field(default_factory=dict, init=False)
+    mode_formats: dict[int, str] = field(default_factory=dict, init=False)
+    decisions: dict[int, object] = field(default_factory=dict, init=False)
     preprocessing_seconds: float = field(default=0.0, init=False)
     cache_hits: int = field(default=0, init=False)
     cache_misses: int = field(default=0, init=False)
 
     def __post_init__(self) -> None:
-        spec = _resolve(self.format)
-        spec.check_tensor(self.tensor)
-        self.format = spec.name
+        resolve_dtype(self.dtype)
         if self.modes is None:
             self.modes = tuple(range(self.tensor.order))
         else:
             self.modes = tuple(int(m) for m in self.modes)
+        if _is_auto(self.format):
+            self.format = "auto"
+            if self.rank is None:
+                raise ValidationError(
+                    "MttkrpPlan(format='auto') needs rank= to size the "
+                    "autotuner's probe (the decision is bucketed by rank)")
+            for m in self.modes:
+                decision = _decide(self.tensor, m, self.rank, self.config,
+                                   self.dtype)
+                self.decisions[m] = decision
+                self.mode_formats[m] = decision.format
+        else:
+            spec = _resolve(self.format)
+            spec.check_tensor(self.tensor)
+            self.format = spec.name
+            for m in self.modes:
+                self.mode_formats[m] = spec.name
         counted: set[tuple] = set()
         for m in self.modes:
-            built = build_plan(self.tensor, spec.name, m, self.config)
+            built = build_plan(self.tensor, self.mode_formats[m], m,
+                               self.config, self.dtype)
             self.representations[m] = built.rep
             if built.cache_hit:
                 self.cache_hits += 1
@@ -168,19 +254,28 @@ class MttkrpPlan:
         return self.representations[mode]
 
     def mttkrp(self, factors: list[np.ndarray], mode: int,
-               out: np.ndarray | None = None) -> np.ndarray:
-        """Execute the planned mode-``mode`` MTTKRP."""
+               out: np.ndarray | None = None,
+               validate: bool = True) -> np.ndarray:
+        """Execute the planned mode-``mode`` MTTKRP.
+
+        ``validate=False`` skips the kernels' factor-shape checks and
+        pointer scans — for trusted re-invocations whose factor shapes
+        were validated once (the ALS inner loop).
+        """
         rep = self.representation(mode)
-        return get_format(self.format).mttkrp(rep, factors, mode, out=out)
+        spec = get_format(self.mode_formats[mode])
+        decision = self.decisions.get(mode)
+        coo_method = decision.coo_method if decision is not None else None
+        return _execute(spec, rep, factors, mode, out, coo_method,
+                        self.dtype, validate=validate)
 
     def index_storage_words(self) -> int:
         """Total index words across all distinct per-mode representations."""
-        spec = get_format(self.format)
         total = 0
         seen: set[int] = set()
-        for rep in self.representations.values():
+        for m, rep in self.representations.items():
             if id(rep) in seen:
                 continue
             seen.add(id(rep))
-            total += spec.storage_words(rep)
+            total += get_format(self.mode_formats[m]).storage_words(rep)
         return total

@@ -6,12 +6,21 @@ Every iteration updates each factor matrix in turn:
 
 then normalises the columns into ``λ``.  The MTTKRP is executed through a
 :class:`repro.core.mttkrp.MttkrpPlan`, so the choice of format (any entry of
-the :mod:`repro.formats` registry with a CPU kernel) and its preprocessing
-cost are explicit — this is exactly the trade-off Figures 9 and 10 analyse.
-Because the plan draws its representations from the content-addressed
-build-plan cache, repeated solves of the same tensor (rank sweeps, figure
-drivers, bench laps) pay the format construction once; the reported
-``preprocessing_seconds`` remains the recorded cost of the original build.
+the :mod:`repro.formats` registry with a CPU kernel, or ``"auto"`` for the
+:mod:`repro.tune` autotuner) and its preprocessing cost are explicit — this
+is exactly the trade-off Figures 9 and 10 analyse.  Because the plan draws
+its representations from the content-addressed build-plan cache, repeated
+solves of the same tensor (rank sweeps, figure drivers, bench laps) pay the
+format construction once; the reported ``preprocessing_seconds`` remains the
+recorded cost of the original build.
+
+The inner loop is allocation-free on its hot path: one ``(shape[m], R)``
+output workspace per mode and one ``(R, R)`` Hadamard buffer are allocated
+at solve start and reused every sweep (kernels accumulate into ``out=``),
+per-factor Gram matrices are cached and only the updated factor's Gram is
+recomputed, and the kernels run with ``validate=False`` — the factor shapes
+are fixed by the solver itself, so re-checking them (and re-scanning CSF
+pointers) every inner step would be pure overhead.
 """
 
 from __future__ import annotations
@@ -26,9 +35,16 @@ from repro.core.splitting import SplitConfig
 from repro.cpd.fit import cp_fit, tensor_norm
 from repro.cpd.init import init_factors
 from repro.tensor.coo import CooTensor
+from repro.util.dtypes import resolve_dtype
 from repro.util.errors import ValidationError
 
 __all__ = ["CpdResult", "cp_als"]
+
+#: per-mode output workspaces above this size are not kept: zeroing them in
+#: place each inner step costs more than letting the allocator hand the
+#: kernel lazily-zeroed pages (most rows of a huge sparse mode are never
+#: written).  4 MiB ≈ a 16k-row float64 output at the paper's R = 32.
+_WORKSPACE_MAX_BYTES = 4 << 20
 
 
 @dataclass
@@ -40,7 +56,8 @@ class CpdResult:
     weights:
         ``(R,)`` column norms λ.
     factors:
-        Normalised factor matrices, one per mode.
+        Normalised factor matrices, one per mode (in the solve's compute
+        dtype).
     fits:
         Relative fit after each iteration.
     iterations:
@@ -73,9 +90,10 @@ class CpdResult:
         dense = np.zeros(shape, dtype=np.float64)
         for r in range(rank):
             component = self.weights[r]
-            outer = self.factors[0][:, r]
+            outer = np.asarray(self.factors[0][:, r], dtype=np.float64)
             for m in range(1, order):
-                outer = np.multiply.outer(outer, self.factors[m][:, r])
+                outer = np.multiply.outer(
+                    outer, np.asarray(self.factors[m][:, r], dtype=np.float64))
             dense += component * outer
         return dense
 
@@ -90,6 +108,7 @@ def cp_als(
     init: str | list[np.ndarray] = "random",
     rng=None,
     compute_fit: bool = True,
+    dtype=None,
 ) -> CpdResult:
     """Run CPD-ALS on a sparse tensor (Algorithm 1).
 
@@ -105,16 +124,23 @@ def cp_als(
         Convergence tolerance on the change in fit.
     format / config:
         MTTKRP format and splitting configuration (any format produces the
-        same factors; only speed differs).
+        same factors; only speed differs).  ``"auto"`` lets the
+        :mod:`repro.tune` autotuner elect the fastest kernel per mode.
     init:
         ``"random"`` / ``"randn"`` or explicit initial factor matrices.
     compute_fit:
         Disable to skip the fit computation (slightly faster sweeps).
+    dtype:
+        Compute dtype for factors and MTTKRP (``"float32"`` or
+        ``"float64"``, default float64).  The small ``R x R`` normal
+        equations are always solved in float64 for stability; float32
+        changes only the bandwidth-bound bulk work.
     """
     if n_iters < 1:
         raise ValidationError(f"n_iters must be >= 1, got {n_iters}")
     if tensor.nnz == 0:
         raise ValidationError("cannot decompose an empty tensor")
+    compute_dtype = resolve_dtype(dtype)
 
     if isinstance(init, str):
         factors = init_factors(tensor, rank, init, rng)
@@ -128,12 +154,32 @@ def cp_als(
                     f"initial factor {m} has shape {f.shape}, expected "
                     f"{(tensor.shape[m], rank)}"
                 )
+    factors = [np.asarray(f).astype(compute_dtype, copy=False)
+               for f in factors]
 
-    plan = MttkrpPlan(tensor, format=format, config=config)
+    plan = MttkrpPlan(tensor, format=format, config=config,
+                      dtype=dtype, rank=rank)
     order = tensor.order
     norm_x = tensor_norm(tensor)
-    grams = [f.T @ f for f in factors]
+    # Per-factor Gram cache (float64 for the normal equations): only the
+    # updated factor's Gram is recomputed inside the sweep.
+    grams = [(f.T @ f).astype(np.float64, copy=False) for f in factors]
     weights = np.ones(rank, dtype=np.float64)
+
+    # Hot-path workspaces, allocated once per solve: the kernels accumulate
+    # into a zeroed per-mode output, and the Hadamard product of the Grams
+    # is built in place.  Very large outputs are exempt: re-zeroing them
+    # with ``fill`` writes every page each inner step, whereas a fresh
+    # ``np.zeros`` is lazily zeroed by the allocator and pages the kernel
+    # never touches (empty slices) stay free — measured faster beyond the
+    # threshold.
+    workspaces = [
+        np.empty((tensor.shape[m], rank), dtype=compute_dtype)
+        if tensor.shape[m] * rank * compute_dtype.itemsize
+        <= _WORKSPACE_MAX_BYTES else None
+        for m in range(order)
+    ]
+    v_buf = np.empty((rank, rank), dtype=np.float64)
 
     fits: list[float] = []
     mttkrp_seconds = 0.0
@@ -143,15 +189,20 @@ def cp_als(
     for iteration in range(n_iters):
         last_mttkrp = None
         for mode in range(order):
+            ws = workspaces[mode]
+            if ws is not None:
+                ws.fill(0.0)
             start = time.perf_counter()
-            m_mat = plan.mttkrp(factors, mode)
+            # The factor shapes were validated above and never change, so
+            # the kernels skip their per-call checks.
+            m_mat = plan.mttkrp(factors, mode, out=ws, validate=False)
             mttkrp_seconds += time.perf_counter() - start
 
-            v = np.ones((rank, rank), dtype=np.float64)
+            v_buf.fill(1.0)
             for other in range(order):
                 if other != mode:
-                    v *= grams[other]
-            new_factor = m_mat @ np.linalg.pinv(v)
+                    v_buf *= grams[other]
+            new_factor = m_mat @ np.linalg.pinv(v_buf)
 
             # normalise columns into the weights
             if iteration == 0:
@@ -159,11 +210,13 @@ def cp_als(
             else:
                 norms = np.maximum(np.max(np.abs(new_factor), axis=0), 1.0)
             norms[norms == 0.0] = 1.0
-            new_factor = new_factor / norms
-            weights = norms
+            new_factor = (new_factor / norms).astype(compute_dtype,
+                                                     copy=False)
+            weights = np.asarray(norms, dtype=np.float64)
 
             factors[mode] = new_factor
-            grams[mode] = new_factor.T @ new_factor
+            grams[mode] = (new_factor.T @ new_factor).astype(np.float64,
+                                                             copy=False)
             last_mttkrp = m_mat
 
         iterations = iteration + 1
@@ -173,7 +226,8 @@ def cp_als(
             # for the inner product as-is.
             fit = cp_fit(tensor, weights, factors,
                          mttkrp_last=last_mttkrp,
-                         last_mode=order - 1, norm_x=norm_x)
+                         last_mode=order - 1, norm_x=norm_x,
+                         grams=grams)
             fits.append(fit)
             if iteration > 0 and abs(fits[-1] - fits[-2]) < tol:
                 converged = True

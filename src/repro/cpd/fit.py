@@ -25,14 +25,26 @@ def tensor_norm(tensor: CooTensor) -> float:
     return float(np.linalg.norm(tensor.values))
 
 
-def cp_norm(weights: np.ndarray, factors: list[np.ndarray]) -> float:
-    """Frobenius norm of the CP model ``[[weights; factors]]``."""
+def cp_norm(weights: np.ndarray, factors: list[np.ndarray],
+            grams: list[np.ndarray] | None = None) -> float:
+    """Frobenius norm of the CP model ``[[weights; factors]]``.
+
+    ``grams`` may supply the precomputed ``A_mᵀA_m`` matrices (one per
+    factor) — CPD-ALS maintains exactly these in its inner loop, so the
+    per-iteration fit does not redo one matmul per mode.
+    """
     rank = factors[0].shape[1]
     if weights.shape != (rank,):
         raise DimensionError(f"weights must have shape ({rank},)")
     gram = np.ones((rank, rank), dtype=np.float64)
-    for f in factors:
-        gram *= f.T @ f
+    if grams is None:
+        for f in factors:
+            gram *= f.T @ f
+    else:
+        if len(grams) != len(factors):
+            raise DimensionError("need one Gram matrix per factor")
+        for g in grams:
+            gram *= g
     value = float(weights @ gram @ weights)
     return float(np.sqrt(max(value, 0.0)))
 
@@ -63,12 +75,17 @@ def cp_innerprod(tensor: CooTensor, weights: np.ndarray,
 def cp_fit(tensor: CooTensor, weights: np.ndarray, factors: list[np.ndarray],
            mttkrp_last: np.ndarray | None = None,
            last_mode: int | None = None,
-           norm_x: float | None = None) -> float:
-    """Relative fit ``1 - ||X - X̃|| / ||X||`` (1 is a perfect model)."""
+           norm_x: float | None = None,
+           grams: list[np.ndarray] | None = None) -> float:
+    """Relative fit ``1 - ||X - X̃|| / ||X||`` (1 is a perfect model).
+
+    ``grams`` optionally forwards precomputed ``A_mᵀA_m`` matrices to
+    :func:`cp_norm` (the ALS fast path).
+    """
     norm_x = tensor_norm(tensor) if norm_x is None else norm_x
     if norm_x == 0.0:
         return 1.0
-    norm_model = cp_norm(weights, factors)
+    norm_model = cp_norm(weights, factors, grams)
     inner = cp_innerprod(tensor, weights, factors, mttkrp_last, last_mode)
     residual_sq = max(norm_x ** 2 + norm_model ** 2 - 2.0 * inner, 0.0)
     return 1.0 - float(np.sqrt(residual_sq)) / norm_x

@@ -13,9 +13,12 @@ registry.
 
 from __future__ import annotations
 
+import dataclasses
+
 import numpy as np
 
 from repro.formats.registry import FormatSpec, register_format
+from repro.util.dtypes import cast_values, resolve_dtype
 from repro.util.errors import ValidationError
 
 __all__: list[str] = []
@@ -36,14 +39,21 @@ def _simulate_kernel_for(workload, device, memory_model):
 # --------------------------------------------------------------------- #
 def _coo_builder(tensor, mode, config):
     # COO needs no structure beyond a mode-major sort — the (cheap)
-    # preprocessing real COO frameworks do.
+    # preprocessing real COO frameworks do.  CooTensor is the package's
+    # float64 interchange format, so this builder deliberately takes no
+    # dtype parameter: the representation is dtype-independent (one plan
+    # cache entry serves every compute dtype) and the kernel applies the
+    # dtype policy per call (values cast on the fly; the (nnz, R)
+    # accumulator — the dominant traffic — is computed in the compute
+    # dtype either way).
     return tensor.sorted_by_modes(_mode_major_order(tensor.order, mode))
 
 
-def _coo_kernel(rep, factors, mode, out):
+def _coo_kernel(rep, factors, mode, out, validate=True, dtype=None):
     from repro.kernels.coo_mttkrp import coo_mttkrp
 
-    return coo_mttkrp(rep, factors, mode, out=out)
+    return coo_mttkrp(rep, factors, mode, out=out, dtype=dtype,
+                      validate=validate)
 
 
 def _coo_gpusim(tensor, mode, rank, device, launch, config, costs,
@@ -73,16 +83,16 @@ register_format(FormatSpec(
 # --------------------------------------------------------------------- #
 # csf
 # --------------------------------------------------------------------- #
-def _csf_builder(tensor, mode, config):
+def _csf_builder(tensor, mode, config, dtype=None):
     from repro.tensor.csf import build_csf
 
-    return build_csf(tensor, mode)
+    return cast_values(build_csf(tensor, mode), dtype)
 
 
-def _csf_kernel(rep, factors, mode, out):
+def _csf_kernel(rep, factors, mode, out, validate=True, dtype=None):
     from repro.kernels.csf_mttkrp import csf_mttkrp
 
-    return csf_mttkrp(rep, factors, out=out)
+    return csf_mttkrp(rep, factors, out=out, dtype=dtype, validate=validate)
 
 
 def _csf_gpusim(tensor, mode, rank, device, launch, config, costs,
@@ -110,14 +120,16 @@ register_format(FormatSpec(
 # --------------------------------------------------------------------- #
 # b-csf
 # --------------------------------------------------------------------- #
-def _bcsf_builder(tensor, mode, config):
+def _bcsf_builder(tensor, mode, config, dtype=None):
     from repro.core.bcsf import build_bcsf
 
-    return build_bcsf(tensor, mode, config)
+    rep = build_bcsf(tensor, mode, config)
+    cast = cast_values(rep.csf, dtype)
+    return rep if cast is rep.csf else dataclasses.replace(rep, csf=cast)
 
 
-def _rep_mttkrp_kernel(rep, factors, mode, out):
-    return rep.mttkrp(factors, out=out)
+def _rep_mttkrp_kernel(rep, factors, mode, out, validate=True, dtype=None):
+    return rep.mttkrp(factors, out=out, dtype=dtype, validate=validate)
 
 
 def _bcsf_gpusim(tensor, mode, rank, device, launch, config, costs,
@@ -146,10 +158,24 @@ register_format(FormatSpec(
 # --------------------------------------------------------------------- #
 # hb-csf
 # --------------------------------------------------------------------- #
-def _hbcsf_builder(tensor, mode, config):
+def _hbcsf_builder(tensor, mode, config, dtype=None):
     from repro.core.hybrid import build_hbcsf
 
-    return build_hbcsf(tensor, mode, config)
+    rep = build_hbcsf(tensor, mode, config)
+    dtype = resolve_dtype(dtype)
+    if dtype == np.float64:
+        return rep
+    # Downcast the value arrays the groups own (the COO group stays a
+    # float64 CooTensor; its kernel casts on the fly).
+    replacements = {}
+    if rep.csl_group.nnz:
+        replacements["csl_group"] = cast_values(rep.csl_group, dtype)
+    if rep.bcsf_group is not None:
+        cast = cast_values(rep.bcsf_group.csf, dtype)
+        if cast is not rep.bcsf_group.csf:
+            replacements["bcsf_group"] = dataclasses.replace(
+                rep.bcsf_group, csf=cast)
+    return dataclasses.replace(rep, **replacements) if replacements else rep
 
 
 def _hbcsf_gpusim(tensor, mode, rank, device, launch, config, costs,
@@ -178,26 +204,27 @@ register_format(FormatSpec(
 # --------------------------------------------------------------------- #
 # csl
 # --------------------------------------------------------------------- #
-def _csl_builder(tensor, mode, config):
+def _csl_builder(tensor, mode, config, dtype=None):
     from repro.core.csl import build_csl_group
     from repro.tensor.csf import build_csf
 
     csf = build_csf(tensor, mode)
     try:
-        return build_csl_group(csf)
+        group = build_csl_group(csf)
     except ValidationError as exc:
         raise ValidationError(
             f"format 'csl' cannot represent mode {mode} of this tensor: "
             f"{exc}  (CSL stores only slices whose fibers are all "
             "singletons; use 'hb-csf' to route such slices to CSL "
             "automatically)") from exc
+    return cast_values(group, dtype)
 
 
-def _csl_kernel(rep, factors, mode, out):
+def _csl_kernel(rep, factors, mode, out, validate=True, dtype=None):
     if out is None:
         rank = factors[mode].shape[1]
-        out = np.zeros((rep.shape[mode], rank), dtype=np.float64)
-    return rep.mttkrp(factors, out)
+        out = np.zeros((rep.shape[mode], rank), dtype=resolve_dtype(dtype))
+    return rep.mttkrp(factors, out, validate=validate)
 
 
 def _csl_gpusim(tensor, mode, rank, device, launch, config, costs,

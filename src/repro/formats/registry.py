@@ -30,7 +30,9 @@ ALS iterations, experiment figures and bench sweeps.
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Callable, Iterator
 
 from repro.formats.plan_cache import (
@@ -39,6 +41,7 @@ from repro.formats.plan_cache import (
     plan_cache,
     tensor_fingerprint,
 )
+from repro.util.dtypes import dtype_token
 from repro.util.errors import ValidationError
 
 __all__ = [
@@ -51,6 +54,7 @@ __all__ = [
     "format_names",
     "iter_formats",
     "build_plan",
+    "optional_call_params",
 ]
 
 #: The paper's recommended format and every API's default.
@@ -146,24 +150,62 @@ class FormatSpec:
     # ------------------------------------------------------------------ #
     # execution
     # ------------------------------------------------------------------ #
-    def build(self, tensor, mode: int, config=None):
-        """Build this format's representation (uncached; see :func:`build_plan`)."""
+    def build(self, tensor, mode: int, config=None, dtype=None):
+        """Build this format's representation (uncached; see :func:`build_plan`).
+
+        ``dtype`` selects the compute dtype stored in the representation's
+        value arrays (:mod:`repro.util.dtypes`); builders registered
+        without a ``dtype`` parameter — e.g. by older tests — are called
+        without it and always build float64.
+        """
         if self.builder is None:
             raise ValidationError(f"format {self.name!r} has no builder")
+        if dtype is not None and "dtype" in optional_call_params(self.builder):
+            return self.builder(tensor, mode, config, dtype=dtype)
         return self.builder(tensor, mode, config)
 
-    def mttkrp(self, rep, factors, mode: int, out=None):
-        """Execute the exact CPU MTTKRP on a built representation."""
+    def mttkrp(self, rep, factors, mode: int, out=None, *,
+               validate: bool = True, dtype=None):
+        """Execute the exact CPU MTTKRP on a built representation.
+
+        ``validate=False`` and ``dtype`` are forwarded only to kernels
+        that declare the corresponding keyword (all built-in kernels do);
+        a minimal 4-argument kernel registered by external code keeps
+        working unchanged.
+        """
         if self.cpu_kernel is None:
             raise ValidationError(
                 f"format {self.name!r} has no CPU MTTKRP kernel")
-        return self.cpu_kernel(rep, factors, mode, out)
+        extras = {}
+        supported = optional_call_params(self.cpu_kernel)
+        if not validate and "validate" in supported:
+            extras["validate"] = False
+        if dtype is not None and "dtype" in supported:
+            extras["dtype"] = dtype
+        return self.cpu_kernel(rep, factors, mode, out, **extras)
 
     def storage_words(self, rep) -> int:
         """32-bit index words of a built representation."""
         if self.index_words is not None:
             return int(self.index_words(rep))
         return int(rep.index_storage_words())
+
+
+@lru_cache(maxsize=256)
+def optional_call_params(fn: Callable) -> frozenset[str]:
+    """Keyword parameters a registered callable accepts beyond the core four.
+
+    Inspected once per callable (memoised) so per-call dispatch stays free
+    of reflection cost.  Callables whose signature cannot be introspected
+    are treated as accepting every extra (``**kwargs`` wrappers).
+    """
+    try:
+        params = inspect.signature(fn).parameters
+    except (TypeError, ValueError):  # pragma: no cover - builtins/partials
+        return frozenset(("validate", "dtype"))
+    if any(p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()):
+        return frozenset(("validate", "dtype"))
+    return frozenset(params) & {"validate", "dtype"}
 
 
 _REGISTRY: dict[str, FormatSpec] = {}
@@ -286,15 +328,18 @@ def format_names(
 # --------------------------------------------------------------------- #
 # cached building
 # --------------------------------------------------------------------- #
-def build_plan(tensor, format: str, mode: int, config=None,
+def build_plan(tensor, format: str, mode: int, config=None, dtype=None,
                *, use_cache: bool = True) -> PlanBuild:
     """Build (or fetch from the plan cache) one format representation.
 
-    The cache key is ``(tensor fingerprint, format, mode, config)`` —
-    content-addressed, so two equal tensors share entries regardless of
+    The cache key is ``(tensor fingerprint, format, mode, config, dtype)``
+    — content-addressed, so two equal tensors share entries regardless of
     object identity.  Formats with ``per_mode_build=False`` (the ALLMODE
-    baselines) share one entry across modes, and the split config only
-    enters the key for formats that consume it.
+    baselines) share one entry across modes, and the split config / compute
+    dtype (:mod:`repro.util.dtypes`) enter the key only for formats whose
+    builders consume them — a builder that produces dtype-independent
+    representations (COO's mode-major sort) shares one entry across
+    dtypes instead of duplicating it.
 
     Returns a :class:`~repro.formats.plan_cache.PlanBuild` whose
     ``build_seconds`` is the wall-clock cost of the *original* construction
@@ -306,11 +351,23 @@ def build_plan(tensor, format: str, mode: int, config=None,
     if not 0 <= mode < tensor.order:
         raise ValidationError(
             f"mode {mode} out of range for an order-{tensor.order} tensor")
+    # Normalise the inputs that do not participate in this format's key, so
+    # the builder can never see a value the key ignores (a config passed to
+    # a needs_split_config=False format, a dtype passed to a dtype-less
+    # builder would otherwise produce cache entries whose content depends
+    # on un-keyed inputs).
+    if not spec.needs_split_config:
+        config = None
+    builder_takes_dtype = (spec.builder is not None
+                           and "dtype" in optional_call_params(spec.builder))
+    if not builder_takes_dtype:
+        dtype = None
     key = (
         tensor_fingerprint(tensor),
         spec.name,
         mode if spec.per_mode_build else -1,
         config_token(config) if spec.needs_split_config else "-",
+        dtype_token(dtype) if builder_takes_dtype else "-",
     )
     cache = plan_cache()
     if use_cache:
@@ -321,7 +378,7 @@ def build_plan(tensor, format: str, mode: int, config=None,
     import time
 
     start = time.perf_counter()
-    rep = spec.build(tensor, mode, config)
+    rep = spec.build(tensor, mode, config, dtype)
     build_seconds = time.perf_counter() - start
     if use_cache:
         cache.put(key, rep, build_seconds)

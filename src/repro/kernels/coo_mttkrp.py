@@ -23,6 +23,12 @@ Three accumulation strategies are available:
 the scatter path for tiny ones, where sort overhead dominates.  All paths
 produce the same sums up to float addition order (they agree to allclose
 tolerance; per-row partial sums are reassociated).
+
+The Hadamard accumulator is formed by scaling the *first* gathered factor
+by the values directly — no ``(nnz, R)`` all-ones matrix is materialised —
+and is computed in the requested compute dtype (``float32`` halves the
+memory traffic of this bandwidth-bound kernel; see
+:mod:`repro.util.dtypes`).
 """
 
 from __future__ import annotations
@@ -31,6 +37,7 @@ import numpy as np
 
 from repro.tensor.coo import CooTensor
 from repro.tensor.dense import _check_factors
+from repro.util.dtypes import resolve_dtype
 from repro.util.errors import DimensionError, ValidationError
 
 __all__ = ["coo_mttkrp", "COO_ACCUMULATE_METHODS", "SORT_MIN_NNZ"]
@@ -38,7 +45,14 @@ __all__ = ["coo_mttkrp", "COO_ACCUMULATE_METHODS", "SORT_MIN_NNZ"]
 #: accumulation strategies accepted by :func:`coo_mttkrp`.
 COO_ACCUMULATE_METHODS = ("auto", "add_at", "sort", "bincount")
 
-#: nnz threshold above which ``"auto"`` switches to the sorted path.
+#: nnz threshold above which ``"auto"`` switches from the ``"add_at"``
+#: scatter path to the ``"sort"`` segment-sum path.  Below it the stable
+#: argsort costs more than it saves; above it the sequential
+#: ``np.add.reduceat`` writes beat ``np.add.at``'s random-access scatter by
+#: ~1.3-1.4x at the paper's ``R = 32`` (measured on NumPy 2.x; see
+#: ``BENCH_kernels.json``, targets ``kernel.coo-scatter`` vs
+#: ``kernel.coo-sorted``).  The empirical autotuner (:mod:`repro.tune`)
+#: refines this static default per tensor.
 SORT_MIN_NNZ = 2048
 
 
@@ -74,6 +88,8 @@ def coo_mttkrp(
     mode: int,
     out: np.ndarray | None = None,
     method: str = "auto",
+    dtype=None,
+    validate: bool = True,
 ) -> np.ndarray:
     """Mode-``mode`` MTTKRP of a COO tensor.
 
@@ -88,20 +104,34 @@ def coo_mttkrp(
         Target mode.
     out:
         Optional pre-allocated ``(shape[mode], R)`` output; accumulated into
-        (not cleared), mirroring the GPU kernels' atomic accumulation.
+        (not cleared), mirroring the GPU kernels' atomic accumulation.  Its
+        dtype determines the compute dtype.
     method:
         ``"auto"`` (default), ``"add_at"``, ``"sort"`` or ``"bincount"`` —
         see the module docstring.
+    dtype:
+        Compute dtype when ``out`` is not supplied (``float32`` /
+        ``float64``; default float64).
+    validate:
+        Skip the method and factor-shape checks when ``False`` — for
+        trusted internal re-invocations (ALS inner loops, HB-CSF group
+        dispatch) where the shapes were validated once up front.
     """
+    # The method check is O(1) — unlike the shape scans it is never worth
+    # skipping, and a typo'd method must not surface as a KeyError after
+    # the full accumulation.
     if method not in COO_ACCUMULATE_METHODS:
         raise ValidationError(
             f"unknown COO accumulation method {method!r}; choose one of "
             f"{', '.join(COO_ACCUMULATE_METHODS)}"
         )
-    rank = _check_factors(tensor.shape, factors, mode)
+    if validate:
+        rank = _check_factors(tensor.shape, factors, mode)
+    else:
+        rank = factors[mode].shape[1]
     rows = tensor.shape[mode]
     if out is None:
-        out = np.zeros((rows, rank), dtype=np.float64)
+        out = np.zeros((rows, rank), dtype=resolve_dtype(dtype))
     elif out.shape != (rows, rank):
         raise DimensionError(
             f"out has shape {out.shape}, expected {(rows, rank)}"
@@ -110,11 +140,23 @@ def coo_mttkrp(
     if tensor.nnz == 0:
         return out
 
-    acc = tensor.values[:, None] * np.ones((1, rank), dtype=np.float64)
+    compute_dtype = out.dtype
+    values = tensor.values.astype(compute_dtype, copy=False)
+    acc = None
     for m in range(tensor.order):
         if m == mode:
             continue
-        acc *= np.asarray(factors[m], dtype=np.float64)[tensor.indices[:, m]]
+        gathered = np.asarray(factors[m], dtype=compute_dtype)[tensor.indices[:, m]]
+        if acc is None:
+            # Scaling the first gathered factor by the values replaces the
+            # old ``values[:, None] * ones((1, R))`` materialisation; the
+            # multiplication order per element is unchanged, so the result
+            # is bit-identical.
+            acc = values[:, None] * gathered
+        else:
+            acc *= gathered
+    if acc is None:  # order-1 tensor: no non-target factors to gather
+        acc = np.repeat(values[:, None], rank, axis=1)
 
     if method == "auto":
         method = "sort" if tensor.nnz >= SORT_MIN_NNZ else "add_at"

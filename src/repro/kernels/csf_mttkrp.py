@@ -18,28 +18,38 @@ import numpy as np
 
 from repro.tensor.csf import CsfTensor
 from repro.tensor.dense import _check_factors
+from repro.util.dtypes import resolve_dtype
 from repro.util.errors import DimensionError, TensorFormatError
 
 __all__ = ["csf_mttkrp", "segment_sum"]
 
 
-def segment_sum(data: np.ndarray, ptr: np.ndarray) -> np.ndarray:
+def segment_sum(data: np.ndarray, ptr: np.ndarray,
+                validate: bool = True) -> np.ndarray:
     """Sum ``data`` rows over segments ``[ptr[n], ptr[n+1])``.
 
     CSF guarantees no empty internal nodes, so every segment is non-empty,
     which lets us use ``np.add.reduceat`` directly.
+
+    ``validate=False`` skips the ``np.diff`` monotonicity scan (an extra
+    O(len(ptr)) pass) for internal call sites — the CSF/B-CSF kernels and
+    validated :class:`~repro.core.csl.CslGroup` structures — whose builders
+    already guarantee non-empty monotone segments.
     """
-    if ptr.shape[0] == 0:
-        raise TensorFormatError("pointer array must have at least one entry")
-    n_seg = ptr.shape[0] - 1
-    if n_seg == 0:
+    if validate:
+        if ptr.shape[0] == 0:
+            raise TensorFormatError("pointer array must have at least one entry")
+        n_seg = ptr.shape[0] - 1
+        if n_seg == 0:
+            return np.zeros((0,) + data.shape[1:], dtype=data.dtype)
+        if data.shape[0] != int(ptr[-1]):
+            raise TensorFormatError(
+                f"pointer array covers {int(ptr[-1])} rows but data has {data.shape[0]}"
+            )
+        if np.any(np.diff(ptr) <= 0):
+            raise TensorFormatError("segment_sum requires non-empty, monotone segments")
+    elif ptr.shape[0] == 1:
         return np.zeros((0,) + data.shape[1:], dtype=data.dtype)
-    if data.shape[0] != int(ptr[-1]):
-        raise TensorFormatError(
-            f"pointer array covers {int(ptr[-1])} rows but data has {data.shape[0]}"
-        )
-    if np.any(np.diff(ptr) <= 0):
-        raise TensorFormatError("segment_sum requires non-empty, monotone segments")
     return np.add.reduceat(data, ptr[:-1], axis=0)
 
 
@@ -48,6 +58,8 @@ def csf_mttkrp(
     factors: list[np.ndarray],
     mode: int | None = None,
     out: np.ndarray | None = None,
+    dtype=None,
+    validate: bool = True,
 ) -> np.ndarray:
     """MTTKRP for the root mode of a CSF tensor.
 
@@ -62,6 +74,14 @@ def csf_mttkrp(
         Target mode; defaults to ``csf.root_mode`` and must equal it.
     out:
         Optional pre-allocated ``(shape[mode], R)`` output, accumulated into.
+        Its dtype determines the compute dtype.
+    dtype:
+        Compute dtype when ``out`` is not supplied (``float32`` /
+        ``float64``; default float64).
+    validate:
+        Skip the factor-shape checks and the segment-monotonicity scans
+        when ``False`` — for trusted internal re-invocations on
+        builder-produced trees.
     """
     if mode is None:
         mode = csf.root_mode
@@ -70,30 +90,35 @@ def csf_mttkrp(
             f"CSF is rooted at mode {csf.root_mode}; cannot compute mode-{mode} "
             "MTTKRP without re-rooting (build a CSF per mode, as SPLATT ALLMODE does)"
         )
-    rank = _check_factors(csf.shape, factors, mode)
+    if validate:
+        rank = _check_factors(csf.shape, factors, mode)
+    else:
+        rank = factors[mode].shape[1]
     rows = csf.shape[mode]
     if out is None:
-        out = np.zeros((rows, rank), dtype=np.float64)
+        out = np.zeros((rows, rank), dtype=resolve_dtype(dtype))
     elif out.shape != (rows, rank):
         raise DimensionError(f"out has shape {out.shape}, expected {(rows, rank)}")
     if csf.nnz == 0:
         return out
 
     order = csf.order
-    factors = [np.asarray(f, dtype=np.float64) for f in factors]
+    compute_dtype = out.dtype
+    factors = [np.asarray(f, dtype=compute_dtype) for f in factors]
+    values = csf.values.astype(compute_dtype, copy=False)
 
     # Leaf level: val * A_leafmode[leaf index, :]
     leaf_mode = csf.mode_order[-1]
-    buf = csf.values[:, None] * factors[leaf_mode][csf.fids[-1]]
+    buf = values[:, None] * factors[leaf_mode][csf.fids[-1]]
 
     # Reduce up the tree, scaling by the factor of each internal level except
     # the root.
     for level in range(order - 2, 0, -1):
-        buf = segment_sum(buf, csf.fptr[level])
+        buf = segment_sum(buf, csf.fptr[level], validate=validate)
         level_mode = csf.mode_order[level]
         buf *= factors[level_mode][csf.fids[level]]
 
     # Root level: reduce fibers (or sub-trees) into slices and scatter.
-    slice_vals = segment_sum(buf, csf.fptr[0])
+    slice_vals = segment_sum(buf, csf.fptr[0], validate=validate)
     np.add.at(out, csf.fids[0], slice_vals)
     return out

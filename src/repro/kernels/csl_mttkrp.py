@@ -25,6 +25,7 @@ def csl_mttkrp(
     factors: list[np.ndarray],
     mode_order: tuple[int, ...],
     out: np.ndarray,
+    validate: bool = True,
 ) -> np.ndarray:
     """MTTKRP over a CSL-stored group of slices, accumulated into ``out``.
 
@@ -44,26 +45,40 @@ def csl_mttkrp(
     mode_order:
         CSF mode ordering (root first) that ``rest_indices`` columns follow.
     out:
-        ``(shape[root], R)`` output, accumulated into.
+        ``(shape[root], R)`` output, accumulated into.  Its dtype is the
+        compute dtype.
+    validate:
+        Skip the structural checks (and the segment-monotonicity scan)
+        when ``False`` — for trusted call sites executing a validated
+        :class:`~repro.core.csl.CslGroup`.
     """
     num_slices = slice_inds.shape[0]
-    if slice_ptr.shape[0] != num_slices + 1:
-        raise TensorFormatError("slice_ptr must have len(slice_inds) + 1 entries")
     nnz = values.shape[0]
-    if rest_indices.shape != (nnz, len(mode_order) - 1):
-        raise DimensionError(
-            f"rest_indices has shape {rest_indices.shape}, expected "
-            f"{(nnz, len(mode_order) - 1)}"
-        )
+    if validate:
+        if slice_ptr.shape[0] != num_slices + 1:
+            raise TensorFormatError("slice_ptr must have len(slice_inds) + 1 entries")
+        if rest_indices.shape != (nnz, len(mode_order) - 1):
+            raise DimensionError(
+                f"rest_indices has shape {rest_indices.shape}, expected "
+                f"{(nnz, len(mode_order) - 1)}"
+            )
     if num_slices == 0 or nnz == 0:
         return out
-    if int(slice_ptr[-1]) != nnz:
+    if validate and int(slice_ptr[-1]) != nnz:
         raise TensorFormatError("slice_ptr does not cover all nonzeros")
 
     rank = out.shape[1]
-    acc = values[:, None] * np.ones((1, rank), dtype=np.float64)
+    compute_dtype = out.dtype
+    vals = values.astype(compute_dtype, copy=False)
+    acc = None
     for col, m in enumerate(mode_order[1:]):
-        acc *= np.asarray(factors[m], dtype=np.float64)[rest_indices[:, col]]
-    per_slice = segment_sum(acc, slice_ptr)
+        gathered = np.asarray(factors[m], dtype=compute_dtype)[rest_indices[:, col]]
+        # Scale the first gathered factor by the values directly instead of
+        # materialising a (nnz, R) broadcast of the values (same fix as the
+        # COO kernel; bit-identical multiplication order).
+        acc = vals[:, None] * gathered if acc is None else acc * gathered
+    if acc is None:  # order-1 group: no non-root factors to gather
+        acc = np.repeat(vals[:, None], rank, axis=1)
+    per_slice = segment_sum(acc, slice_ptr, validate=validate)
     np.add.at(out, slice_inds, per_slice)
     return out

@@ -1,0 +1,120 @@
+"""Content-addressed decision cache for the empirical autotuner.
+
+The paper's central empirical finding is that *no single format wins
+everywhere* — the best MTTKRP kernel depends on the tensor's fiber-length
+distribution and on the mode.  Probing the candidates costs real kernel
+executions, so a decision, once made, is worth keeping: this module caches
+:class:`~repro.tune.tuner.TuneDecision` records keyed by
+
+    (tensor fingerprint, mode, rank bucket, compute dtype, split config)
+
+using the same content fingerprinting as the build-plan cache
+(:func:`repro.formats.tensor_fingerprint`), so two equal tensors share
+decisions regardless of object identity.  The cache is a bounded
+process-global LRU with hit statistics, mirroring
+:class:`repro.formats.plan_cache.PlanCache`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.util.errors import ValidationError
+
+__all__ = [
+    "DecisionCache",
+    "decision_cache",
+    "decision_cache_stats",
+    "clear_decision_cache",
+]
+
+#: default number of cached decisions (decisions are tiny — a format name
+#: and a handful of probe timings — so the bound exists only to keep
+#: long-running sweeps over thousands of tensors from growing unboundedly).
+DEFAULT_MAX_DECISIONS = 512
+
+
+class DecisionCache:
+    """A bounded LRU of autotuning decisions with hit statistics."""
+
+    def __init__(self, max_entries: int = DEFAULT_MAX_DECISIONS):
+        if max_entries < 1:
+            raise ValidationError(
+                f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = int(max_entries)
+        self._entries: OrderedDict[tuple, object] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: tuple):
+        decision = self._entries.get(key)
+        if decision is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return decision
+
+    def put(self, key: tuple, decision) -> None:
+        self._entries.pop(key, None)
+        self._entries[key] = decision
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def discard(self, *, fingerprint: str | None = None,
+                format: str | None = None) -> int:
+        """Drop decisions matching the given fields (AND semantics).
+
+        ``fingerprint`` invalidates one tensor's decisions (e.g. after a
+        measurement wants a cold probe); ``format`` invalidates every
+        decision that elected a format whose registration changed.
+        Returns the number of entries removed; counters are not reset.
+        """
+        removed = 0
+        for key in list(self._entries):
+            if fingerprint is not None and key[0] != fingerprint:
+                continue
+            if format is not None and self._entries[key].format != format:
+                continue
+            del self._entries[key]
+            removed += 1
+        return removed
+
+    def clear(self, *, reset_stats: bool = True) -> None:
+        self._entries.clear()
+        if reset_stats:
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
+
+    def stats(self) -> dict:
+        return {
+            "entries": len(self._entries),
+            "max_entries": self.max_entries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+
+_GLOBAL_CACHE = DecisionCache()
+
+
+def decision_cache() -> DecisionCache:
+    """The process-global decision cache used by :func:`repro.tune.decide`."""
+    return _GLOBAL_CACHE
+
+
+def decision_cache_stats() -> dict:
+    """Snapshot of the global decision-cache counters."""
+    return _GLOBAL_CACHE.stats()
+
+
+def clear_decision_cache() -> None:
+    """Drop all cached decisions and reset the counters."""
+    _GLOBAL_CACHE.clear()

@@ -1,0 +1,120 @@
+"""The float32/float64 compute-dtype policy, across formats and layers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.mttkrp import MttkrpPlan, mttkrp
+from repro.formats import build_plan, format_names
+from repro.tensor.dense import dense_mttkrp
+from repro.util.dtypes import dtype_token, resolve_dtype
+from repro.util.errors import ValidationError
+
+from tests.conftest import make_factors
+from tests.formats.conftest import singleton_fiber_tensor
+
+#: loosened tolerance for single precision: ~2^-23 per op, a few hundred
+#: accumulations per output row on these test tensors.
+F32_RTOL = 1e-4
+F32_ATOL = 1e-4
+
+
+class TestResolveDtype:
+    def test_default_is_float64(self):
+        assert resolve_dtype(None) == np.float64
+
+    def test_spellings(self):
+        assert resolve_dtype("float32") == np.float32
+        assert resolve_dtype(" Float64 ") == np.float64
+        assert resolve_dtype(np.float32) == np.float32
+        assert dtype_token("float32") == "float32"
+        assert dtype_token(None) == "float64"
+
+    def test_rejects_everything_else(self):
+        with pytest.raises(ValidationError):
+            resolve_dtype("float16")
+        with pytest.raises(ValidationError):
+            resolve_dtype(np.int64)
+
+
+class TestFloat32Equivalence:
+    @pytest.mark.parametrize(
+        "fmt", [f for f in format_names(kind="own", cpu=True, universal=True)])
+    def test_universal_formats_match_dense_reference(self, skewed3d, fmt):
+        factors = make_factors(skewed3d.shape, 16, seed=21)
+        for mode in range(skewed3d.order):
+            got = mttkrp(skewed3d, factors, mode, format=fmt,
+                         dtype="float32")
+            assert got.dtype == np.float32
+            ref = dense_mttkrp(skewed3d, factors, mode)
+            np.testing.assert_allclose(got, ref, rtol=F32_RTOL,
+                                       atol=F32_ATOL * np.abs(ref).max())
+
+    def test_csl_matches_dense_reference(self):
+        tensor = singleton_fiber_tensor()
+        factors = make_factors(tensor.shape, 8, seed=23)
+        got = mttkrp(tensor, factors, 0, format="csl", dtype="float32")
+        assert got.dtype == np.float32
+        np.testing.assert_allclose(got, dense_mttkrp(tensor, factors, 0),
+                                   rtol=F32_RTOL, atol=F32_ATOL)
+
+    def test_auto_dispatch_respects_dtype(self, skewed3d):
+        factors = make_factors(skewed3d.shape, 8, seed=25)
+        got = mttkrp(skewed3d, factors, 0, format="auto", dtype="float32")
+        assert got.dtype == np.float32
+        ref = dense_mttkrp(skewed3d, factors, 0)
+        np.testing.assert_allclose(got, ref, rtol=F32_RTOL,
+                                   atol=F32_ATOL * np.abs(ref).max())
+
+
+class TestDtypeThroughBuilders:
+    def test_csf_builder_stores_float32_values(self, small3d):
+        rep = build_plan(small3d, "csf", 0, dtype="float32").rep
+        assert rep.values.dtype == np.float32
+
+    def test_hbcsf_groups_downcast(self, skewed3d):
+        rep = build_plan(skewed3d, "hb-csf", 0, dtype="float32").rep
+        if rep.bcsf_group is not None:
+            assert rep.bcsf_group.csf.values.dtype == np.float32
+        if rep.csl_group.nnz:
+            assert rep.csl_group.values.dtype == np.float32
+
+    def test_dtype_keys_cache_entries_separately(self, small3d):
+        a = build_plan(small3d, "csf", 0)
+        b = build_plan(small3d, "csf", 0, dtype="float32")
+        c = build_plan(small3d, "csf", 0, dtype="float64")
+        assert not b.cache_hit          # float32 is its own entry
+        assert c.cache_hit              # explicit float64 == default entry
+        assert a.rep.values.dtype == np.float64
+        assert b.rep.values.dtype == np.float32
+
+
+class TestDtypeThroughPlanAndAls:
+    def test_plan_executes_in_float32(self, skewed3d):
+        factors = make_factors(skewed3d.shape, 8, seed=27)
+        plan = MttkrpPlan(skewed3d, format="hb-csf", dtype="float32")
+        for mode in range(skewed3d.order):
+            got = plan.mttkrp(factors, mode)
+            assert got.dtype == np.float32
+            ref = dense_mttkrp(skewed3d, factors, mode)
+            np.testing.assert_allclose(got, ref, rtol=F32_RTOL,
+                                       atol=F32_ATOL * np.abs(ref).max())
+
+    def test_cp_als_float32_tracks_float64(self, skewed3d):
+        from repro.cpd.als import cp_als
+        from repro.util.prng import default_rng
+
+        ref = cp_als(skewed3d, 4, n_iters=3, rng=default_rng(5))
+        f32 = cp_als(skewed3d, 4, n_iters=3, rng=default_rng(5),
+                     dtype="float32")
+        assert all(f.dtype == np.float32 for f in f32.factors)
+        assert f32.final_fit == pytest.approx(ref.final_fit, abs=1e-3)
+
+    def test_out_dtype_wins(self, small3d):
+        factors = make_factors(small3d.shape, 6, seed=29)
+        out = np.zeros((small3d.shape[0], 6), dtype=np.float32)
+        got = mttkrp(small3d, factors, 0, format="coo", out=out)
+        assert got is out
+        np.testing.assert_allclose(got, dense_mttkrp(small3d, factors, 0),
+                                   rtol=F32_RTOL, atol=F32_ATOL)

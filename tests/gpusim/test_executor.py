@@ -46,6 +46,27 @@ class TestScheduleBlocks:
         assert busy.max() >= cycles.max()
         assert busy.max() >= cycles.sum() / 16 - 1e-9
 
+    def test_uniform_closed_form_with_remainder(self):
+        # 10 equal blocks on 4 SMs: round-robin gives loads (3,3,2,2) * c
+        busy = schedule_blocks(np.full(10, 7.0), 4)
+        assert sorted(busy.tolist(), reverse=True) == [21.0, 21.0, 14.0, 14.0]
+
+    def test_general_path_spread_bounded_by_max_cost(self):
+        # chunk-folded LPT keeps the per-SM load spread within one block
+        # cost — the property that guarantees the list-scheduling bound
+        rng = np.random.default_rng(3)
+        for _ in range(5):
+            cycles = rng.uniform(0.5, 200.0, size=333)
+            busy = schedule_blocks(cycles, 13)
+            assert busy.max() - busy.min() <= cycles.max() + 1e-9
+            assert busy.sum() == pytest.approx(cycles.sum())
+
+    def test_list_scheduling_upper_bound(self):
+        rng = np.random.default_rng(4)
+        cycles = rng.lognormal(2.0, 1.5, size=1000)
+        busy = schedule_blocks(cycles, 56)
+        assert busy.max() <= cycles.sum() / 56 + cycles.max() + 1e-9
+
 
 class TestBlockComputeCycles:
     def test_latency_vs_throughput_bound(self):

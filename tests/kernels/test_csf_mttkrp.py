@@ -34,6 +34,32 @@ class TestSegmentSum:
         out = segment_sum(np.zeros((0, 2)), np.array([0]))
         assert out.shape == (0, 2)
 
+    def test_validate_false_same_result(self):
+        data = np.arange(12.0).reshape(6, 2)
+        ptr = np.array([0, 2, 3, 6])
+        np.testing.assert_array_equal(segment_sum(data, ptr),
+                                      segment_sum(data, ptr, validate=False))
+
+    def test_validate_false_skips_no_segment_scan(self):
+        # the fast path still handles the empty-pointer edge correctly
+        out = segment_sum(np.zeros((0, 3)), np.array([0]), validate=False)
+        assert out.shape == (0, 3)
+
+
+class TestValidateFastPath:
+    def test_csf_mttkrp_validate_false_bit_identical(self, small3d, factors3d):
+        csf = build_csf(small3d, 0)
+        checked = csf_mttkrp(csf, factors3d)
+        trusted = csf_mttkrp(csf, factors3d, validate=False)
+        np.testing.assert_array_equal(checked, trusted)
+
+    def test_validate_true_still_checks_factors(self, small3d, factors3d):
+        csf = build_csf(small3d, 0)
+        bad = list(factors3d)
+        bad[1] = bad[1][:-1]
+        with pytest.raises(DimensionError):
+            csf_mttkrp(csf, bad)
+
 
 class TestCorrectness:
     @pytest.mark.parametrize("mode", [0, 1, 2])

@@ -1,0 +1,60 @@
+"""Fixtures for the autotuner tests: fresh caches, deterministic tensors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.formats import clear_plan_cache
+from repro.tensor.coo import CooTensor
+from repro.tune import clear_decision_cache
+from repro.util.prng import default_rng
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches():
+    """Every test starts (and leaves) with empty decision and plan caches."""
+    clear_decision_cache()
+    clear_plan_cache()
+    yield
+    clear_decision_cache()
+    clear_plan_cache()
+
+
+@pytest.fixture
+def medium3d() -> CooTensor:
+    """A deterministic 3-D tensor big enough that every kernel runs."""
+    rng = default_rng(42)
+    nnz = 600
+    idx = np.stack([rng.integers(0, 30, nnz), rng.integers(0, 25, nnz),
+                    rng.integers(0, 40, nnz)], axis=1)
+    return CooTensor(idx, rng.standard_normal(nnz), (30, 25, 40),
+                     sum_duplicates=True)
+
+
+@pytest.fixture
+def singleton3d() -> CooTensor:
+    """CSL-eligible for every root mode (all columns are permutations)."""
+    rng = default_rng(9)
+    dim = 16
+    idx = np.stack([rng.permutation(dim) for _ in range(3)], axis=1)
+    return CooTensor(idx, rng.standard_normal(dim), (dim, dim, dim))
+
+
+def fixed_measure(table: dict[str, float]):
+    """A deterministic ``measure`` hook for :func:`repro.tune.decide`.
+
+    Maps candidate labels to fake probe seconds by inspecting the closure's
+    bound objects is fragile, so instead the table is consulted in call
+    order: decide() probes candidates in enumeration order, and the hook
+    pops seconds from the corresponding queue.
+    """
+    queue = list(table.items())
+
+    def measure(fn):
+        if not queue:
+            raise AssertionError("measure called more times than expected")
+        _, seconds = queue.pop(0)
+        return seconds
+
+    return measure
