@@ -14,7 +14,6 @@ driven by the same work-distribution and traffic quantities as in the paper.
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -109,26 +108,23 @@ class CpuKernelResult:
 
 
 def schedule_tasks(task_cycles: np.ndarray, num_threads: int) -> np.ndarray:
-    """Dynamic (guided) assignment of tasks to threads, returning per-thread load.
+    """LPT assignment of tasks to threads, returning per-thread load.
 
-    Mirrors OpenMP dynamic scheduling the way the GPU model mirrors the block
-    scheduler: tasks are taken in order by whichever thread is free first.
+    Mirrors OpenMP scheduling the way the GPU model mirrors the block
+    scheduler, via the shared chunk-folded LPT
+    (:func:`repro.parallel.lpt.lpt_loads`) — one implementation for the
+    simulator, this model and the real threaded backend.  Versus the old
+    per-task Python ``heapq`` walk (in-order earliest-available greedy)
+    this models guided/LPT scheduling rather than strict ``dynamic``:
+    sorted descending consumption can pack tighter makespans, but the
+    properties the model relies on — work conservation, ``max(cost)`` and
+    ``sum/P`` lower bounds, the ``sum/P + max`` upper bound — are
+    unchanged, and it no longer spends interpreter time linear in the task
+    count.
     """
-    busy = np.zeros(num_threads, dtype=np.float64)
-    n = task_cycles.shape[0]
-    if n == 0:
-        return busy
-    if n <= num_threads:
-        busy[:n] = task_cycles
-        return busy
-    heap = [(0.0, t) for t in range(num_threads)]
-    heapq.heapify(heap)
-    for c in task_cycles:
-        load, t = heapq.heappop(heap)
-        load += float(c)
-        busy[t] = load
-        heapq.heappush(heap, (load, t))
-    return busy
+    from repro.parallel.lpt import lpt_loads
+
+    return lpt_loads(task_cycles, num_threads)
 
 
 def simulate_cpu_kernel(

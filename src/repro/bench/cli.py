@@ -9,6 +9,10 @@ Usage::
         --budget tiny
     python -m repro.bench run --target kernel --suite scaling_ladder \
         --repeats 7 --name ladder --dtype float32
+    python -m repro.bench run --target kernel.par --suite imbalance_sweep \
+        --budget tiny --name par
+    python -m repro.bench run --target kernel --suite paper12 --budget tiny \
+        --backend threads --workers 4
     python -m repro.bench matrix --suite paper12 --budget tiny
     python -m repro.bench compare BENCH_kernels.json BENCH_candidate.json \
         --threshold 0.15
@@ -72,7 +76,9 @@ def _make_cache(args) -> ScenarioCache | None:
 def _make_config(args) -> BenchConfig:
     if args.budget is not None:
         config = BenchConfig.from_budget(args.budget, rank=args.rank,
-                                         seed=args.seed, dtype=args.dtype)
+                                         seed=args.seed, dtype=args.dtype,
+                                         backend=args.backend,
+                                         num_workers=args.workers)
         # explicit flags override the budget presets
         overrides = {}
         if args.repeats is not None:
@@ -93,6 +99,8 @@ def _make_config(args) -> BenchConfig:
         scale=args.scale if args.scale is not None else 1.0,
         seed=args.seed,
         dtype=args.dtype,
+        backend=args.backend,
+        num_workers=args.workers,
     )
 
 
@@ -267,6 +275,13 @@ def _add_sweep_options(sub: argparse.ArgumentParser) -> None:
                      help="kernel format to time (repeatable); any registry "
                           "name/alias, or 'auto' for the autotuned dispatch "
                           "target — shorthand for --target kernel.<format>")
+    sub.add_argument("--backend", choices=("serial", "threads"), default=None,
+                     help="execution backend for targets that accept one "
+                          "(kernel.*, cpd.*); default defers to "
+                          "REPRO_BACKEND, then serial")
+    sub.add_argument("--workers", type=int, default=None,
+                     help="worker count for --backend threads; default "
+                          "defers to REPRO_NUM_WORKERS, then the CPU count")
     sub.add_argument("--dtype", choices=("float32", "float64"), default=None,
                      help="compute dtype for kernel/build/cpd targets "
                           "(default float64)")

@@ -43,7 +43,11 @@ class BenchConfig:
 
     ``dtype`` applies the compute-dtype policy (:mod:`repro.util.dtypes`)
     to every target that supports it (``kernel.*``, ``build.*``,
-    ``cpd.*``); ``None`` measures the float64 default.
+    ``cpd.*``); ``None`` measures the float64 default.  ``backend`` /
+    ``num_workers`` select the execution backend (:mod:`repro.parallel`)
+    the same way: targets that declare the knobs receive them, the rest
+    (``build.*``, ``sim.*``, the fixed-worker ``kernel.par.*`` cells)
+    measure what their name says.
     """
 
     repeats: int = 5
@@ -53,6 +57,8 @@ class BenchConfig:
     seed: int | None = None
     budget: str | None = None
     dtype: str | None = None
+    backend: str | None = None
+    num_workers: int | None = None
 
     def __post_init__(self) -> None:
         if self.repeats < 1:
@@ -65,11 +71,23 @@ class BenchConfig:
             raise ValidationError(f"scale must be positive, got {self.scale}")
         if self.dtype is not None:
             resolve_dtype(self.dtype)
+        if self.backend is not None:
+            from repro.parallel.pool import resolve_backend
+
+            object.__setattr__(self, "backend",
+                               resolve_backend(self.backend))
+        if self.num_workers is not None:
+            from repro.parallel.pool import resolve_workers
+
+            object.__setattr__(self, "num_workers",
+                               resolve_workers(self.num_workers))
 
     @classmethod
     def from_budget(cls, budget: str, *, rank: int = 32,
                     seed: int | None = None,
-                    dtype: str | None = None) -> "BenchConfig":
+                    dtype: str | None = None,
+                    backend: str | None = None,
+                    num_workers: int | None = None) -> "BenchConfig":
         try:
             scale, repeats, warmup = BUDGETS[budget]
         except KeyError:
@@ -77,7 +95,8 @@ class BenchConfig:
                 f"unknown budget {budget!r}; choose one of "
                 f"{', '.join(BUDGETS)}") from None
         return cls(repeats=repeats, warmup=warmup, rank=rank, scale=scale,
-                   seed=seed, budget=budget, dtype=dtype)
+                   seed=seed, budget=budget, dtype=dtype, backend=backend,
+                   num_workers=num_workers)
 
     def to_dict(self) -> dict:
         return {
@@ -88,6 +107,8 @@ class BenchConfig:
             "seed": self.seed,
             "budget": self.budget,
             "dtype": self.dtype,
+            "backend": self.backend,
+            "num_workers": self.num_workers,
         }
 
 
@@ -97,16 +118,21 @@ def suite_scenarios(name: str) -> list[tuple[str, ScenarioSpec]]:
 
 
 def _setup_target(target, tensor, config: BenchConfig):
-    """Run a target's untimed setup, forwarding the dtype knob when the
-    target declares it (``sim.*`` targets, for instance, have no compute
-    dtype — the simulator is analytical).  Uses the registry's shared,
-    memoised signature inspection."""
-    if config.dtype is not None:
+    """Run a target's untimed setup, forwarding the dtype / backend knobs
+    when the target declares them (``sim.*`` targets, for instance, have no
+    compute dtype — the simulator is analytical — and ``build.*`` targets
+    have no execution backend).  Uses the registry's shared, memoised
+    signature inspection."""
+    extras = {}
+    wanted = (("dtype", config.dtype), ("backend", config.backend),
+              ("num_workers", config.num_workers))
+    if any(value is not None for _, value in wanted):
         from repro.formats.registry import optional_call_params
 
-        if "dtype" in optional_call_params(target.setup):
-            return target.setup(tensor, config.rank, dtype=config.dtype)
-    return target.setup(tensor, config.rank)
+        supported = optional_call_params(target.setup)
+        extras = {knob: value for knob, value in wanted
+                  if value is not None and knob in supported}
+    return target.setup(tensor, config.rank, **extras)
 
 
 def run_benchmarks(

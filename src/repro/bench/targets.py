@@ -33,6 +33,7 @@ __all__ = [
     "target_groups",
     "expand_targets",
     "DEFAULT_MATRIX_GROUP",
+    "PAR_WORKER_COUNTS",
 ]
 
 #: target group the ``matrix`` subcommand sweeps by default.
@@ -187,14 +188,63 @@ def _register_format_kernel(name: str) -> None:
               else "")
     @register_target(f"kernel.{name}", group="kernel",
                      description=f"{name} MTTKRP{suffix}; build untimed")
-    def _kernel(tensor: CooTensor, rank: int, dtype=None,
+    def _kernel(tensor: CooTensor, rank: int, dtype=None, backend=None,
+                num_workers=None,
                 _name: str = name) -> Callable[[], object]:
         from repro.formats import get_format
 
         fmt = get_format(_name)
         rep = _bench_representation(fmt, tensor, dtype)
         factors = bench_factors(tensor.shape, rank, dtype)
-        return lambda: fmt.mttkrp(rep, factors, 0, dtype=dtype)
+        return lambda: fmt.mttkrp(rep, factors, 0, dtype=dtype,
+                                  backend=backend, num_workers=num_workers)
+
+
+#: worker counts each ``kernel.par.<format>.wN`` cell is registered for.
+PAR_WORKER_COUNTS = (2, 4)
+
+
+def _par_probe(result: object) -> dict:
+    return dict(result)
+
+
+def _register_par_kernel(name: str, workers: int) -> None:
+    @register_target(f"kernel.par.{name}.w{workers}", group="kernel.par",
+                     description=f"{name} MTTKRP on the threaded backend "
+                                 f"({workers} workers); build + shard plan "
+                                 "untimed; the probe records the serial "
+                                 "reference seconds so speedup-vs-workers "
+                                 "is derivable from one run",
+                     probe=_par_probe)
+    def _kernel(tensor: CooTensor, rank: int, dtype=None,
+                _name: str = name,
+                _workers: int = workers) -> Callable[[], object]:
+        from repro.formats import get_format
+        from repro.util.timing import repeat as time_repeat
+
+        fmt = get_format(_name)
+        rep = _bench_representation(fmt, tensor, dtype)
+        factors = bench_factors(tensor.shape, rank, dtype)
+
+        def serial() -> object:
+            return fmt.mttkrp(rep, factors, 0, dtype=dtype, backend="serial")
+
+        def threaded() -> object:
+            return fmt.mttkrp(rep, factors, 0, dtype=dtype,
+                              backend="threads", num_workers=_workers)
+
+        # untimed: the serial reference for the probe, and one threaded
+        # call to populate the shard-plan memo so the timed laps measure
+        # execution, not partitioning
+        _, serial_timer = time_repeat(serial, n=3, warmup=2)
+        threaded()
+        metrics = {"serial_seconds": serial_timer.best, "workers": _workers}
+
+        def run() -> dict:
+            threaded()
+            return metrics
+
+        return run
 
 
 def _register_registry_targets() -> None:
@@ -202,6 +252,16 @@ def _register_registry_targets() -> None:
 
     for fmt_name in format_names(kind="own", cpu=True):
         _register_format_kernel(fmt_name)
+
+    # kernel.par.* — threaded-backend cells, one per sharded format x
+    # worker count.  Kept out of the default "kernel" matrix group: each
+    # cell times extra serial reference laps, and on single-core runners
+    # the numbers answer a different question (overhead, not speedup).
+    for fmt_name in format_names(kind="own", cpu=True):
+        if not get_format(fmt_name).supports_threads:
+            continue
+        for workers in PAR_WORKER_COUNTS:
+            _register_par_kernel(fmt_name, workers)
 
     # build.* — format construction (the paper's pre-processing axis).
     for fmt_name in format_names(kind="own"):

@@ -25,6 +25,12 @@ Both entry points accept a ``dtype`` (:mod:`repro.util.dtypes`): float32
 roughly halves the memory traffic of these bandwidth-bound kernels at the
 price of single-precision accuracy; float64 (the default) is the paper's
 reference precision.
+
+Both also accept an execution ``backend`` (:mod:`repro.parallel`):
+``"serial"`` (default) or ``"threads"``, which runs the same kernels over
+LPT-balanced row-disjoint shards on a worker pool — bit-identical results,
+real cores.  ``None`` defers to ``REPRO_BACKEND`` / ``REPRO_NUM_WORKERS``;
+an autotuner decision pins the backend it measured fastest.
 """
 
 from __future__ import annotations
@@ -67,28 +73,47 @@ def _is_auto(format: str) -> bool:
     return isinstance(format, str) and format.strip().lower() == "auto"
 
 
-def _decide(tensor, mode: int, rank: int, config, dtype):
+def _decide(tensor, mode: int, rank: int, config, dtype, backend=None,
+            num_workers=None):
     from repro.tune import decide
 
-    return decide(tensor, mode, rank, dtype=dtype, config=config)
+    return decide(tensor, mode, rank, dtype=dtype, config=config,
+                  backend=backend, num_workers=num_workers)
 
 
 def _execute(spec, rep, factors, mode: int, out, coo_method, dtype,
-             validate: bool = True):
+             validate: bool = True, backend=None, num_workers=None,
+             plan_key=None):
     """One kernel execution, optionally pinned to a COO accumulation variant.
 
     The pinned-COO path calls :func:`repro.kernels.coo_mttkrp.coo_mttkrp`
     with the elected ``method`` — exactly what an explicit caller forcing
     that variant would run, so autotuned results are bit-identical to the
     explicitly chosen winner's.
+
+    ``backend``/``num_workers`` route execution to the threaded backend
+    (``None`` defers to the environment); ``plan_key`` — the
+    representation's build-plan cache key — content-addresses the shard
+    plan next to the build it partitions.
     """
+    from repro.parallel.pool import resolve_backend, resolve_workers
+
+    if resolve_backend(backend) == "threads" and spec.sharder is not None:
+        workers = resolve_workers(num_workers)
+        if workers > 1:
+            from repro.parallel.execute import threaded_mttkrp
+
+            return threaded_mttkrp(spec, rep, factors, mode, out,
+                                   dtype=dtype, validate=validate,
+                                   coo_method=coo_method,
+                                   num_workers=workers, plan_key=plan_key)
     if coo_method is not None:
         from repro.kernels.coo_mttkrp import coo_mttkrp
 
         return coo_mttkrp(rep, factors, mode, out=out, method=coo_method,
                           dtype=dtype, validate=validate)
     return spec.mttkrp(rep, factors, mode, out=out, validate=validate,
-                       dtype=dtype)
+                       dtype=dtype, backend="serial")
 
 
 def mttkrp(
@@ -99,6 +124,8 @@ def mttkrp(
     config: SplitConfig | None = None,
     out: np.ndarray | None = None,
     dtype=None,
+    backend: str | None = None,
+    num_workers: int | None = None,
 ) -> np.ndarray:
     """Compute the mode-``mode`` MTTKRP of ``tensor``.
 
@@ -126,6 +153,11 @@ def mttkrp(
     dtype:
         Compute dtype when ``out`` is not supplied: ``"float32"`` or
         ``"float64"`` (default).  See :mod:`repro.util.dtypes`.
+    backend / num_workers:
+        Execution backend (``"serial"`` / ``"threads"``) and worker count;
+        ``None`` defers to ``REPRO_BACKEND`` / ``REPRO_NUM_WORKERS``.
+        Threads are bit-identical to serial (:mod:`repro.parallel`); with
+        ``format="auto"`` the tuner's elected backend takes precedence.
 
     Notes
     -----
@@ -142,15 +174,19 @@ def mttkrp(
     coo_method = None
     if _is_auto(format):
         decision = _decide(tensor, mode, factors[mode].shape[1], config,
-                           dtype)
+                           dtype, backend, num_workers)
         format = decision.format
         coo_method = decision.coo_method
+        backend = decision.backend
+        num_workers = decision.num_workers
     spec = _resolve(format)
     spec.check_tensor(tensor)
     # build_plan normalises config/dtype for formats that do not consume
     # them, so the cache key always matches the builder's actual input
-    rep = build_plan(tensor, spec.name, mode, config, dtype).rep
-    return _execute(spec, rep, factors, mode, out, coo_method, dtype)
+    built = build_plan(tensor, spec.name, mode, config, dtype)
+    return _execute(spec, built.rep, factors, mode, out, coo_method, dtype,
+                    backend=backend, num_workers=num_workers,
+                    plan_key=built.key)
 
 
 @dataclass
@@ -168,6 +204,11 @@ class MttkrpPlan:
     dtype:
         Compute dtype for the planned executions (see
         :mod:`repro.util.dtypes`); participates in the build-plan cache key.
+    backend / num_workers:
+        Plan-level execution backend default (:mod:`repro.parallel`);
+        ``None`` defers to the environment per execution.  Autotuned plans
+        ignore these at execution time in favour of each mode's elected
+        decision.
     representations:
         ``representations[m]`` is the structure used for mode-``m`` MTTKRP
         (the registered builder's output — a :class:`CooTensor`,
@@ -195,15 +236,24 @@ class MttkrpPlan:
     modes: tuple[int, ...] | None = None
     dtype: object = None
     rank: int | None = None
+    backend: str | None = None
+    num_workers: int | None = None
     representations: dict[int, object] = field(default_factory=dict, init=False)
     mode_formats: dict[int, str] = field(default_factory=dict, init=False)
     decisions: dict[int, object] = field(default_factory=dict, init=False)
+    plan_keys: dict[int, tuple] = field(default_factory=dict, init=False)
     preprocessing_seconds: float = field(default=0.0, init=False)
     cache_hits: int = field(default=0, init=False)
     cache_misses: int = field(default=0, init=False)
 
     def __post_init__(self) -> None:
         resolve_dtype(self.dtype)
+        if self.backend is not None:
+            # fold the spelling now; None stays None (defer to the
+            # environment at each execution)
+            from repro.parallel.pool import resolve_backend
+
+            self.backend = resolve_backend(self.backend)
         if self.modes is None:
             self.modes = tuple(range(self.tensor.order))
         else:
@@ -216,7 +266,8 @@ class MttkrpPlan:
                     "autotuner's probe (the decision is bucketed by rank)")
             for m in self.modes:
                 decision = _decide(self.tensor, m, self.rank, self.config,
-                                   self.dtype)
+                                   self.dtype, self.backend,
+                                   self.num_workers)
                 self.decisions[m] = decision
                 self.mode_formats[m] = decision.format
         else:
@@ -230,6 +281,7 @@ class MttkrpPlan:
             built = build_plan(self.tensor, self.mode_formats[m], m,
                                self.config, self.dtype)
             self.representations[m] = built.rep
+            self.plan_keys[m] = built.key
             if built.cache_hit:
                 self.cache_hits += 1
             else:
@@ -255,19 +307,36 @@ class MttkrpPlan:
 
     def mttkrp(self, factors: list[np.ndarray], mode: int,
                out: np.ndarray | None = None,
-               validate: bool = True) -> np.ndarray:
+               validate: bool = True,
+               backend: str | None = None,
+               num_workers: int | None = None) -> np.ndarray:
         """Execute the planned mode-``mode`` MTTKRP.
 
         ``validate=False`` skips the kernels' factor-shape checks and
         pointer scans — for trusted re-invocations whose factor shapes
         were validated once (the ALS inner loop).
+
+        ``backend``/``num_workers`` override the plan-level choice for this
+        call; an autotuner decision (``format="auto"``) pins both — the
+        elected execution is what the tuner measured, and neither the
+        environment nor a per-call override re-litigates it.
         """
         rep = self.representation(mode)
         spec = get_format(self.mode_formats[mode])
         decision = self.decisions.get(mode)
         coo_method = decision.coo_method if decision is not None else None
+        if decision is not None:
+            backend = decision.backend
+            num_workers = decision.num_workers
+        else:
+            if backend is None:
+                backend = self.backend
+            if num_workers is None:
+                num_workers = self.num_workers
         return _execute(spec, rep, factors, mode, out, coo_method,
-                        self.dtype, validate=validate)
+                        self.dtype, validate=validate, backend=backend,
+                        num_workers=num_workers,
+                        plan_key=self.plan_keys.get(mode))
 
     def index_storage_words(self) -> int:
         """Total index words across all distinct per-mode representations."""

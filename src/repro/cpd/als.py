@@ -109,6 +109,8 @@ def cp_als(
     rng=None,
     compute_fit: bool = True,
     dtype=None,
+    backend: str | None = None,
+    num_workers: int | None = None,
 ) -> CpdResult:
     """Run CPD-ALS on a sparse tensor (Algorithm 1).
 
@@ -135,6 +137,11 @@ def cp_als(
         ``"float64"``, default float64).  The small ``R x R`` normal
         equations are always solved in float64 for stability; float32
         changes only the bandwidth-bound bulk work.
+    backend / num_workers:
+        Execution backend for the MTTKRP sweeps (``"serial"`` /
+        ``"threads"``; ``None`` defers to ``REPRO_BACKEND``).  The threaded
+        backend is bit-identical to serial, so the factor trajectory — and
+        the fit — do not depend on this choice.
     """
     if n_iters < 1:
         raise ValidationError(f"n_iters must be >= 1, got {n_iters}")
@@ -158,7 +165,8 @@ def cp_als(
                for f in factors]
 
     plan = MttkrpPlan(tensor, format=format, config=config,
-                      dtype=dtype, rank=rank)
+                      dtype=dtype, rank=rank, backend=backend,
+                      num_workers=num_workers)
     order = tensor.order
     norm_x = tensor_norm(tensor)
     # Per-factor Gram cache (float64 for the normal equations): only the

@@ -34,6 +34,39 @@ def _simulate_kernel_for(workload, device, memory_model):
     return simulate_kernel(workload, device, memory_model)
 
 
+# Threaded-backend sharders (lazy like every other registered callable).
+# Only the paper's own formats get one: the baselines model frameworks whose
+# parallel execution we simulate, not reimplement.
+def _coo_sharder(rep, mode, num_workers):
+    from repro.parallel.partition import shard_coo
+
+    return shard_coo(rep, mode, num_workers)
+
+
+def _csf_sharder(rep, mode, num_workers):
+    from repro.parallel.partition import shard_csf
+
+    return shard_csf(rep, mode, num_workers)
+
+
+def _bcsf_sharder(rep, mode, num_workers):
+    from repro.parallel.partition import shard_bcsf
+
+    return shard_bcsf(rep, mode, num_workers)
+
+
+def _hbcsf_sharder(rep, mode, num_workers):
+    from repro.parallel.partition import shard_hbcsf
+
+    return shard_hbcsf(rep, mode, num_workers)
+
+
+def _csl_sharder(rep, mode, num_workers):
+    from repro.parallel.partition import shard_csl
+
+    return shard_csl(rep, mode, num_workers)
+
+
 # --------------------------------------------------------------------- #
 # coo
 # --------------------------------------------------------------------- #
@@ -77,6 +110,7 @@ register_format(FormatSpec(
     cpu_kernel=_coo_kernel,
     gpusim=_coo_gpusim,
     index_words=lambda rep: rep.order * rep.nnz,
+    sharder=_coo_sharder,
 ))
 
 
@@ -114,6 +148,7 @@ register_format(FormatSpec(
     builder=_csf_builder,
     cpu_kernel=_csf_kernel,
     gpusim=_csf_gpusim,
+    sharder=_csf_sharder,
 ))
 
 
@@ -152,6 +187,7 @@ register_format(FormatSpec(
     cpu_kernel=_rep_mttkrp_kernel,
     gpusim=_bcsf_gpusim,
     needs_split_config=True,
+    sharder=_bcsf_sharder,
 ))
 
 
@@ -198,6 +234,7 @@ register_format(FormatSpec(
     cpu_kernel=_rep_mttkrp_kernel,
     gpusim=_hbcsf_gpusim,
     needs_split_config=True,
+    sharder=_hbcsf_sharder,
 ))
 
 
@@ -249,6 +286,7 @@ register_format(FormatSpec(
     gpusim=_csl_gpusim,
     requires_singleton_fibers=True,
     sim_in_bench=False,
+    sharder=_csl_sharder,
 ))
 
 

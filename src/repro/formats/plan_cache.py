@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import threading
 import weakref
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -78,6 +79,7 @@ def _estimate_rep_bytes(rep) -> int:
 
 #: id(tensor) -> fingerprint memo; entries evaporate with their tensor.
 _FINGERPRINTS: dict[int, str] = {}
+_FINGERPRINT_LOCK = threading.Lock()
 
 
 def tensor_fingerprint(tensor) -> str:
@@ -99,8 +101,10 @@ def tensor_fingerprint(tensor) -> str:
         h.update(repr(arr.shape).encode())
         h.update(arr.tobytes())
     digest = h.hexdigest()
-    _FINGERPRINTS[key] = digest
-    weakref.finalize(tensor, _FINGERPRINTS.pop, key, None)
+    with _FINGERPRINT_LOCK:
+        if key not in _FINGERPRINTS:
+            _FINGERPRINTS[key] = digest
+            weakref.finalize(tensor, _FINGERPRINTS.pop, key, None)
     return digest
 
 
@@ -143,6 +147,11 @@ class PlanCache:
     per-entry footprint is estimated from the format's own storage
     accounting, and least-recently-used entries are dropped while either
     bound is exceeded (the most recent entry always stays).
+
+    Thread-safe: one lock serialises lookups (which mutate LRU order, the
+    counters and the amortised-seconds tally), insertions, discards and
+    stats snapshots — the threaded execution backend and concurrent
+    ``MttkrpPlan`` users hit this cache from worker threads.
     """
 
     def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES,
@@ -155,6 +164,7 @@ class PlanCache:
         self.max_entries = int(max_entries)
         self.max_bytes = int(max_bytes)
         self.enabled = True
+        self._lock = threading.Lock()
         self._entries: OrderedDict[tuple, _Entry] = OrderedDict()
         self._approx_bytes = 0
         self.hits = 0
@@ -164,36 +174,39 @@ class PlanCache:
         self.amortised_seconds = 0.0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def get(self, key: tuple) -> _Entry | None:
         if not self.enabled:
             return None
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        self.amortised_seconds += entry.build_seconds
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            self.amortised_seconds += entry.build_seconds
+            return entry
 
     def put(self, key: tuple, rep, build_seconds: float) -> None:
         if not self.enabled:
             return
-        old = self._entries.pop(key, None)
-        if old is not None:
-            self._approx_bytes -= old.approx_bytes
         entry = _Entry(rep=rep, build_seconds=build_seconds,
                        approx_bytes=_estimate_rep_bytes(rep))
-        self._entries[key] = entry
-        self._approx_bytes += entry.approx_bytes
-        while len(self._entries) > 1 and (
-                len(self._entries) > self.max_entries
-                or self._approx_bytes > self.max_bytes):
-            _, evicted = self._entries.popitem(last=False)
-            self._approx_bytes -= evicted.approx_bytes
-            self.evictions += 1
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._approx_bytes -= old.approx_bytes
+            self._entries[key] = entry
+            self._approx_bytes += entry.approx_bytes
+            while len(self._entries) > 1 and (
+                    len(self._entries) > self.max_entries
+                    or self._approx_bytes > self.max_bytes):
+                _, evicted = self._entries.popitem(last=False)
+                self._approx_bytes -= evicted.approx_bytes
+                self.evictions += 1
 
     def discard(self, *, format: str | None = None,
                 fingerprint: str | None = None) -> int:
@@ -205,36 +218,39 @@ class PlanCache:
         Returns the number of entries removed; counters are not reset.
         """
         removed = 0
-        for key in list(self._entries):
-            if format is not None and key[1] != format:
-                continue
-            if fingerprint is not None and key[0] != fingerprint:
-                continue
-            entry = self._entries.pop(key)
-            self._approx_bytes -= entry.approx_bytes
-            removed += 1
+        with self._lock:
+            for key in list(self._entries):
+                if format is not None and key[1] != format:
+                    continue
+                if fingerprint is not None and key[0] != fingerprint:
+                    continue
+                entry = self._entries.pop(key)
+                self._approx_bytes -= entry.approx_bytes
+                removed += 1
         return removed
 
     def clear(self, *, reset_stats: bool = True) -> None:
-        self._entries.clear()
-        self._approx_bytes = 0
-        if reset_stats:
-            self.hits = 0
-            self.misses = 0
-            self.evictions = 0
-            self.amortised_seconds = 0.0
+        with self._lock:
+            self._entries.clear()
+            self._approx_bytes = 0
+            if reset_stats:
+                self.hits = 0
+                self.misses = 0
+                self.evictions = 0
+                self.amortised_seconds = 0.0
 
     def stats(self) -> dict:
-        return {
-            "entries": len(self._entries),
-            "max_entries": self.max_entries,
-            "approx_bytes": self._approx_bytes,
-            "max_bytes": self.max_bytes,
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "amortised_seconds": self.amortised_seconds,
-        }
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+                "approx_bytes": self._approx_bytes,
+                "max_bytes": self.max_bytes,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "amortised_seconds": self.amortised_seconds,
+            }
 
 
 _GLOBAL_CACHE = PlanCache()

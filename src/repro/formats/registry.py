@@ -41,6 +41,7 @@ from repro.formats.plan_cache import (
     plan_cache,
     tensor_fingerprint,
 )
+from repro.parallel.pool import resolve_backend, resolve_workers
 from repro.util.dtypes import dtype_token
 from repro.util.errors import ValidationError
 
@@ -108,6 +109,13 @@ class FormatSpec:
         Whether a ``sim.<name>`` benchmark target should be generated
         (``False`` where it would duplicate another entry's kernel, e.g.
         ParTI's atomic-COO kernel is ``sim.coo``).
+    sharder:
+        ``sharder(rep, mode, num_workers) -> ShardPlan`` — cuts a built
+        representation into row-disjoint worker shards for the threaded
+        execution backend (:mod:`repro.parallel`).  ``None`` means the
+        format executes serially regardless of the requested backend (the
+        baseline frameworks model *their* papers' kernels; parallelising
+        them here would measure our partitioner, not their design).
     """
 
     name: str
@@ -123,6 +131,7 @@ class FormatSpec:
     requires_singleton_fibers: bool = False
     cpu_supported_orders: tuple[int, ...] | None = None
     sim_in_bench: bool = True
+    sharder: Callable | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in ("own", "baseline"):
@@ -137,6 +146,11 @@ class FormatSpec:
         """Usable on any tensor (no order or structure restriction)."""
         return (not self.requires_singleton_fibers
                 and self.cpu_supported_orders is None)
+
+    @property
+    def supports_threads(self) -> bool:
+        """Whether the threaded backend can execute this format."""
+        return self.cpu_kernel is not None and self.sharder is not None
 
     def check_tensor(self, tensor) -> None:
         """Raise when ``tensor`` violates this format's restrictions."""
@@ -165,17 +179,32 @@ class FormatSpec:
         return self.builder(tensor, mode, config)
 
     def mttkrp(self, rep, factors, mode: int, out=None, *,
-               validate: bool = True, dtype=None):
+               validate: bool = True, dtype=None,
+               backend: str | None = None, num_workers: int | None = None):
         """Execute the exact CPU MTTKRP on a built representation.
 
         ``validate=False`` and ``dtype`` are forwarded only to kernels
         that declare the corresponding keyword (all built-in kernels do);
         a minimal 4-argument kernel registered by external code keeps
         working unchanged.
+
+        ``backend`` / ``num_workers`` select the execution backend
+        (``None`` defers to ``REPRO_BACKEND`` / ``REPRO_NUM_WORKERS``).
+        The threaded backend is bit-identical to serial and silently falls
+        back to serial for formats without a :attr:`sharder` or when only
+        one worker is available.
         """
         if self.cpu_kernel is None:
             raise ValidationError(
                 f"format {self.name!r} has no CPU MTTKRP kernel")
+        if resolve_backend(backend) == "threads" and self.sharder is not None:
+            workers = resolve_workers(num_workers)
+            if workers > 1:
+                from repro.parallel.execute import threaded_mttkrp
+
+                return threaded_mttkrp(self, rep, factors, mode, out,
+                                       dtype=dtype, validate=validate,
+                                       num_workers=workers)
         extras = {}
         supported = optional_call_params(self.cpu_kernel)
         if not validate and "validate" in supported:
@@ -202,10 +231,10 @@ def optional_call_params(fn: Callable) -> frozenset[str]:
     try:
         params = inspect.signature(fn).parameters
     except (TypeError, ValueError):  # pragma: no cover - builtins/partials
-        return frozenset(("validate", "dtype"))
+        return frozenset(("validate", "dtype", "backend", "num_workers"))
     if any(p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()):
-        return frozenset(("validate", "dtype"))
-    return frozenset(params) & {"validate", "dtype"}
+        return frozenset(("validate", "dtype", "backend", "num_workers"))
+    return frozenset(params) & {"validate", "dtype", "backend", "num_workers"}
 
 
 _REGISTRY: dict[str, FormatSpec] = {}

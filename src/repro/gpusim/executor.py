@@ -51,61 +51,27 @@ def block_compute_cycles(workload: KernelWorkload, device: DeviceSpec) -> np.nda
 
 
 def schedule_blocks(block_cycles: np.ndarray, num_sms: int) -> np.ndarray:
-    """List-scheduling assignment of blocks to SMs, fully vectorised.
+    """List-scheduling assignment of blocks to SMs, returning per-SM busy cycles.
 
-    Returns the per-SM busy cycles.  The old implementation walked every
-    block through a Python ``heapq`` (earliest-available greedy); with
-    tens of thousands of blocks per kernel that loop — not the arithmetic —
-    dominated the simulator's wall-clock, so the ``sim.*`` bench targets
-    measured the interpreter.  Two vectorised paths replace it:
+    Delegates to the shared chunk-folded LPT implementation
+    (:func:`repro.parallel.lpt.lpt_loads`) — the same scheduler that
+    distributes real MTTKRP shards to worker threads on the CPU execution
+    backend and OpenMP tasks in the CPU baseline model, so the simulated
+    and executed load-balancing stories use one set of scheduling math.
 
-    * **Uniform block costs** (one splitting capacity produces thousands of
-      equal-cost blocks): the greedy schedule is exactly round-robin, so
-      the per-SM loads have the closed form ``cost * ceil-or-floor(n/P)``.
-    * **General case**: chunk-folded LPT.  Blocks are sorted by descending
-      cost and consumed ``num_sms`` at a time; each chunk's largest block
-      goes to the currently least-loaded SM (one ``argsort`` of the P SM
-      loads per chunk, no per-block Python work).  Like the greedy heap,
-      this is list scheduling — the makespan conserves total work, is
-      bounded below by ``max(cost)`` and ``sum/P``, and stays within the
-      classic ``sum/P + max`` list-scheduling bound, because folding a
-      descending chunk onto ascending loads never lets two SM loads drift
-      further apart than one block cost.
-
-    This is a deliberate model change, not a drop-in rewrite: sorting means
-    a dominant block always lands on the emptiest SM, so makespans can be
-    tighter than launch-order greedy's for the same inputs (simulated
-    ``sim.*`` numbers shift slightly versus earlier recordings).  What the
-    paper's analysis needs is preserved exactly: near-perfect balance for
-    uniform blocks, and one dominant block (slice) still pinning the
-    makespan — no scheduler can split a block — which is the imbalance
-    signal Figures 6-8 rely on.
+    Versus the original per-block Python ``heapq`` greedy this is a
+    deliberate model change (sorting means a dominant block always lands on
+    the emptiest SM, so makespans can be tighter than launch-order
+    greedy's), but everything the paper's analysis needs is preserved
+    exactly: makespan conserves total work, is bounded below by
+    ``max(cost)`` and ``sum/P``, stays within the classic ``sum/P + max``
+    bound, uniform blocks balance near-perfectly, and one dominant block
+    (slice) still pins the makespan — the imbalance signal Figures 6-8
+    rely on.
     """
-    busy = np.zeros(num_sms, dtype=np.float64)
-    block_cycles = np.asarray(block_cycles, dtype=np.float64)
-    n = block_cycles.shape[0]
-    if n == 0:
-        return busy
-    if n <= num_sms:
-        busy[:n] = block_cycles
-        return busy
+    from repro.parallel.lpt import lpt_loads
 
-    c_max = float(block_cycles.max())
-    if c_max == float(block_cycles.min()):
-        # closed form: greedy on equal costs is round-robin
-        per_sm, extra = divmod(n, num_sms)
-        busy[:] = per_sm * c_max
-        busy[:extra] += c_max
-        return busy
-
-    order = np.argsort(block_cycles, kind="stable")[::-1]
-    padded = np.zeros(-(-n // num_sms) * num_sms, dtype=np.float64)
-    padded[:n] = block_cycles[order]
-    for chunk in padded.reshape(-1, num_sms):
-        # chunk is descending, argsort(busy) ascending: the chunk's largest
-        # block lands on the least-loaded SM
-        busy[np.argsort(busy, kind="stable")] += chunk
-    return busy
+    return lpt_loads(block_cycles, num_sms)
 
 
 def simulate_kernel(

@@ -1,0 +1,99 @@
+"""Threaded MTTKRP execution over a shard plan.
+
+Thin by design: :mod:`repro.parallel.partition` already guarantees the
+shards of a plan touch disjoint output rows, so execution is just "run the
+serial kernel of each shard into the shared output from a pool thread".
+Per-worker task order follows shard-index order, though any output row is
+written by exactly one shard, so ordering is a non-issue for determinism —
+the serial float association lives entirely inside each shard's kernel.
+
+NumPy kernels release the GIL inside the heavy ufunc loops, which is where
+the actual parallelism comes from; the Python-level shard dispatch is
+serialised by the GIL but is O(shards), not O(nnz).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.parallel.partition import Shard, shard_plan_for
+from repro.parallel.pool import resolve_workers, run_tasks
+from repro.tensor.dense import _check_factors
+from repro.util.dtypes import resolve_dtype
+from repro.util.errors import DimensionError
+
+__all__ = ["threaded_mttkrp"]
+
+
+def _run_shard(shard: Shard, factors: list[np.ndarray], mode: int,
+               out: np.ndarray, coo_method: str | None) -> None:
+    """Execute one shard's serial kernel into the shared output."""
+    if shard.kind == "coo":
+        from repro.kernels.coo_mttkrp import coo_mttkrp
+
+        coo_mttkrp(shard.rep, factors, mode, out=out,
+                   method=coo_method or shard.coo_method or "auto",
+                   validate=False)
+    elif shard.kind == "csf":
+        from repro.kernels.csf_mttkrp import csf_mttkrp
+
+        csf_mttkrp(shard.rep, factors, out=out, validate=False)
+    elif shard.kind == "csl":
+        shard.rep.mttkrp(factors, out, validate=False)
+    else:  # pragma: no cover - partitioner only emits the three kinds
+        raise ValueError(f"unknown shard kind {shard.kind!r}")
+
+
+def threaded_mttkrp(
+    spec,
+    rep,
+    factors: list[np.ndarray],
+    mode: int,
+    out: np.ndarray | None = None,
+    *,
+    dtype=None,
+    validate: bool = True,
+    coo_method: str | None = None,
+    num_workers: int | None = None,
+    plan_key: tuple | None = None,
+) -> np.ndarray:
+    """MTTKRP of a built representation on the threaded backend.
+
+    Bit-identical to ``spec.mttkrp(rep, ...)`` on the serial backend: the
+    shard plan cuts only at output-row boundaries and each shard runs the
+    unmodified serial kernel.  ``coo_method`` pins the COO accumulation
+    strategy (tuner decisions); when ``None``, COO shards replay the
+    ``"auto"`` choice the serial kernel would make for the full nnz.
+
+    ``plan_key`` — the representation's build-plan cache key — lets the
+    shard plan be content-addressed alongside the build artifact it
+    partitions.
+    """
+    if validate:
+        rank = _check_factors(rep.shape, factors, mode)
+    else:
+        rank = factors[mode].shape[1]
+    rows = rep.shape[mode]
+    if out is None:
+        out = np.zeros((rows, rank), dtype=resolve_dtype(dtype))
+    elif out.shape != (rows, rank):
+        raise DimensionError(
+            f"out has shape {out.shape}, expected {(rows, rank)}")
+
+    workers = resolve_workers(num_workers)
+    plan = shard_plan_for(spec, rep, mode, workers, plan_key)
+    if not plan.shards:
+        return out
+
+    # cast once here so pool threads share the cast arrays instead of each
+    # shard's kernel casting its own copy
+    factors = [np.asarray(f, dtype=out.dtype) for f in factors]
+    buckets = [b for b in plan.worker_shards() if b]
+    run_tasks([
+        (lambda bucket=bucket: [
+            _run_shard(shard, factors, mode, out, coo_method)
+            for shard in bucket
+        ])
+        for bucket in buckets
+    ])
+    return out

@@ -1,0 +1,107 @@
+"""Chunk-folded LPT list scheduling — the one load-balancing implementation.
+
+The paper's scheduling math appears in three places: the GPU simulator
+distributes thread blocks to SMs, the CPU baseline model distributes tasks
+to OpenMP threads, and (since the threaded execution backend) real worker
+threads receive shards of MTTKRP work.  All three are list scheduling over
+per-task cost estimates, so they share this module instead of keeping three
+copies (``gpusim.executor.schedule_blocks`` and
+``baselines.cpu_model.schedule_tasks`` now delegate here).
+
+Two fully vectorised paths:
+
+* **Uniform costs** — greedy list scheduling on equal costs is exactly
+  round-robin, so loads have the closed form ``cost * ceil-or-floor(n/P)``
+  and task ``i`` lands on worker ``i % P``.
+* **General costs** — chunk-folded LPT: tasks are sorted by descending
+  cost and consumed ``P`` at a time; each chunk's largest task goes to the
+  currently least-loaded worker (one ``argsort`` of the P loads per chunk,
+  no per-task Python work).  Like greedy-heap list scheduling the makespan
+  conserves total work, is bounded below by ``max(cost)`` and ``sum/P``,
+  and stays within the classic ``sum/P + max(cost)`` bound, because
+  folding a descending chunk onto ascending loads never lets two worker
+  loads drift further apart than one task cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["lpt_loads", "lpt_assign"]
+
+
+def lpt_loads(costs: np.ndarray, num_workers: int) -> np.ndarray:
+    """Per-worker busy totals of the LPT schedule (loads only, no mapping).
+
+    Exactly the busy vector :func:`lpt_assign` produces, computed without
+    materialising the task→worker assignment — the analytical models
+    (gpusim block scheduling, the CPU baseline model) only need the
+    makespan and the load distribution.
+    """
+    busy = np.zeros(num_workers, dtype=np.float64)
+    costs = np.asarray(costs, dtype=np.float64)
+    n = costs.shape[0]
+    if n == 0:
+        return busy
+    if n <= num_workers:
+        busy[:n] = costs
+        return busy
+
+    c_max = float(costs.max())
+    if c_max == float(costs.min()):
+        # closed form: greedy on equal costs is round-robin
+        per_worker, extra = divmod(n, num_workers)
+        busy[:] = per_worker * c_max
+        busy[:extra] += c_max
+        return busy
+
+    order = np.argsort(costs, kind="stable")[::-1]
+    padded = np.zeros(-(-n // num_workers) * num_workers, dtype=np.float64)
+    padded[:n] = costs[order]
+    for chunk in padded.reshape(-1, num_workers):
+        # chunk is descending, argsort(busy) ascending: the chunk's largest
+        # task lands on the least-loaded worker
+        busy[np.argsort(busy, kind="stable")] += chunk
+    return busy
+
+
+def lpt_assign(costs: np.ndarray,
+               num_workers: int) -> tuple[np.ndarray, np.ndarray]:
+    """LPT schedule with the explicit task→worker mapping.
+
+    Returns ``(assignment, loads)`` where ``assignment[i]`` is the worker
+    executing task ``i`` and ``loads`` is the per-worker busy vector (equal
+    to :func:`lpt_loads` of the same inputs).  Used by the threaded
+    execution backend, which must actually hand each shard to a thread.
+    """
+    costs = np.asarray(costs, dtype=np.float64)
+    n = costs.shape[0]
+    loads = np.zeros(num_workers, dtype=np.float64)
+    assignment = np.zeros(n, dtype=np.int64)
+    if n == 0:
+        return assignment, loads
+    if n <= num_workers:
+        assignment[:] = np.arange(n)
+        loads[:n] = costs
+        return assignment, loads
+
+    c_max = float(costs.max())
+    if c_max == float(costs.min()):
+        assignment[:] = np.arange(n) % num_workers
+        per_worker, extra = divmod(n, num_workers)
+        loads[:] = per_worker * c_max
+        loads[:extra] += c_max
+        return assignment, loads
+
+    order = np.argsort(costs, kind="stable")[::-1]
+    n_chunks = -(-n // num_workers)
+    padded = np.zeros(n_chunks * num_workers, dtype=np.float64)
+    padded[:n] = costs[order]
+    padded_workers = np.empty(n_chunks * num_workers, dtype=np.int64)
+    for c in range(n_chunks):
+        chunk = padded[c * num_workers:(c + 1) * num_workers]
+        ranks = np.argsort(loads, kind="stable")
+        loads[ranks] += chunk
+        padded_workers[c * num_workers:(c + 1) * num_workers] = ranks
+    assignment[order] = padded_workers[:n]
+    return assignment, loads

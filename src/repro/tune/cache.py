@@ -17,6 +17,7 @@ process-global LRU with hit statistics, mirroring
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 
 from repro.util.errors import ValidationError
@@ -35,7 +36,13 @@ DEFAULT_MAX_DECISIONS = 512
 
 
 class DecisionCache:
-    """A bounded LRU of autotuning decisions with hit statistics."""
+    """A bounded LRU of autotuning decisions with hit statistics.
+
+    Thread-safe: one lock serialises lookups (which mutate LRU order and
+    the hit/miss counters), insertions, discards and stats snapshots — the
+    threaded execution backend probes and records decisions from worker
+    threads.
+    """
 
     def __init__(self, max_entries: int = DEFAULT_MAX_DECISIONS):
         if max_entries < 1:
@@ -43,28 +50,32 @@ class DecisionCache:
                 f"max_entries must be >= 1, got {max_entries}")
         self.max_entries = int(max_entries)
         self._entries: OrderedDict[tuple, object] = OrderedDict()
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def get(self, key: tuple):
-        decision = self._entries.get(key)
-        if decision is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return decision
+        with self._lock:
+            decision = self._entries.get(key)
+            if decision is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return decision
 
     def put(self, key: tuple, decision) -> None:
-        self._entries.pop(key, None)
-        self._entries[key] = decision
-        while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            self._entries.pop(key, None)
+            self._entries[key] = decision
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
 
     def discard(self, *, fingerprint: str | None = None,
                 format: str | None = None) -> int:
@@ -76,23 +87,29 @@ class DecisionCache:
         Returns the number of entries removed; counters are not reset.
         """
         removed = 0
-        for key in list(self._entries):
-            if fingerprint is not None and key[0] != fingerprint:
-                continue
-            if format is not None and self._entries[key].format != format:
-                continue
-            del self._entries[key]
-            removed += 1
+        with self._lock:
+            for key in list(self._entries):
+                if fingerprint is not None and key[0] != fingerprint:
+                    continue
+                if format is not None and self._entries[key].format != format:
+                    continue
+                del self._entries[key]
+                removed += 1
         return removed
 
     def clear(self, *, reset_stats: bool = True) -> None:
-        self._entries.clear()
-        if reset_stats:
-            self.hits = 0
-            self.misses = 0
-            self.evictions = 0
+        with self._lock:
+            self._entries.clear()
+            if reset_stats:
+                self.hits = 0
+                self.misses = 0
+                self.evictions = 0
 
     def stats(self) -> dict:
+        with self._lock:
+            return self._stats_locked()
+
+    def _stats_locked(self) -> dict:
         return {
             "entries": len(self._entries),
             "max_entries": self.max_entries,

@@ -28,6 +28,7 @@ import numpy as np
 from repro.formats import build_plan, format_names, get_format, tensor_fingerprint
 from repro.formats.plan_cache import config_token
 from repro.kernels.coo_mttkrp import COO_ACCUMULATE_METHODS, coo_mttkrp
+from repro.parallel.pool import resolve_backend, resolve_workers
 from repro.tune.cache import decision_cache
 from repro.util.dtypes import dtype_token, resolve_dtype
 from repro.util.errors import ValidationError
@@ -98,16 +99,22 @@ class Candidate:
 
     ``coo_method`` pins one of the COO accumulation strategies
     (``add_at`` / ``sort`` / ``bincount``); ``None`` uses the format's
-    default kernel path.
+    default kernel path.  ``backend`` selects the execution backend the
+    candidate is timed on (:mod:`repro.parallel`) — ``format x backend``
+    cells compete against each other, so the tuner can elect e.g.
+    ``b-csf+threads`` over ``coo:sort`` serial, or keep a format serial
+    when the pool overhead loses on a small tensor.
     """
 
     format: str
     coo_method: str | None = None
+    backend: str = "serial"
 
     @property
     def label(self) -> str:
-        return (f"{self.format}:{self.coo_method}" if self.coo_method
-                else self.format)
+        label = (f"{self.format}:{self.coo_method}" if self.coo_method
+                 else self.format)
+        return label if self.backend == "serial" else f"{label}+{self.backend}"
 
 
 def _csl_eligible(tensor, mode: int) -> bool:
@@ -116,13 +123,17 @@ def _csl_eligible(tensor, mode: int) -> bool:
     return bool(counts.size) and bool(np.all(counts == 1))
 
 
-def enumerate_candidates(tensor, mode: int) -> list[Candidate]:
+def enumerate_candidates(tensor, mode: int,
+                         backends: tuple[str, ...] = ("serial",),
+                         ) -> list[Candidate]:
     """The probe candidates for one (tensor, mode) cell, in registry order.
 
     Every ``kind="own"`` registry entry with a CPU kernel that can
     represent the tensor participates; COO expands into its three
     accumulation variants (the ``"auto"`` meta-method is the static
-    heuristic the tuner replaces, so it is not a candidate itself).
+    heuristic the tuner replaces, so it is not a candidate itself).  Each
+    format is expanded across ``backends`` (serial first), with
+    ``"threads"`` kept only for formats that have a sharder.
     """
     candidates: list[Candidate] = []
     for name in format_names(kind="own", cpu=True):
@@ -133,12 +144,15 @@ def enumerate_candidates(tensor, mode: int) -> list[Candidate]:
             continue
         if spec.requires_singleton_fibers and not _csl_eligible(tensor, mode):
             continue
-        if name == "coo":
-            candidates.extend(
-                Candidate(format=name, coo_method=method)
-                for method in COO_ACCUMULATE_METHODS if method != "auto")
-        else:
-            candidates.append(Candidate(format=name))
+        for backend in backends:
+            if backend == "threads" and not spec.supports_threads:
+                continue
+            if name == "coo":
+                candidates.extend(
+                    Candidate(format=name, coo_method=method, backend=backend)
+                    for method in COO_ACCUMULATE_METHODS if method != "auto")
+            else:
+                candidates.append(Candidate(format=name, backend=backend))
     return candidates
 
 
@@ -157,6 +171,11 @@ class TuneDecision:
     timings:
         ``(candidate label, best probe seconds)`` for every candidate, in
         probe order — kept so callers can report *why* the winner won.
+    backend / num_workers:
+        Elected execution backend (:mod:`repro.parallel`).  A decision pins
+        the backend it measured: dispatch executes exactly the winning
+        candidate, so a ``serial`` winner stays serial even under
+        ``REPRO_BACKEND=threads``.
     """
 
     format: str
@@ -165,18 +184,21 @@ class TuneDecision:
     rank_bucket: int
     dtype: str
     timings: tuple[tuple[str, float], ...]
+    backend: str = "serial"
+    num_workers: int | None = None
 
     @property
     def label(self) -> str:
-        return (f"{self.format}:{self.coo_method}" if self.coo_method
-                else self.format)
+        label = (f"{self.format}:{self.coo_method}" if self.coo_method
+                 else self.format)
+        return label if self.backend == "serial" else f"{label}+{self.backend}"
 
     def probe_seconds(self) -> dict[str, float]:
         return dict(self.timings)
 
 
 def _decision_key(tensor, mode: int, bucket: int, dtype, config,
-                  budget: ProbeBudget) -> tuple:
+                  budget: ProbeBudget, backend_token: str = "serial") -> tuple:
     return (
         tensor_fingerprint(tensor),
         int(mode),
@@ -184,6 +206,7 @@ def _decision_key(tensor, mode: int, bucket: int, dtype, config,
         dtype_token(dtype),
         config_token(config),
         budget.token(),
+        backend_token,
     )
 
 
@@ -194,7 +217,7 @@ def _probe_factors(shape, rank: int, dtype) -> list[np.ndarray]:
 
 
 def candidate_runner(candidate: Candidate, tensor, factors, mode: int,
-                     config=None, dtype=None):
+                     config=None, dtype=None, num_workers=None):
     """A zero-argument closure executing one candidate's MTTKRP.
 
     The representation is fetched through the build-plan cache, so the
@@ -202,13 +225,25 @@ def candidate_runner(candidate: Candidate, tensor, factors, mode: int,
     pay after the decision.
     """
     spec = get_format(candidate.format)
-    rep = build_plan(tensor, spec.name, mode, config, dtype).rep
+    built = build_plan(tensor, spec.name, mode, config, dtype)
+    rep = built.rep
+    if candidate.backend == "threads":
+        from repro.parallel.execute import threaded_mttkrp
+
+        workers = resolve_workers(num_workers)
+        method = candidate.coo_method
+        plan_key = built.key
+        return lambda: threaded_mttkrp(spec, rep, factors, mode,
+                                       dtype=dtype, validate=False,
+                                       coo_method=method,
+                                       num_workers=workers,
+                                       plan_key=plan_key)
     if candidate.coo_method is not None:
         method = candidate.coo_method
         return lambda: coo_mttkrp(rep, factors, mode, method=method,
                                   dtype=dtype, validate=False)
     return lambda: spec.mttkrp(rep, factors, mode, validate=False,
-                               dtype=dtype)
+                               dtype=dtype, backend="serial")
 
 
 def decide(
@@ -221,6 +256,8 @@ def decide(
     budget: ProbeBudget | None = None,
     measure=None,
     use_cache: bool = True,
+    backend=None,
+    num_workers=None,
 ) -> TuneDecision:
     """Elect the fastest format for one ``(tensor, mode, rank)`` cell.
 
@@ -244,6 +281,13 @@ def decide(
     use_cache:
         Skip the decision cache entirely when ``False`` (always probes;
         the result is still *stored* so later calls can hit).
+    backend / num_workers:
+        Backends to consider.  ``"threads"`` (or ``None`` under
+        ``REPRO_BACKEND=threads``) with more than one worker probes every
+        sharded format on *both* backends and elects across the whole
+        ``format x backend`` grid; ``"serial"`` keeps the serial-only
+        probe.  The elected backend and worker count are pinned in the
+        decision.
 
     Raises
     ------
@@ -252,14 +296,20 @@ def decide(
     """
     budget = budget or DEFAULT_BUDGET
     bucket = rank_bucket(rank)
-    key = _decision_key(tensor, mode, bucket, dtype, config, budget)
+    resolved_backend = resolve_backend(backend)
+    workers = resolve_workers(num_workers)
+    probe_threads = resolved_backend == "threads" and workers > 1
+    backend_token = f"threads@{workers}" if probe_threads else "serial"
+    key = _decision_key(tensor, mode, bucket, dtype, config, budget,
+                        backend_token)
     cache = decision_cache()
     if use_cache:
         cached = cache.get(key)
         if cached is not None and _still_registered(cached.format):
             return cached
 
-    candidates = enumerate_candidates(tensor, int(mode))
+    backends = ("serial", "threads") if probe_threads else ("serial",)
+    candidates = enumerate_candidates(tensor, int(mode), backends)
     if not candidates:
         raise ValidationError(
             f"no registered CPU format can represent mode {mode} of this "
@@ -271,7 +321,8 @@ def decide(
     best_seconds = float("inf")
     for candidate in candidates:
         fn = candidate_runner(candidate, tensor, factors, int(mode),
-                              config=config, dtype=dtype)
+                              config=config, dtype=dtype,
+                              num_workers=workers)
         if measure is not None:
             seconds = float(measure(fn))
         else:
@@ -290,6 +341,8 @@ def decide(
         rank_bucket=bucket,
         dtype=dtype_token(dtype),
         timings=tuple(timings),
+        backend=best.backend,
+        num_workers=workers if best.backend == "threads" else None,
     )
     cache.put(key, decision)
     return decision

@@ -1,0 +1,89 @@
+"""kernel.par.* targets and the bench backend knobs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.runner import BenchConfig, run_benchmarks
+from repro.bench.targets import (
+    PAR_WORKER_COUNTS,
+    expand_targets,
+    get_target,
+    target_groups,
+    target_names,
+)
+from repro.formats import format_names, get_format
+from repro.util.errors import ValidationError
+
+SCENARIO = ("tiny", {"generator": "power_law", "shape": [24, 18, 15],
+                     "nnz": 400, "seed": 7})
+
+
+def test_every_sharded_format_has_par_cells():
+    names = set(target_names())
+    for fmt in format_names(kind="own", cpu=True):
+        for workers in PAR_WORKER_COUNTS:
+            cell = f"kernel.par.{fmt}.w{workers}"
+            if get_format(fmt).supports_threads:
+                assert cell in names
+            else:
+                assert cell not in names
+
+
+def test_par_group_excluded_from_default_matrix():
+    assert "kernel.par" in target_groups()
+    default = expand_targets(["kernel"])
+    assert default and not any(t.startswith("kernel.par.") for t in default)
+    par = expand_targets(["kernel.par"])
+    assert par and all(t.startswith("kernel.par.") for t in par)
+
+
+def test_par_target_records_serial_reference():
+    run = run_benchmarks(["kernel.par.b-csf.w2"], [SCENARIO],
+                         BenchConfig(repeats=2, warmup=1))
+    (m,) = run.measurements
+    assert m.metrics["workers"] == 2
+    assert m.metrics["serial_seconds"] > 0.0
+
+
+def test_par_target_probe_is_plain_dict():
+    target = get_target("kernel.par.hb-csf.w4")
+    assert target.probe is not None
+    assert target.group == "kernel.par"
+
+
+class TestBenchConfigBackend:
+    def test_defaults_resolve(self):
+        config = BenchConfig()
+        assert config.backend in (None, "serial", "threads")
+        d = config.to_dict()
+        assert "backend" in d and "num_workers" in d
+
+    def test_backend_normalised(self):
+        config = BenchConfig(backend=" THREADS ", num_workers=2)
+        assert config.backend == "threads"
+        assert config.num_workers == 2
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValidationError):
+            BenchConfig(backend="cuda")
+
+    def test_bad_workers_rejected(self):
+        with pytest.raises(ValidationError):
+            BenchConfig(num_workers=0)
+
+    def test_from_budget_carries_backend(self):
+        config = BenchConfig.from_budget("tiny", backend="threads",
+                                         num_workers=2)
+        assert config.backend == "threads"
+        assert config.to_dict()["num_workers"] == 2
+
+
+def test_backend_config_forwarded_only_where_declared():
+    """A threads-backend run sweeps kernel targets (which accept the knob)
+    and sim targets (which do not) without error."""
+    run = run_benchmarks(["kernel.hb-csf", "sim.hb-csf"], [SCENARIO],
+                         BenchConfig(repeats=1, warmup=0, backend="threads",
+                                     num_workers=2))
+    assert len(run.measurements) == 2
+    assert run.config["backend"] == "threads"

@@ -1,0 +1,31 @@
+"""Fixtures for the execution-backend tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.formats import clear_plan_cache
+from repro.tensor.coo import CooTensor
+from repro.tune.cache import decision_cache
+from repro.util.prng import default_rng
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches():
+    """Each test starts (and leaves) with empty plan/decision caches."""
+    clear_plan_cache()
+    decision_cache().clear()
+    yield
+    clear_plan_cache()
+    decision_cache().clear()
+
+
+def singleton_fiber_tensor(dim: int = 24, seed: int = 7) -> CooTensor:
+    """A 3-D tensor that is CSL-eligible for every root mode (all three
+    coordinate columns are permutations, so every slice holds exactly one
+    singleton fiber)."""
+    rng = default_rng(seed)
+    idx = np.stack([rng.permutation(dim) for _ in range(3)], axis=1)
+    values = rng.standard_normal(dim)
+    return CooTensor(idx, values, (dim, dim, dim))

@@ -1,0 +1,88 @@
+"""The shared chunk-folded LPT scheduler (repro.parallel.lpt)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.parallel.lpt import lpt_assign, lpt_loads
+
+CASES = [
+    (0, 4),
+    (3, 4),     # fewer tasks than workers
+    (7, 3),
+    (100, 8),
+    (1000, 28),
+]
+
+
+def _costs(n: int, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.integers(1, 50, size=n).astype(np.float64)
+
+
+@pytest.mark.parametrize("n,p", CASES)
+def test_loads_conserve_total_cost(n, p):
+    costs = _costs(n)
+    loads = lpt_loads(costs, p)
+    assert loads.shape == (p,)
+    assert np.isclose(loads.sum(), costs.sum())
+
+
+@pytest.mark.parametrize("n,p", CASES)
+def test_makespan_within_lpt_bound(n, p):
+    costs = _costs(n)
+    loads = lpt_loads(costs, p)
+    bound = costs.sum() / p + (costs.max() if n else 0.0)
+    assert loads.max() <= bound + 1e-9
+
+
+@pytest.mark.parametrize("n,p", CASES)
+def test_assignment_consistent_with_loads(n, p):
+    costs = _costs(n)
+    assignment, loads = lpt_assign(costs, p)
+    assert assignment.shape == (n,)
+    if n:
+        assert assignment.min() >= 0 and assignment.max() < p
+    recomputed = np.zeros(p)
+    np.add.at(recomputed, assignment, costs)
+    assert np.allclose(recomputed, loads)
+    # and the loads are the same schedule lpt_loads computes
+    assert np.allclose(np.sort(loads), np.sort(lpt_loads(costs, p)))
+
+
+def test_uniform_costs_round_robin():
+    costs = np.full(10, 3.0)
+    assignment, loads = lpt_assign(costs, 4)
+    assert np.array_equal(assignment, np.arange(10) % 4)
+    assert np.allclose(loads, [9.0, 9.0, 6.0, 6.0])
+
+
+def test_fewer_tasks_than_workers_one_each():
+    costs = np.array([5.0, 2.0, 9.0])
+    assignment, loads = lpt_assign(costs, 8)
+    assert np.array_equal(assignment, [0, 1, 2])
+    assert np.allclose(loads[:3], costs)
+    assert np.allclose(loads[3:], 0.0)
+
+
+def test_empty_costs():
+    assignment, loads = lpt_assign(np.empty(0), 4)
+    assert assignment.size == 0
+    assert np.allclose(loads, 0.0)
+
+
+def test_gpusim_schedule_blocks_is_shared_impl():
+    from repro.gpusim.executor import schedule_blocks
+
+    costs = _costs(200, seed=3)
+    assert np.array_equal(np.sort(schedule_blocks(costs, 12)),
+                          np.sort(lpt_loads(costs, 12)))
+
+
+def test_cpu_model_schedule_tasks_is_shared_impl():
+    from repro.baselines.cpu_model import schedule_tasks
+
+    costs = _costs(200, seed=4)
+    assert np.array_equal(np.sort(schedule_tasks(costs, 6)),
+                          np.sort(lpt_loads(costs, 6)))

@@ -1,0 +1,113 @@
+"""Backend/worker resolution and the shared worker pool."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.parallel.pool import (
+    BACKEND_ENV,
+    WORKERS_ENV,
+    get_pool,
+    resolve_backend,
+    resolve_workers,
+    run_tasks,
+    shutdown_pool,
+)
+from repro.util.errors import ValidationError
+
+
+class TestResolveBackend:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        assert resolve_backend(None) == "serial"
+
+    def test_env_supplies_default(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "threads")
+        assert resolve_backend(None) == "threads"
+
+    def test_empty_env_counts_as_unset(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "  ")
+        assert resolve_backend(None) == "serial"
+
+    def test_explicit_overrides_env(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "threads")
+        assert resolve_backend("serial") == "serial"
+
+    def test_case_folded(self):
+        assert resolve_backend("THREADS") == "threads"
+        assert resolve_backend(" Serial ") == "serial"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValidationError):
+            resolve_backend("cuda")
+
+    def test_non_string_rejected(self):
+        with pytest.raises(ValidationError):
+            resolve_backend(3)
+
+
+class TestResolveWorkers:
+    def test_default_is_cpu_count(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        assert resolve_workers(None) >= 1
+
+    def test_env_supplies_default(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "3")
+        assert resolve_workers(None) == 3
+
+    def test_empty_env_counts_as_unset(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "")
+        assert resolve_workers(None) >= 1
+
+    def test_explicit_overrides_env(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "3")
+        assert resolve_workers(7) == 7
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(ValidationError):
+            resolve_workers("many")
+
+    def test_below_one_rejected(self):
+        with pytest.raises(ValidationError):
+            resolve_workers(0)
+
+
+class TestPool:
+    def test_run_tasks_empty(self):
+        assert run_tasks([]) == []
+
+    def test_run_tasks_single_runs_inline(self):
+        import threading
+
+        caller = threading.current_thread().name
+        names = []
+        run_tasks([lambda: names.append(threading.current_thread().name)])
+        assert names == [caller]
+
+    def test_run_tasks_preserves_order(self):
+        tasks = [lambda i=i: i * i for i in range(20)]
+        assert run_tasks(tasks) == [i * i for i in range(20)]
+
+    def test_run_tasks_propagates_exception(self):
+        def boom():
+            raise RuntimeError("shard failed")
+
+        with pytest.raises(RuntimeError, match="shard failed"):
+            run_tasks([boom, lambda: 1])
+
+    def test_pool_is_reused_and_grows(self):
+        shutdown_pool()
+        try:
+            small = get_pool(2)
+            assert get_pool(2) is small
+            assert get_pool(1) is small  # never shrinks
+            bigger = get_pool(4)
+            assert bigger is not small
+            assert get_pool(3) is bigger
+        finally:
+            shutdown_pool()
+
+    def test_shutdown_pool_idempotent(self):
+        shutdown_pool()
+        shutdown_pool()
+        assert run_tasks([lambda: 1, lambda: 2]) == [1, 2]

@@ -59,23 +59,25 @@ class TestDecide:
         table = {c.label: 1.0 for c in candidates}
         winner = candidates[2]
         table[winner.label] = 1e-6
-        decision = decide(medium3d, 0, 32, measure=fixed_measure(table))
+        decision = decide(medium3d, 0, 32, measure=fixed_measure(table),
+                          backend="serial")
         assert decision.label == winner.label
         assert decision.probe_seconds()[winner.label] == 1e-6
 
     def test_tie_breaks_to_registry_order(self, medium3d):
         candidates = enumerate_candidates(medium3d, 0)
         table = {c.label: 5e-4 for c in candidates}
-        decision = decide(medium3d, 0, 32, measure=fixed_measure(table))
+        decision = decide(medium3d, 0, 32, measure=fixed_measure(table),
+                          backend="serial")
         assert decision.label == candidates[0].label
 
     def test_deterministic_under_fixed_budget(self, medium3d):
         candidates = enumerate_candidates(medium3d, 0)
         table = {c.label: (i + 1) * 1e-4 for i, c in enumerate(candidates)}
         a = decide(medium3d, 0, 32, measure=fixed_measure(table),
-                   use_cache=False)
+                   use_cache=False, backend="serial")
         b = decide(medium3d, 0, 32, measure=fixed_measure(table),
-                   use_cache=False)
+                   use_cache=False, backend="serial")
         assert a == b
 
     def test_second_call_hits_cache(self, medium3d):
