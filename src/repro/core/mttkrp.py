@@ -206,9 +206,10 @@ class MttkrpPlan:
         :mod:`repro.util.dtypes`); participates in the build-plan cache key.
     backend / num_workers:
         Plan-level execution backend default (:mod:`repro.parallel`);
-        ``None`` defers to the environment per execution.  Autotuned plans
-        ignore these at execution time in favour of each mode's elected
-        decision.
+        ``None`` defers to the environment per execution.  On autotuned
+        plans each mode's elected decision supersedes these defaults;
+        an explicit per-call ``backend=``/``num_workers=`` argument to
+        :meth:`mttkrp` overrides both.
     representations:
         ``representations[m]`` is the structure used for mode-``m`` MTTKRP
         (the registered builder's output — a :class:`CooTensor`,
@@ -316,23 +317,24 @@ class MttkrpPlan:
         pointer scans — for trusted re-invocations whose factor shapes
         were validated once (the ALS inner loop).
 
-        ``backend``/``num_workers`` override the plan-level choice for this
-        call; an autotuner decision (``format="auto"``) pins both — the
-        elected execution is what the tuner measured, and neither the
-        environment nor a per-call override re-litigates it.
+        An explicit (non-``None``) ``backend``/``num_workers`` wins for
+        this call — e.g. ``backend="serial"`` forces serial execution even
+        on a plan whose autotuner decision pinned threads.  When ``None``,
+        an autotuner decision (``format="auto"``) supplies the value it
+        measured, so the environment never re-litigates an elected
+        backend; plans without a decision fall back to the plan-level
+        default.
         """
         rep = self.representation(mode)
         spec = get_format(self.mode_formats[mode])
         decision = self.decisions.get(mode)
         coo_method = decision.coo_method if decision is not None else None
-        if decision is not None:
-            backend = decision.backend
-            num_workers = decision.num_workers
-        else:
-            if backend is None:
-                backend = self.backend
-            if num_workers is None:
-                num_workers = self.num_workers
+        if backend is None:
+            backend = (decision.backend if decision is not None
+                       else self.backend)
+        if num_workers is None:
+            num_workers = (decision.num_workers if decision is not None
+                           else self.num_workers)
         return _execute(spec, rep, factors, mode, out, coo_method,
                         self.dtype, validate=validate, backend=backend,
                         num_workers=num_workers,

@@ -17,7 +17,9 @@ Three accumulation strategies are available:
 * ``"bincount"`` — one sort-free ``np.bincount(weights=...)`` pass per
   factor column.  Kept as an alternative dense-output path (it can win when
   ``R`` is very small); measured slower than ``"sort"`` at the paper's
-  ``R = 32`` on NumPy 2.x.
+  ``R = 32`` on NumPy 2.x.  Serial-only: each pass read-modify-writes the
+  full output column, so the threaded backend (whose shards share the
+  output array) rejects it.
 
 ``"auto"`` (the default) picks ``"sort"`` for large-nnz tensors and keeps
 the scatter path for tiny ones, where sort overhead dominates.  All paths

@@ -20,7 +20,7 @@ from repro.parallel.partition import Shard, shard_plan_for
 from repro.parallel.pool import resolve_workers, run_tasks
 from repro.tensor.dense import _check_factors
 from repro.util.dtypes import resolve_dtype
-from repro.util.errors import DimensionError
+from repro.util.errors import DimensionError, ValidationError
 
 __all__ = ["threaded_mttkrp"]
 
@@ -64,11 +64,19 @@ def threaded_mttkrp(
     unmodified serial kernel.  ``coo_method`` pins the COO accumulation
     strategy (tuner decisions); when ``None``, COO shards replay the
     ``"auto"`` choice the serial kernel would make for the full nnz.
+    ``"bincount"`` is rejected: its accumulator read-modify-writes *every*
+    output row (one full-column ``+=`` per factor column), so concurrent
+    shards would lose updates — run it serially or pin ``"sort"`` instead.
 
     ``plan_key`` — the representation's build-plan cache key — lets the
     shard plan be content-addressed alongside the build artifact it
     partitions.
     """
+    if coo_method == "bincount":
+        raise ValidationError(
+            'coo_method="bincount" is serial-only: its accumulator writes '
+            "every output row, so concurrent shards would race on the "
+            'shared output; use backend="serial" or coo_method="sort"')
     if validate:
         rank = _check_factors(rep.shape, factors, mode)
     else:

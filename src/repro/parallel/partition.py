@@ -108,6 +108,17 @@ class ShardPlan:
         return len(self.shards)
 
     @property
+    def nnz(self) -> int:
+        """Nonzeros retained by the plan (the parent representation's nnz).
+
+        Exposed under the name the plan cache's footprint estimator reads:
+        shard ``rep``s hold views into the parent's value arrays, so a
+        cached plan keeps those alive even if the parent's own build entry
+        is evicted — the per-nonzero byte term must be charged to the plan.
+        """
+        return self.total_nnz
+
+    @property
     def makespan(self) -> float:
         return max(self.loads) if self.loads else 0.0
 
@@ -119,18 +130,28 @@ class ShardPlan:
         return buckets
 
     def index_storage_words(self) -> int:
-        """32-bit words of *copied* index arrays (pointer rebases).
+        """32-bit words of index storage a cached plan keeps alive.
 
-        Everything else a shard holds is a view into the parent
-        representation, so this — not the parent's full footprint — is what
-        caching a plan actually costs.
+        Counts the rebased pointer copies the shards own *and* the index
+        arrays their ``rep``s merely view (COO index columns, CSF fids,
+        CSL slice/rest indices): a view pins the whole parent array, so a
+        plan surviving its parent's build-cache entry retains essentially
+        the parent's index footprint — the cache's byte bound must see it.
+        The shards jointly cover the parent, so summing per-shard view
+        lengths reproduces that footprint without reaching for the parent.
         """
         words = 0
         for shard in self.shards:
-            if shard.kind == "csf":
-                words += sum(int(p.shape[0]) for p in shard.rep.fptr)
+            rep = shard.rep
+            if shard.kind == "coo":
+                words += rep.order * rep.nnz
+            elif shard.kind == "csf":
+                words += sum(int(p.shape[0]) for p in rep.fptr)
+                words += sum(int(f.shape[0]) for f in rep.fids)
             elif shard.kind == "csl":
-                words += int(shard.rep.slice_ptr.shape[0])
+                words += int(rep.slice_ptr.shape[0])
+                words += int(rep.slice_inds.shape[0])
+                words += (rep.order - 1) * rep.nnz
         return words
 
 

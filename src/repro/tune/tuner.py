@@ -129,11 +129,15 @@ def enumerate_candidates(tensor, mode: int,
     """The probe candidates for one (tensor, mode) cell, in registry order.
 
     Every ``kind="own"`` registry entry with a CPU kernel that can
-    represent the tensor participates; COO expands into its three
-    accumulation variants (the ``"auto"`` meta-method is the static
-    heuristic the tuner replaces, so it is not a candidate itself).  Each
-    format is expanded across ``backends`` (serial first), with
-    ``"threads"`` kept only for formats that have a sharder.
+    represent the tensor participates; COO expands into its accumulation
+    variants (the ``"auto"`` meta-method is the static heuristic the tuner
+    replaces, so it is not a candidate itself).  Each format is expanded
+    across ``backends`` (serial first), with ``"threads"`` kept only for
+    formats that have a sharder.  ``"bincount"`` is serial-only: its
+    accumulator writes every output row (one full-column ``+=`` per factor
+    column), so concurrent shards would race on the shared output — the
+    threaded backend refuses it, and probing it would race before the
+    decision could even pin it.
     """
     candidates: list[Candidate] = []
     for name in format_names(kind="own", cpu=True):
@@ -148,9 +152,12 @@ def enumerate_candidates(tensor, mode: int,
             if backend == "threads" and not spec.supports_threads:
                 continue
             if name == "coo":
+                methods = [m for m in COO_ACCUMULATE_METHODS if m != "auto"]
+                if backend == "threads":
+                    methods.remove("bincount")
                 candidates.extend(
                     Candidate(format=name, coo_method=method, backend=backend)
-                    for method in COO_ACCUMULATE_METHODS if method != "auto")
+                    for method in methods)
             else:
                 candidates.append(Candidate(format=name, backend=backend))
     return candidates
@@ -175,7 +182,8 @@ class TuneDecision:
         Elected execution backend (:mod:`repro.parallel`).  A decision pins
         the backend it measured: dispatch executes exactly the winning
         candidate, so a ``serial`` winner stays serial even under
-        ``REPRO_BACKEND=threads``.
+        ``REPRO_BACKEND=threads``.  Only an *explicit* per-call
+        ``backend=``/``num_workers=`` argument overrides the pin.
     """
 
     format: str

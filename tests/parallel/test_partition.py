@@ -98,6 +98,23 @@ def test_coo_method_pinned_from_full_nnz(skewed3d):
     assert any(_shard_nnz(s) < SORT_MIN_NNZ for s in plan.shards)
 
 
+@pytest.mark.parametrize("name", ["coo", "csf", "b-csf", "hb-csf", "csl"])
+def test_cached_plan_footprint_counts_pinned_arrays(name, skewed3d):
+    """A cached ShardPlan pins the parent's index/value arrays through its
+    shard views, so the plan cache's byte estimate must charge it roughly
+    the parent's footprint — not just the rebased pointer copies."""
+    from repro.formats.plan_cache import _estimate_rep_bytes
+
+    tensor = singleton_fiber_tensor() if name == "csl" else skewed3d
+    spec, built, plan = _plans(name, tensor, 0, 4)
+    assert plan.nnz == tensor.nnz
+    # the values term alone (8 bytes/nonzero) must be present
+    assert _estimate_rep_bytes(plan) >= 8 * tensor.nnz
+    # view-pinned index words dominate the pointer copies for every format
+    # that stores per-nonzero indices (all of them)
+    assert plan.index_storage_words() >= tensor.nnz
+
+
 def test_shard_plan_for_memoises_per_rep(small3d):
     spec = get_format("csf")
     built = build_plan(small3d, "csf", 0)

@@ -25,9 +25,10 @@ def test_serial_grid_has_no_threads_candidates(medium3d):
 def test_threads_grid_doubles_sharded_formats(medium3d):
     serial = enumerate_candidates(medium3d, 0)
     both = enumerate_candidates(medium3d, 0, backends=("serial", "threads"))
-    # every sharded format gains a +threads twin; on medium3d every
-    # serial candidate's format has a sharder, so the grid doubles
-    assert len(both) == 2 * len(serial)
+    # every sharded format gains a +threads twin except coo:bincount (its
+    # accumulator writes every output row, so shards would race); on
+    # medium3d every serial candidate's format has a sharder
+    assert len(both) == 2 * len(serial) - 1
     threaded = [c for c in both if c.backend == "threads"]
     assert threaded and all(c.label.endswith("+threads") for c in threaded)
     # serial-first within each format: the tie-break favours serial
@@ -35,6 +36,16 @@ def test_threads_grid_doubles_sharded_formats(medium3d):
         entries = [c for c in both if c.format == fmt and c.coo_method in
                    (None, both[0].coo_method)]
         assert entries[0].backend == "serial"
+
+
+def test_threads_grid_excludes_coo_bincount(medium3d):
+    """coo:bincount never gets a threads twin — running it sharded would
+    race on the shared output (every shard writes all rows)."""
+    both = enumerate_candidates(medium3d, 0, backends=("serial", "threads"))
+    labels = [c.label for c in both]
+    assert "coo:bincount" in labels
+    assert "coo:bincount+threads" not in labels
+    assert "coo:sort+threads" in labels and "coo:add_at+threads" in labels
 
 
 def test_decision_key_distinguishes_backend_grid(medium3d):
@@ -93,6 +104,38 @@ def test_threads_decision_timings_cover_both_backends(medium3d):
                       measure=fixed_measure(table))
     probed = set(decision.probe_seconds())
     assert {c.label for c in grid} == probed
+
+
+def test_plan_per_call_backend_overrides_pinned_decision(medium3d, monkeypatch):
+    """An explicit per-call backend beats a decision's pinned threads."""
+    import repro.parallel.execute as par_execute
+
+    from repro.core.mttkrp import MttkrpPlan
+
+    grid = enumerate_candidates(medium3d, 0, backends=("serial", "threads"))
+    table = {c.label: (0.1 if c.label == "b-csf+threads" else 1.0)
+             for c in grid}
+    decide(medium3d, 0, 8, backend="threads", num_workers=2,
+           measure=fixed_measure(table))
+    plan = MttkrpPlan(medium3d, format="auto", rank=8, modes=(0,),
+                      backend="threads", num_workers=2)
+    assert plan.decisions[0].backend == "threads"
+
+    factors = make_factors(medium3d.shape, 8, seed=11)
+    calls = []
+    real = par_execute.threaded_mttkrp
+
+    def counting(*args, **kwargs):
+        calls.append(1)
+        return real(*args, **kwargs)
+
+    monkeypatch.setattr(par_execute, "threaded_mttkrp", counting)
+    pinned = plan.mttkrp(factors, 0)
+    assert calls, "the pinned threads decision should execute by default"
+    calls.clear()
+    overridden = plan.mttkrp(factors, 0, backend="serial")
+    assert not calls, "backend='serial' per call must bypass the pin"
+    assert np.array_equal(pinned, overridden)
 
 
 def test_auto_dispatch_executes_pinned_threads_decision(medium3d):
