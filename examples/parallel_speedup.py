@@ -14,7 +14,14 @@ for each heavy-slice concentration, prints
 On a single-core machine the measured column degenerates to ~1x or below
 (the pool adds overhead and there is no second core to hide it); the
 predicted column is hardware-independent and shows what the partition
-would buy. Run with::
+would buy.
+
+After the sweep, one dispatch of the most imbalanced scenario is re-run
+under the telemetry tracer (:mod:`repro.telemetry`) and its **per-worker
+timeline** is printed: which worker ran which shards, for how long, against
+the LPT plan's predicted nnz loads — the span-level evidence for *why*
+measured speedup falls short of predicted (pool overhead, stragglers, GIL
+serialisation of the Python dispatch).  Run with::
 
     python examples/parallel_speedup.py              # hb-csf, the default
     python examples/parallel_speedup.py b-csf
@@ -25,6 +32,7 @@ from __future__ import annotations
 import os
 import sys
 
+import repro.telemetry as telemetry
 from repro.formats import build_plan, get_format
 from repro.parallel.partition import shard_plan_for
 from repro.scenarios.cache import materialize
@@ -50,6 +58,7 @@ def main() -> None:
         header += f" {f'w={w} meas':>10s} {f'w={w} pred':>10s}"
     print("\n" + header)
 
+    last_cell = None
     for name, scenario in get_suite("imbalance_sweep").specs():
         tensor = materialize(scenario.with_scale(0.2))
         rng = default_rng(20190520)
@@ -74,10 +83,25 @@ def main() -> None:
             total = sum(s.cost for s in plan.shards)
             predicted = total / plan.makespan if plan.makespan else 1.0
             row += f" {serial_s / t.best:9.2f}x {predicted:9.2f}x"
+            last_cell = (name, threaded)
         print(row)
 
     print("\npredicted = shard-cost sum / LPT makespan (what the partition "
           "allows);\nmeasured converges toward it as cores are added.")
+
+    if last_cell is not None:
+        name, threaded = last_cell
+        with telemetry.capture() as events:
+            threaded()
+        trace = telemetry.parse_events(events)
+        timelines = telemetry.worker_timelines(trace)
+        if timelines:
+            print(f"\nper-worker timeline of one traced dispatch ({name}, "
+                  f"w={WORKER_COUNTS[-1]}):\n")
+            print(telemetry.render_timeline(timelines[-1]))
+            print("\nbusy < wall explains the measured-vs-predicted gap: "
+                  "idle gaps are pool\ndispatch overhead and workers "
+                  "waiting on the GIL between NumPy kernels.")
 
 
 if __name__ == "__main__":

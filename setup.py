@@ -12,7 +12,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-bcsf",
-    version="0.2.0",
+    version="0.3.0",
     description="Pure-Python reproduction of balanced-CSF (B-CSF / HB-CSF) "
                 "sparse-MTTKRP load balancing on GPUs (IPDPS 2019)",
     author="paper-repo-growth",
@@ -29,6 +29,7 @@ setup(
             "repro-experiments=repro.experiments.registry:main",
             "repro-scenarios=repro.scenarios.cli:main",
             "repro-bench=repro.bench.cli:main",
+            "repro-telemetry=repro.telemetry.cli:main",
         ],
     },
 )

@@ -18,7 +18,30 @@ import sys
 
 import numpy as np
 
-__all__ = ["capture_environment", "git_revision", "utc_now_iso"]
+try:
+    import resource
+except ImportError:  # pragma: no cover - resource is POSIX-only
+    resource = None
+
+__all__ = ["capture_environment", "git_revision", "peak_rss_bytes",
+           "utc_now_iso"]
+
+
+def peak_rss_bytes() -> int | None:
+    """Peak resident-set size of this process, in bytes.
+
+    ``getrusage`` reports ``ru_maxrss`` in kilobytes on Linux and in bytes
+    on macOS; both are normalised to bytes here.  Returns ``None`` where
+    the :mod:`resource` module is unavailable (non-POSIX platforms).  The
+    value is a high-water mark — it only ever grows — so "fits in X MB"
+    gates read the peak of everything measured up to the capture point.
+    """
+    if resource is None:
+        return None
+    maxrss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        return int(maxrss)
+    return int(maxrss) * 1024
 
 
 def utc_now_iso() -> str:
@@ -78,5 +101,6 @@ def capture_environment(cwd: str | None = None) -> dict:
         "cpu_count": os.cpu_count(),
         "hostname": uname.node,
         "git_sha": git_revision(cwd),
+        "peak_rss_bytes": peak_rss_bytes(),
         "captured_at": utc_now_iso(),
     }

@@ -10,12 +10,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
-from repro.bench.env import capture_environment, utc_now_iso
+from repro.bench.env import capture_environment, peak_rss_bytes, utc_now_iso
 from repro.bench.schema import BenchRun, Measurement, stats_from_timer
 from repro.bench.targets import expand_targets, get_target
 from repro.scenarios.cache import ScenarioCache, materialize
 from repro.scenarios.spec import ScenarioSpec, parse_spec
 from repro.scenarios.suites import get_suite
+from repro.telemetry import counters_delta, counters_snapshot
 from repro.util.dtypes import resolve_dtype
 from repro.util.errors import ValidationError
 from repro.util.timing import repeat
@@ -202,9 +203,18 @@ def run_benchmarks(
         tensor = materialize(effective, cache)
         for target_name in resolved:
             target = get_target(target_name)
+            # counter deltas cover the whole cell — setup (builds, tuner
+            # probes) plus warmup plus the timed laps — so a cell's cache
+            # hit/miss movement and stage totals are attributable to it
+            # without ever resetting the shared registry
+            before = counters_snapshot()
             fn = _setup_target(target, tensor, config)
             result, timer = repeat(fn, n=config.repeats, warmup=config.warmup)
+            counters = counters_delta(before)
             metrics = dict(target.probe(result)) if target.probe else {}
+            rss = peak_rss_bytes()
+            if rss is not None:
+                metrics["peak_rss_bytes"] = rss
             measurement = Measurement(
                 target=target_name,
                 scenario=scenario_name,
@@ -214,6 +224,7 @@ def run_benchmarks(
                 rank=config.rank,
                 stats=stats_from_timer(timer, config.warmup),
                 metrics=metrics,
+                counters=counters,
             )
             run.measurements.append(measurement)
             if progress is not None:

@@ -13,10 +13,11 @@ notebook, ``jq`` — can consume it:
 .. code-block:: json
 
     {
-      "schema_version": 1,
+      "schema_version": 2,
       "name": "kernels",
       "created_at": "2026-07-28T12:00:00+00:00",
-      "env": {"python": "3.12.3", "numpy": "1.26.4", "git_sha": "..."},
+      "env": {"python": "3.12.3", "numpy": "1.26.4", "git_sha": "...",
+              "peak_rss_bytes": 123456789},
       "config": {"repeats": 5, "warmup": 1, "rank": 32, "scale": 1.0},
       "measurements": [
         {"target": "kernel.coo", "scenario": "deli", "spec_hash": "...",
@@ -24,7 +25,8 @@ notebook, ``jq`` — can consume it:
          "stats": {"repeats": 5, "warmup": 1, "min": 0.0018, "median": 0.0019,
                    "p95": 0.0021, "mean": 0.0019, "stddev": 0.0001,
                    "total": 0.0095, "laps": [...]},
-         "metrics": {}}
+         "metrics": {"peak_rss_bytes": 123456789},
+         "counters": {"kernel.count": 6, "plan_cache.hits": 5}}
       ]
     }
 """
@@ -52,8 +54,12 @@ __all__ = [
     "bench_artifact_path",
 ]
 
-#: bump when the serialised layout changes incompatibly.
-SCHEMA_VERSION = 1
+#: bump when the serialised layout changes incompatibly.  Version 2 added
+#: the optional per-measurement ``counters`` object (telemetry counter
+#: deltas: cache hits, kernel/build stage totals, gpusim work) and the
+#: ``peak_rss_bytes`` environment/metric fields; version-1 files still
+#: load — readers accept anything <= this version.
+SCHEMA_VERSION = 2
 
 #: append-only trajectory file kept next to the ``BENCH_<name>.json`` files.
 HISTORY_FILE = "BENCH_history.jsonl"
@@ -62,29 +68,37 @@ _STAT_KEYS = ("min", "median", "p95", "mean", "stddev", "total")
 
 
 def stats_from_timer(timer: Timer, warmup: int) -> dict:
-    """Robust summary statistics of one measured cell."""
-    laps = list(timer.laps)
-    n = len(laps)
-    if n == 0:
-        raise ValidationError("cannot summarise a timer with no laps")
-    mean = timer.elapsed / n
-    var = sum((lap - mean) ** 2 for lap in laps) / n
+    """Robust summary statistics of one measured cell.
+
+    A thin renaming of :meth:`repro.util.timing.Timer.stats` into the
+    serialised field names (``min`` for ``best``, ``repeats`` for
+    ``count``); raises :class:`ValidationError` on a timer with no laps.
+    """
+    stats = timer.stats()
     return {
-        "repeats": n,
+        "repeats": stats["count"],
         "warmup": warmup,
-        "min": timer.best,
-        "median": timer.median,
-        "p95": timer.p95,
-        "mean": mean,
-        "stddev": var ** 0.5,
-        "total": timer.elapsed,
-        "laps": laps,
+        "min": stats["best"],
+        "median": stats["median"],
+        "p95": stats["p95"],
+        "max": stats["max"],
+        "mean": stats["mean"],
+        "stddev": stats["stddev"],
+        "total": stats["total"],
+        "laps": stats["laps"],
     }
 
 
 @dataclass(frozen=True)
 class Measurement:
-    """One timed (target, scenario) cell."""
+    """One timed (target, scenario) cell.
+
+    ``counters`` holds the telemetry counter deltas observed across the
+    cell's setup + warmup + timed laps (:mod:`repro.telemetry`): cache
+    hit/miss movement, ``kernel.count``/``kernel.seconds`` stage totals,
+    simulated gpusim work.  Empty for cells that touched no instrumented
+    layer and for version-1 files.
+    """
 
     target: str
     scenario: str
@@ -94,6 +108,7 @@ class Measurement:
     rank: int
     stats: dict
     metrics: dict = field(default_factory=dict)
+    counters: dict = field(default_factory=dict)
 
     def seconds(self, metric: str = "median") -> float:
         if metric not in _STAT_KEYS:
@@ -112,6 +127,7 @@ class Measurement:
             "rank": self.rank,
             "stats": dict(self.stats),
             "metrics": dict(self.metrics),
+            "counters": dict(self.counters),
         }
 
     @classmethod
@@ -126,6 +142,7 @@ class Measurement:
                 rank=int(data.get("rank", 0)),
                 stats=dict(data["stats"]),
                 metrics=dict(data.get("metrics", {})),
+                counters=dict(data.get("counters", {})),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise ValidationError(f"malformed measurement: {exc}") from None

@@ -46,6 +46,7 @@ from repro.formats import (
     format_names,
     get_format,
 )
+from repro.telemetry import stage
 from repro.tensor.coo import CooTensor
 from repro.util.dtypes import resolve_dtype
 from repro.util.errors import ValidationError
@@ -98,20 +99,28 @@ def _execute(spec, rep, factors, mode: int, out, coo_method, dtype,
     """
     from repro.parallel.pool import resolve_backend, resolve_workers
 
+    # exactly one "kernel" stage per execution: the spec.mttkrp fallback is
+    # instrumented inside FormatSpec.mttkrp, so only the two direct kernel
+    # invocations here open their own
     if resolve_backend(backend) == "threads" and spec.sharder is not None:
         workers = resolve_workers(num_workers)
         if workers > 1:
             from repro.parallel.execute import threaded_mttkrp
 
-            return threaded_mttkrp(spec, rep, factors, mode, out,
-                                   dtype=dtype, validate=validate,
-                                   coo_method=coo_method,
-                                   num_workers=workers, plan_key=plan_key)
+            with stage("kernel", format=spec.name, mode=mode,
+                       backend="threads", num_workers=workers):
+                return threaded_mttkrp(spec, rep, factors, mode, out,
+                                       dtype=dtype, validate=validate,
+                                       coo_method=coo_method,
+                                       num_workers=workers,
+                                       plan_key=plan_key)
     if coo_method is not None:
         from repro.kernels.coo_mttkrp import coo_mttkrp
 
-        return coo_mttkrp(rep, factors, mode, out=out, method=coo_method,
-                          dtype=dtype, validate=validate)
+        with stage("kernel", format=spec.name, mode=mode, backend="serial",
+                   coo_method=coo_method):
+            return coo_mttkrp(rep, factors, mode, out=out, method=coo_method,
+                              dtype=dtype, validate=validate)
     return spec.mttkrp(rep, factors, mode, out=out, validate=validate,
                        dtype=dtype, backend="serial")
 
@@ -172,21 +181,24 @@ def mttkrp(
         dtype = out.dtype
     resolve_dtype(dtype)  # validate the spelling before any work
     coo_method = None
-    if _is_auto(format):
-        decision = _decide(tensor, mode, factors[mode].shape[1], config,
-                           dtype, backend, num_workers)
-        format = decision.format
-        coo_method = decision.coo_method
-        backend = decision.backend
-        num_workers = decision.num_workers
-    spec = _resolve(format)
-    spec.check_tensor(tensor)
-    # build_plan normalises config/dtype for formats that do not consume
-    # them, so the cache key always matches the builder's actual input
-    built = build_plan(tensor, spec.name, mode, config, dtype)
-    return _execute(spec, built.rep, factors, mode, out, coo_method, dtype,
-                    backend=backend, num_workers=num_workers,
-                    plan_key=built.key)
+    with stage("dispatch", format=format, mode=mode) as sp:
+        if _is_auto(format):
+            decision = _decide(tensor, mode, factors[mode].shape[1], config,
+                               dtype, backend, num_workers)
+            format = decision.format
+            coo_method = decision.coo_method
+            backend = decision.backend
+            num_workers = decision.num_workers
+            sp.set(elected=decision.label)
+        spec = _resolve(format)
+        spec.check_tensor(tensor)
+        # build_plan normalises config/dtype for formats that do not consume
+        # them, so the cache key always matches the builder's actual input
+        built = build_plan(tensor, spec.name, mode, config, dtype)
+        sp.set(format=spec.name, cache_hit=built.cache_hit)
+        return _execute(spec, built.rep, factors, mode, out, coo_method,
+                        dtype, backend=backend, num_workers=num_workers,
+                        plan_key=built.key)
 
 
 @dataclass
@@ -278,25 +290,32 @@ class MttkrpPlan:
             for m in self.modes:
                 self.mode_formats[m] = spec.name
         counted: set[tuple] = set()
-        for m in self.modes:
-            built = build_plan(self.tensor, self.mode_formats[m], m,
-                               self.config, self.dtype)
-            self.representations[m] = built.rep
-            self.plan_keys[m] = built.key
-            if built.cache_hit:
-                self.cache_hits += 1
-            else:
-                self.cache_misses += 1
-            # ALLMODE baselines share one structure across modes; count its
-            # build cost once, not once per mode.  Baseline frameworks
-            # model their own preprocessing (e.g. SPLATT-tiled's 3x factor,
-            # Figure 9) — prefer that over the raw builder wall-clock.
-            if built.key not in counted:
-                counted.add(built.key)
-                modeled = getattr(built.rep, "preprocessing_seconds", None)
-                self.preprocessing_seconds += (
-                    float(modeled) if modeled is not None
-                    else built.build_seconds)
+        with stage("plan.prepare", format=self.format,
+                   modes=len(self.modes)) as sp:
+            for m in self.modes:
+                built = build_plan(self.tensor, self.mode_formats[m], m,
+                                   self.config, self.dtype)
+                self.representations[m] = built.rep
+                self.plan_keys[m] = built.key
+                if built.cache_hit:
+                    self.cache_hits += 1
+                else:
+                    self.cache_misses += 1
+                # ALLMODE baselines share one structure across modes; count
+                # its build cost once, not once per mode.  Baseline
+                # frameworks model their own preprocessing (e.g.
+                # SPLATT-tiled's 3x factor, Figure 9) — prefer that over
+                # the raw builder wall-clock.
+                if built.key not in counted:
+                    counted.add(built.key)
+                    modeled = getattr(built.rep, "preprocessing_seconds",
+                                      None)
+                    self.preprocessing_seconds += (
+                        float(modeled) if modeled is not None
+                        else built.build_seconds)
+            sp.set(cache_hits=self.cache_hits,
+                   cache_misses=self.cache_misses,
+                   preprocessing_seconds=self.preprocessing_seconds)
 
     # ------------------------------------------------------------------ #
     def representation(self, mode: int):

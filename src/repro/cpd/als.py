@@ -34,6 +34,7 @@ from repro.core.mttkrp import MttkrpPlan
 from repro.core.splitting import SplitConfig
 from repro.cpd.fit import cp_fit, tensor_norm
 from repro.cpd.init import init_factors
+from repro.telemetry import counter_add, span
 from repro.tensor.coo import CooTensor
 from repro.util.dtypes import resolve_dtype
 from repro.util.errors import ValidationError
@@ -194,52 +195,61 @@ def cp_als(
     converged = False
     iterations = 0
 
-    for iteration in range(n_iters):
-        last_mttkrp = None
-        for mode in range(order):
-            ws = workspaces[mode]
-            if ws is not None:
-                ws.fill(0.0)
-            start = time.perf_counter()
-            # The factor shapes were validated above and never change, so
-            # the kernels skip their per-call checks.
-            m_mat = plan.mttkrp(factors, mode, out=ws, validate=False)
-            mttkrp_seconds += time.perf_counter() - start
+    with span("als.solve", format=plan.format, rank=rank,
+              n_iters=n_iters, nnz=tensor.nnz) as solve_sp:
+        for iteration in range(n_iters):
+            last_mttkrp = None
+            with span("als.iteration", iteration=iteration):
+                for mode in range(order):
+                    with span("als.mode", mode=mode):
+                        ws = workspaces[mode]
+                        if ws is not None:
+                            ws.fill(0.0)
+                        start = time.perf_counter()
+                        # The factor shapes were validated above and never
+                        # change, so the kernels skip their per-call checks.
+                        m_mat = plan.mttkrp(factors, mode, out=ws,
+                                            validate=False)
+                        mttkrp_seconds += time.perf_counter() - start
 
-            v_buf.fill(1.0)
-            for other in range(order):
-                if other != mode:
-                    v_buf *= grams[other]
-            new_factor = m_mat @ np.linalg.pinv(v_buf)
+                        v_buf.fill(1.0)
+                        for other in range(order):
+                            if other != mode:
+                                v_buf *= grams[other]
+                        new_factor = m_mat @ np.linalg.pinv(v_buf)
 
-            # normalise columns into the weights
-            if iteration == 0:
-                norms = np.linalg.norm(new_factor, axis=0)
-            else:
-                norms = np.maximum(np.max(np.abs(new_factor), axis=0), 1.0)
-            norms[norms == 0.0] = 1.0
-            new_factor = (new_factor / norms).astype(compute_dtype,
-                                                     copy=False)
-            weights = np.asarray(norms, dtype=np.float64)
+                        # normalise columns into the weights
+                        if iteration == 0:
+                            norms = np.linalg.norm(new_factor, axis=0)
+                        else:
+                            norms = np.maximum(
+                                np.max(np.abs(new_factor), axis=0), 1.0)
+                        norms[norms == 0.0] = 1.0
+                        new_factor = (new_factor / norms).astype(
+                            compute_dtype, copy=False)
+                        weights = np.asarray(norms, dtype=np.float64)
 
-            factors[mode] = new_factor
-            grams[mode] = (new_factor.T @ new_factor).astype(np.float64,
-                                                             copy=False)
-            last_mttkrp = m_mat
+                        factors[mode] = new_factor
+                        grams[mode] = (new_factor.T @ new_factor).astype(
+                            np.float64, copy=False)
+                        last_mttkrp = m_mat
 
-        iterations = iteration + 1
-        if compute_fit:
-            # The last MTTKRP was computed from the already-normalised other
-            # factors and never reads the target factor, so it can be reused
-            # for the inner product as-is.
-            fit = cp_fit(tensor, weights, factors,
-                         mttkrp_last=last_mttkrp,
-                         last_mode=order - 1, norm_x=norm_x,
-                         grams=grams)
-            fits.append(fit)
-            if iteration > 0 and abs(fits[-1] - fits[-2]) < tol:
-                converged = True
-                break
+            iterations = iteration + 1
+            counter_add("als.iterations")
+            if compute_fit:
+                # The last MTTKRP was computed from the already-normalised
+                # other factors and never reads the target factor, so it can
+                # be reused for the inner product as-is.
+                fit = cp_fit(tensor, weights, factors,
+                             mttkrp_last=last_mttkrp,
+                             last_mode=order - 1, norm_x=norm_x,
+                             grams=grams)
+                fits.append(fit)
+                if iteration > 0 and abs(fits[-1] - fits[-2]) < tol:
+                    converged = True
+                    break
+        solve_sp.set(iterations=iterations, converged=converged,
+                     mttkrp_seconds=mttkrp_seconds)
 
     return CpdResult(
         weights=weights,

@@ -37,6 +37,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.telemetry.counters import counter_add
 from repro.util.errors import ValidationError
 
 __all__ = [
@@ -152,10 +153,16 @@ class PlanCache:
     counters and the amortised-seconds tally), insertions, discards and
     stats snapshots — the threaded execution backend and concurrent
     ``MttkrpPlan`` users hit this cache from worker threads.
+
+    ``telemetry=True`` (the process-global instance) mirrors every
+    hit/miss/eviction into the :mod:`repro.telemetry` counter registry as
+    ``plan_cache.*``, so bench cells and traces see cache behaviour as
+    deltas without touching this object's cumulative totals.
     """
 
     def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES,
-                 max_bytes: int = DEFAULT_MAX_BYTES):
+                 max_bytes: int = DEFAULT_MAX_BYTES,
+                 telemetry: bool = False):
         if max_entries < 1:
             raise ValidationError(
                 f"max_entries must be >= 1, got {max_entries}")
@@ -163,6 +170,7 @@ class PlanCache:
             raise ValidationError(f"max_bytes must be >= 1, got {max_bytes}")
         self.max_entries = int(max_entries)
         self.max_bytes = int(max_bytes)
+        self.telemetry = bool(telemetry)
         self.enabled = True
         self._lock = threading.Lock()
         self._entries: OrderedDict[tuple, _Entry] = OrderedDict()
@@ -184,17 +192,21 @@ class PlanCache:
             entry = self._entries.get(key)
             if entry is None:
                 self.misses += 1
-                return None
-            self._entries.move_to_end(key)
-            self.hits += 1
-            self.amortised_seconds += entry.build_seconds
-            return entry
+            else:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                self.amortised_seconds += entry.build_seconds
+        if self.telemetry:
+            counter_add("plan_cache.hits" if entry is not None
+                        else "plan_cache.misses")
+        return entry
 
     def put(self, key: tuple, rep, build_seconds: float) -> None:
         if not self.enabled:
             return
         entry = _Entry(rep=rep, build_seconds=build_seconds,
                        approx_bytes=_estimate_rep_bytes(rep))
+        evicted_n = 0
         with self._lock:
             old = self._entries.pop(key, None)
             if old is not None:
@@ -207,6 +219,11 @@ class PlanCache:
                 _, evicted = self._entries.popitem(last=False)
                 self._approx_bytes -= evicted.approx_bytes
                 self.evictions += 1
+                evicted_n += 1
+        if self.telemetry:
+            counter_add("plan_cache.inserts")
+            if evicted_n:
+                counter_add("plan_cache.evictions", evicted_n)
 
     def discard(self, *, format: str | None = None,
                 fingerprint: str | None = None) -> int:
@@ -253,7 +270,7 @@ class PlanCache:
             }
 
 
-_GLOBAL_CACHE = PlanCache()
+_GLOBAL_CACHE = PlanCache(telemetry=True)
 
 
 def plan_cache() -> PlanCache:

@@ -31,6 +31,7 @@ ALS iterations, experiment figures and bench sweeps.
 from __future__ import annotations
 
 import inspect
+import time
 from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Callable, Iterator
@@ -42,6 +43,7 @@ from repro.formats.plan_cache import (
     tensor_fingerprint,
 )
 from repro.parallel.pool import resolve_backend, resolve_workers
+from repro.telemetry import stage
 from repro.util.dtypes import dtype_token
 from repro.util.errors import ValidationError
 
@@ -197,21 +199,25 @@ class FormatSpec:
         if self.cpu_kernel is None:
             raise ValidationError(
                 f"format {self.name!r} has no CPU MTTKRP kernel")
-        if resolve_backend(backend) == "threads" and self.sharder is not None:
-            workers = resolve_workers(num_workers)
-            if workers > 1:
-                from repro.parallel.execute import threaded_mttkrp
+        with stage("kernel", format=self.name, mode=mode) as sp:
+            if (resolve_backend(backend) == "threads"
+                    and self.sharder is not None):
+                workers = resolve_workers(num_workers)
+                if workers > 1:
+                    from repro.parallel.execute import threaded_mttkrp
 
-                return threaded_mttkrp(self, rep, factors, mode, out,
-                                       dtype=dtype, validate=validate,
-                                       num_workers=workers)
-        extras = {}
-        supported = optional_call_params(self.cpu_kernel)
-        if not validate and "validate" in supported:
-            extras["validate"] = False
-        if dtype is not None and "dtype" in supported:
-            extras["dtype"] = dtype
-        return self.cpu_kernel(rep, factors, mode, out, **extras)
+                    sp.set(backend="threads", num_workers=workers)
+                    return threaded_mttkrp(self, rep, factors, mode, out,
+                                           dtype=dtype, validate=validate,
+                                           num_workers=workers)
+            sp.set(backend="serial")
+            extras = {}
+            supported = optional_call_params(self.cpu_kernel)
+            if not validate and "validate" in supported:
+                extras["validate"] = False
+            if dtype is not None and "dtype" in supported:
+                extras["dtype"] = dtype
+            return self.cpu_kernel(rep, factors, mode, out, **extras)
 
     def storage_words(self, rep) -> int:
         """32-bit index words of a built representation."""
@@ -404,11 +410,11 @@ def build_plan(tensor, format: str, mode: int, config=None, dtype=None,
         if entry is not None:
             return PlanBuild(rep=entry.rep, build_seconds=entry.build_seconds,
                              cache_hit=True, key=key)
-    import time
-
-    start = time.perf_counter()
-    rep = spec.build(tensor, mode, config, dtype)
-    build_seconds = time.perf_counter() - start
+    with stage("build", format=spec.name, mode=mode) as sp:
+        start = time.perf_counter()
+        rep = spec.build(tensor, mode, config, dtype)
+        build_seconds = time.perf_counter() - start
+        sp.set(seconds=build_seconds, cached=use_cache)
     if use_cache:
         cache.put(key, rep, build_seconds)
     return PlanBuild(rep=rep, build_seconds=build_seconds, cache_hit=False,

@@ -31,6 +31,7 @@ from repro.gpusim.kernels.hbcsf_kernel import build_hbcsf_workloads
 from repro.gpusim.launch import LaunchConfig
 from repro.gpusim.memory import MemoryModel
 from repro.gpusim.metrics import KernelResult
+from repro.telemetry import span
 from repro.tensor.coo import CooTensor
 from repro.tensor.csf import CsfTensor
 from repro.util.errors import ValidationError
@@ -102,7 +103,10 @@ def simulate_hbcsf_structure(
                                   for w in workloads),
     )
     result = simulate_kernel(merged, device, memory_model)
-    parts = [simulate_kernel(w, device, memory_model) for w in workloads]
+    # the merged launch already recorded this simulation's metrics; the
+    # per-group breakdown re-simulates subsets of the same work
+    parts = [simulate_kernel(w, device, memory_model, record=False)
+             for w in workloads]
     result.details["parts"] = [p.as_row() for p in parts]
     return result
 
@@ -142,29 +146,39 @@ def simulate_mttkrp(
     launch = launch or LaunchConfig()
     memory_model = memory_model or MemoryModel()
 
-    # Pre-built structures carry their own format.
-    if isinstance(tensor, HbcsfTensor):
-        return simulate_hbcsf_structure(tensor, rank, device, launch, costs,
-                                        memory_model)
-    if isinstance(tensor, BcsfTensor):
-        return simulate_kernel(build_bcsf_workload(tensor, rank, launch, costs),
-                               device, memory_model)
-    if isinstance(tensor, CslGroup):
-        return simulate_kernel(build_csl_workload(tensor, rank, launch, costs),
-                               device, memory_model)
-    if isinstance(tensor, CsfTensor):
-        return simulate_kernel(build_csf_workload(tensor, rank, launch, costs),
-                               device, memory_model)
+    with span("gpusim.simulate", mode=mode, rank=rank,
+              structure=type(tensor).__name__) as sp:
+        # Pre-built structures carry their own format.
+        if isinstance(tensor, HbcsfTensor):
+            sp.set(format="hb-csf")
+            return simulate_hbcsf_structure(tensor, rank, device, launch,
+                                            costs, memory_model)
+        if isinstance(tensor, BcsfTensor):
+            sp.set(format="b-csf")
+            return simulate_kernel(
+                build_bcsf_workload(tensor, rank, launch, costs),
+                device, memory_model)
+        if isinstance(tensor, CslGroup):
+            sp.set(format="csl")
+            return simulate_kernel(
+                build_csl_workload(tensor, rank, launch, costs),
+                device, memory_model)
+        if isinstance(tensor, CsfTensor):
+            sp.set(format="csf")
+            return simulate_kernel(
+                build_csf_workload(tensor, rank, launch, costs),
+                device, memory_model)
 
-    if not isinstance(tensor, CooTensor):
-        raise ValidationError(
-            f"cannot simulate MTTKRP for object of type {type(tensor).__name__}"
-        )
+        if not isinstance(tensor, CooTensor):
+            raise ValidationError(
+                "cannot simulate MTTKRP for object of type "
+                f"{type(tensor).__name__}")
 
-    spec = get_format(format)
-    if spec.gpusim is None:
-        raise ValidationError(
-            f"format {spec.name!r} has no GPU kernel; choose one of "
-            f"{', '.join(format_names(gpusim=True))}")
-    return spec.gpusim(tensor, mode, rank, device, launch, config, costs,
-                       memory_model)
+        spec = get_format(format)
+        if spec.gpusim is None:
+            raise ValidationError(
+                f"format {spec.name!r} has no GPU kernel; choose one of "
+                f"{', '.join(format_names(gpusim=True))}")
+        sp.set(format=spec.name)
+        return spec.gpusim(tensor, mode, rank, device, launch, config, costs,
+                           memory_model)

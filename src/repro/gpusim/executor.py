@@ -34,7 +34,7 @@ import numpy as np
 from repro.gpusim.device import DeviceSpec, TESLA_P100
 from repro.gpusim.launch import LaunchConfig
 from repro.gpusim.memory import MemoryModel
-from repro.gpusim.metrics import KernelResult
+from repro.gpusim.metrics import KernelResult, fold_into_counters
 from repro.gpusim.workload import KernelWorkload
 
 __all__ = ["simulate_kernel", "block_compute_cycles", "schedule_blocks"]
@@ -78,8 +78,16 @@ def simulate_kernel(
     workload: KernelWorkload,
     device: DeviceSpec = TESLA_P100,
     memory_model: MemoryModel | None = None,
+    *,
+    record: bool = True,
 ) -> KernelResult:
-    """Simulate one kernel launch and return its :class:`KernelResult`."""
+    """Simulate one kernel launch and return its :class:`KernelResult`.
+
+    ``record=True`` folds the result's metrics into the telemetry counter
+    registry (``gpusim.*``); callers re-simulating sub-workloads of a
+    result that is already recorded (HB-CSF's per-group breakdown) pass
+    ``record=False`` so simulated work is never double-counted.
+    """
     launch: LaunchConfig = workload.launch
     launch.validate_for(device)
     memory_model = memory_model or MemoryModel()
@@ -88,7 +96,7 @@ def simulate_kernel(
     launch_overhead_s = device.kernel_launch_overhead_us * 1e-6
 
     if num_blocks == 0:
-        return KernelResult(
+        result = KernelResult(
             name=workload.name,
             time_seconds=launch_overhead_s,
             compute_seconds=0.0,
@@ -99,6 +107,7 @@ def simulate_kernel(
             l2_hit_rate=0.0,
             num_blocks=0,
         )
+        return fold_into_counters(result) if record else result
 
     cycles = block_compute_cycles(workload, device)
     busy = schedule_blocks(cycles, device.num_sms)
@@ -130,7 +139,7 @@ def simulate_kernel(
                       / (device.num_sms * device.max_warps_per_sm * compute_cycles))
     occupancy = min(1.0, occupancy)
 
-    return KernelResult(
+    result = KernelResult(
         name=workload.name,
         time_seconds=time_seconds,
         compute_seconds=compute_seconds,
@@ -147,3 +156,4 @@ def simulate_kernel(
             "max_block_cycles": float(cycles.max()),
         },
     )
+    return fold_into_counters(result) if record else result

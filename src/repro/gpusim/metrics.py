@@ -13,7 +13,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["KernelResult"]
+from repro.telemetry.counters import counter_add
+
+__all__ = ["KernelResult", "fold_into_counters"]
 
 
 @dataclass(frozen=True)
@@ -91,6 +93,23 @@ class KernelResult:
             "l2_hit_pct": round(100 * self.l2_hit_rate, 1),
             "blocks": self.num_blocks,
         }
+
+
+def fold_into_counters(result: KernelResult) -> KernelResult:
+    """Accumulate one simulation's metrics into the telemetry registry.
+
+    Called by the simulator executor for every top-level simulation, so
+    bench cells and traces see simulated work (``gpusim.*`` counters) with
+    the same delta accounting as the exact-kernel counters.  Returns the
+    result unchanged for call-through convenience.
+    """
+    counter_add("gpusim.simulations")
+    counter_add("gpusim.sim_time_seconds", result.time_seconds)
+    counter_add("gpusim.flops", result.flops)
+    counter_add("gpusim.blocks", result.num_blocks)
+    counter_add("gpusim.launches", result.num_kernels)
+    counter_add("gpusim.dram_bytes", result.dram_bytes)
+    return result
 
 
 def combine_sequential(name: str, results: list[KernelResult]) -> KernelResult:

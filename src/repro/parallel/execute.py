@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.parallel.partition import Shard, shard_plan_for
 from repro.parallel.pool import resolve_workers, run_tasks
+from repro.telemetry import counter_add, span, tracing_enabled
 from repro.tensor.dense import _check_factors
 from repro.util.dtypes import resolve_dtype
 from repro.util.errors import DimensionError, ValidationError
@@ -96,12 +97,40 @@ def threaded_mttkrp(
     # cast once here so pool threads share the cast arrays instead of each
     # shard's kernel casting its own copy
     factors = [np.asarray(f, dtype=out.dtype) for f in factors]
-    buckets = [b for b in plan.worker_shards() if b]
-    run_tasks([
-        (lambda bucket=bucket: [
-            _run_shard(shard, factors, mode, out, coo_method)
-            for shard in bucket
+    buckets = [(w, b) for w, b in enumerate(plan.worker_shards()) if b]
+    counter_add("parallel.dispatches")
+    counter_add("parallel.shards", len(plan.shards))
+    if not tracing_enabled():
+        run_tasks([
+            (lambda bucket=bucket: [
+                _run_shard(shard, factors, mode, out, coo_method)
+                for shard in bucket
+            ])
+            for _, bucket in buckets
         ])
-        for bucket in buckets
-    ])
+        return out
+
+    # traced dispatch: one span per shard, explicitly parented under this
+    # dispatch span (pool threads have their own span stacks, so implicit
+    # nesting cannot cross the thread boundary).  The shard attrs carry the
+    # LPT assignment — worker index and integer nnz cost — so a trace
+    # reconstructs the per-worker timeline and checks it against
+    # ``plan.loads`` exactly.
+    with span("parallel.execute", format=spec.name, mode=mode,
+              num_workers=plan.num_workers, shards=len(plan.shards),
+              loads=list(plan.loads), makespan=plan.makespan,
+              total_nnz=plan.total_nnz) as ex:
+        parent_id = ex.id
+
+        def _run_traced(worker: int, shard: Shard) -> None:
+            with span("parallel.shard", parent=parent_id, worker=worker,
+                      cost=shard.cost, kind=shard.kind):
+                _run_shard(shard, factors, mode, out, coo_method)
+
+        run_tasks([
+            (lambda worker=worker, bucket=bucket: [
+                _run_traced(worker, shard) for shard in bucket
+            ])
+            for worker, bucket in buckets
+        ])
     return out

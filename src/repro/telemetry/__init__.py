@@ -1,0 +1,103 @@
+"""Observability layer: span tracing + process-wide counters.
+
+Two halves:
+
+* **Counters** (:mod:`repro.telemetry.counters`) are always on — cheap
+  accumulators every instrumented layer feeds (``kernel.count``,
+  ``plan_cache.hits``, ``gpusim.flops``, ...).  Consumers snapshot before
+  and diff after (:func:`counters_delta`); ``repro-bench`` records those
+  deltas per measurement cell.
+
+* **Spans** (:mod:`repro.telemetry.tracer`) are off by default and
+  near-free while off.  ``REPRO_TRACE=1`` (or ``REPRO_TRACE_FILE=path``,
+  or :func:`enable` / :func:`trace_to` / :func:`capture`) streams nested,
+  attributed, monotonic-clock spans to a JSONL file that
+  ``repro-telemetry`` renders as stage summaries, per-worker timelines,
+  and cache statistics.
+
+See ``src/repro/telemetry/README.md`` for the span/counter model and the
+trace schema.
+"""
+
+from repro.telemetry.counters import (
+    CounterRegistry,
+    counter_add,
+    counter_add_stage,
+    counters_delta,
+    counters_snapshot,
+    gauge_set,
+    gauges_snapshot,
+    reset_counters,
+)
+from repro.telemetry.export import (
+    TRACE_SCHEMA_VERSION,
+    SpanRecord,
+    Trace,
+    parse_events,
+    read_trace,
+)
+from repro.telemetry.summary import (
+    render_summary,
+    render_timeline,
+    span_summary,
+    worker_timelines,
+)
+from repro.telemetry.tracer import (
+    DEFAULT_TRACE_FILE,
+    TRACE_ENV,
+    TRACE_FILE_ENV,
+    Tracer,
+    capture,
+    current_span_id,
+    disable,
+    disabled,
+    enable,
+    get_tracer,
+    init_from_env,
+    span,
+    stage,
+    trace_to,
+    tracing_enabled,
+)
+
+__all__ = [
+    # counters
+    "CounterRegistry",
+    "counter_add",
+    "counter_add_stage",
+    "counters_delta",
+    "counters_snapshot",
+    "gauge_set",
+    "gauges_snapshot",
+    "reset_counters",
+    # tracer
+    "DEFAULT_TRACE_FILE",
+    "TRACE_ENV",
+    "TRACE_FILE_ENV",
+    "Tracer",
+    "capture",
+    "current_span_id",
+    "disable",
+    "disabled",
+    "enable",
+    "get_tracer",
+    "init_from_env",
+    "span",
+    "stage",
+    "trace_to",
+    "tracing_enabled",
+    # export / analysis
+    "TRACE_SCHEMA_VERSION",
+    "SpanRecord",
+    "Trace",
+    "parse_events",
+    "read_trace",
+    "render_summary",
+    "render_timeline",
+    "span_summary",
+    "worker_timelines",
+]
+
+# Environment activation: REPRO_TRACE=1 / REPRO_TRACE_FILE=path installs a
+# process-wide tracer the moment any instrumented layer imports telemetry.
+init_from_env()

@@ -1,0 +1,148 @@
+"""``repro-telemetry`` — render JSONL trace files.
+
+Three views over a trace written with ``REPRO_TRACE=1`` (or
+``REPRO_TRACE_FILE=...``):
+
+* ``summary``      aggregate span durations by name, plus counters
+* ``timeline``     per-worker shard timelines for threaded dispatches
+* ``cache-stats``  plan-/decision-cache statistics (from the trace footer,
+  or live from the current process when no trace is given)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.telemetry.export import read_trace
+from repro.telemetry.summary import (
+    render_cache_stats,
+    render_summary,
+    render_timeline,
+    span_summary,
+    worker_timelines,
+)
+from repro.telemetry.tracer import DEFAULT_TRACE_FILE
+from repro.util.errors import ValidationError
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-telemetry",
+        description="Render repro JSONL trace files.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_summary = sub.add_parser(
+        "summary", help="aggregate span durations by name")
+    p_summary.add_argument(
+        "trace", nargs="?", default=DEFAULT_TRACE_FILE,
+        help=f"trace file (default: {DEFAULT_TRACE_FILE})")
+    p_summary.add_argument(
+        "--json", action="store_true", help="emit JSON instead of text")
+
+    p_timeline = sub.add_parser(
+        "timeline", help="per-worker shard timelines for threaded dispatches")
+    p_timeline.add_argument(
+        "trace", nargs="?", default=DEFAULT_TRACE_FILE,
+        help=f"trace file (default: {DEFAULT_TRACE_FILE})")
+    p_timeline.add_argument(
+        "--json", action="store_true", help="emit JSON instead of text")
+    p_timeline.add_argument(
+        "--last", action="store_true",
+        help="only the most recent dispatch (e.g. skip warmup runs)")
+
+    p_caches = sub.add_parser(
+        "cache-stats", help="plan-/decision-cache statistics")
+    p_caches.add_argument(
+        "trace", nargs="?", default=None,
+        help="trace file with a caches footer; omitted = live process stats")
+    p_caches.add_argument(
+        "--json", action="store_true", help="emit JSON instead of text")
+    return parser
+
+
+def _cmd_summary(args) -> int:
+    trace = read_trace(args.trace)
+    if args.json:
+        print(json.dumps({"spans": span_summary(trace),
+                          "counters": trace.counters,
+                          "gauges": trace.gauges}, indent=2))
+    else:
+        print(render_summary(trace))
+    return 0
+
+
+def _cmd_timeline(args) -> int:
+    trace = read_trace(args.trace)
+    timelines = worker_timelines(trace)
+    if args.last and timelines:
+        timelines = timelines[-1:]
+    if args.json:
+        print(json.dumps(timelines, indent=2))
+        return 0
+    if not timelines:
+        print("no parallel.execute spans in trace "
+              "(run a threaded dispatch with tracing enabled)")
+        return 1
+    print("\n\n".join(render_timeline(t) for t in timelines))
+    return 0
+
+
+def _live_cache_stats() -> tuple[dict, dict]:
+    from repro.formats import plan_cache_stats
+    from repro.tune import decision_cache_stats
+
+    return plan_cache_stats(), decision_cache_stats()
+
+
+def _cmd_cache_stats(args) -> int:
+    if args.trace is None:
+        plan, decision = _live_cache_stats()
+        source = "live process"
+    else:
+        trace = read_trace(args.trace)
+        caches = trace.caches
+        if not caches:
+            raise ValidationError(
+                f"{args.trace} has no caches footer (trace truncated?)")
+        plan = caches.get("plan_cache", {})
+        decision = caches.get("decision_cache", {})
+        source = str(args.trace)
+    if args.json:
+        print(json.dumps({"plan_cache": plan, "decision_cache": decision,
+                          "source": source}, indent=2))
+    else:
+        print(render_cache_stats(plan, decision, source=source))
+    return 0
+
+
+_COMMANDS = {
+    "summary": _cmd_summary,
+    "timeline": _cmd_timeline,
+    "cache-stats": _cmd_cache_stats,
+}
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ValidationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # downstream pager/head closed the pipe mid-render; not an error.
+        # Detach stdout so interpreter shutdown does not re-raise on flush.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,126 @@
+"""Process-wide counter / gauge registry.
+
+Counters are the always-on half of the observability layer: monotonically
+accumulating numbers (call counts, cache hits, stage seconds) that every
+instrumented layer feeds and that :mod:`repro.bench` records as per-cell
+deltas next to wall-clock.  They are deliberately cheap — one lock and one
+dict update per increment — so they stay enabled even when span tracing
+(:mod:`repro.telemetry.tracer`) is off.
+
+Gauges are point-in-time values (last worker count, peak RSS); setting one
+overwrites the previous value instead of accumulating.
+
+Consumers measure *deltas*, not absolutes: snapshot before an operation,
+subtract after (:func:`counters_delta`).  That makes concurrent
+instrumentation additive instead of destructive — nothing ever needs to
+reset the registry to measure, so independent measurements (bench cells,
+tests, the traced CI leg) cannot clobber each other.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = [
+    "counter_add",
+    "counter_add_stage",
+    "gauge_set",
+    "counters_snapshot",
+    "gauges_snapshot",
+    "counters_delta",
+    "reset_counters",
+]
+
+
+class CounterRegistry:
+    """Thread-safe name → number accumulator with a gauge side-table."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, float | int] = {}
+        self._gauges: dict[str, float | int] = {}
+
+    def add(self, name: str, value: float | int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + value
+
+    def add_stage(self, name: str, seconds: float) -> None:
+        """One stage completion: ``<name>.count`` += 1, ``<name>.seconds``
+        += ``seconds`` under a single lock acquisition (the dispatch hot
+        path calls this once per kernel execution)."""
+        count_key = name + ".count"
+        seconds_key = name + ".seconds"
+        with self._lock:
+            counters = self._counters
+            counters[count_key] = counters.get(count_key, 0) + 1
+            counters[seconds_key] = counters.get(seconds_key, 0.0) + seconds
+
+    def set_gauge(self, name: str, value: float | int) -> None:
+        with self._lock:
+            self._gauges[name] = value
+
+    def snapshot(self) -> dict[str, float | int]:
+        with self._lock:
+            return dict(self._counters)
+
+    def gauges(self) -> dict[str, float | int]:
+        with self._lock:
+            return dict(self._gauges)
+
+    def delta(self, before: dict[str, float | int]) -> dict[str, float | int]:
+        """Counter movement since ``before`` (a prior :meth:`snapshot`).
+
+        Zero-movement names are dropped, so the result names exactly the
+        counters the measured operation touched.
+        """
+        now = self.snapshot()
+        moved: dict[str, float | int] = {}
+        for name, value in now.items():
+            change = value - before.get(name, 0)
+            if change:
+                moved[name] = change
+        return moved
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+
+
+#: the process-global registry every instrumented layer feeds.
+_REGISTRY = CounterRegistry()
+
+
+def counter_add(name: str, value: float | int = 1) -> None:
+    """Accumulate ``value`` into counter ``name``."""
+    _REGISTRY.add(name, value)
+
+
+def counter_add_stage(name: str, seconds: float) -> None:
+    """Record one completed stage (``<name>.count`` / ``<name>.seconds``)."""
+    _REGISTRY.add_stage(name, seconds)
+
+
+def gauge_set(name: str, value: float | int) -> None:
+    """Set gauge ``name`` to ``value`` (overwrites)."""
+    _REGISTRY.set_gauge(name, value)
+
+
+def counters_snapshot() -> dict[str, float | int]:
+    """A point-in-time copy of every counter."""
+    return _REGISTRY.snapshot()
+
+
+def gauges_snapshot() -> dict[str, float | int]:
+    """A point-in-time copy of every gauge."""
+    return _REGISTRY.gauges()
+
+
+def counters_delta(before: dict[str, float | int]) -> dict[str, float | int]:
+    """Counters that moved since ``before`` (a prior snapshot)."""
+    return _REGISTRY.delta(before)
+
+
+def reset_counters() -> None:
+    """Zero the whole registry (tests only — prefer delta measurement)."""
+    _REGISTRY.reset()

@@ -1,0 +1,164 @@
+"""JSONL trace schema and parsing.
+
+A trace file is a sequence of JSON objects, one per line, each tagged with
+a ``type``:
+
+``meta``
+    Header written when the tracer opens the file: ``schema`` (the
+    :data:`TRACE_SCHEMA_VERSION` integer), ``pid``, ``clock``
+    (``"perf_counter"`` — monotonic, process-wide, shared by all threads),
+    and ``created_at`` (wall-clock epoch seconds, for humans only).
+
+``span``
+    One finished span: ``id`` (positive int, unique per process), ``parent``
+    (id of the enclosing span or ``None`` for roots), ``name``, ``t0`` /
+    ``t1`` / ``dur`` (perf_counter seconds), ``thread`` (thread name), and
+    ``attrs`` (the structured attributes, JSON-safe).
+
+``counters`` / ``caches``
+    Footers written when the tracer closes: a snapshot of the counter and
+    gauge registries, and the plan-/decision-cache statistics.
+
+Spans stream to the file as they close, so the parent of a span can appear
+*after* it (the parent closes later) and a crashed process leaves a valid,
+footerless trace.  :func:`read_trace` tolerates both.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.util.errors import ValidationError
+
+__all__ = ["TRACE_SCHEMA_VERSION", "SpanRecord", "Trace",
+           "parse_events", "read_trace"]
+
+#: bump when the line format above changes incompatibly.
+TRACE_SCHEMA_VERSION = 1
+
+_SPAN_FIELDS = ("id", "name", "t0", "t1")
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One parsed ``span`` line."""
+
+    id: int
+    parent: int | None
+    name: str
+    t0: float
+    t1: float
+    dur: float
+    thread: str
+    attrs: dict
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "SpanRecord":
+        for key in _SPAN_FIELDS:
+            if key not in record:
+                raise ValidationError(
+                    f"span record is missing required field {key!r}: {record}"
+                )
+        t0 = float(record["t0"])
+        t1 = float(record["t1"])
+        if t1 < t0:
+            raise ValidationError(
+                f"span {record['id']} ends before it starts (t0={t0}, t1={t1})"
+            )
+        return cls(
+            id=int(record["id"]),
+            parent=record.get("parent"),
+            name=str(record["name"]),
+            t0=t0,
+            t1=t1,
+            dur=float(record.get("dur", t1 - t0)),
+            thread=str(record.get("thread", "?")),
+            attrs=dict(record.get("attrs") or {}),
+        )
+
+
+@dataclass
+class Trace:
+    """A fully parsed trace: header, spans, and (optional) footers."""
+
+    meta: dict = field(default_factory=dict)
+    spans: list[SpanRecord] = field(default_factory=list)
+    counters: dict = field(default_factory=dict)
+    gauges: dict = field(default_factory=dict)
+    caches: dict = field(default_factory=dict)
+
+    @property
+    def schema(self) -> int:
+        return int(self.meta.get("schema", TRACE_SCHEMA_VERSION))
+
+    def by_name(self, name: str) -> list[SpanRecord]:
+        """Spans with the given name, in file (completion) order."""
+        return [s for s in self.spans if s.name == name]
+
+    def children_of(self, span_id: int) -> list[SpanRecord]:
+        """Direct children of a span, ordered by start time."""
+        kids = [s for s in self.spans if s.parent == span_id]
+        kids.sort(key=lambda s: s.t0)
+        return kids
+
+    def roots(self) -> list[SpanRecord]:
+        """Spans with no parent in the trace, ordered by start time."""
+        ids = {s.id for s in self.spans}
+        top = [s for s in self.spans if s.parent is None or s.parent not in ids]
+        top.sort(key=lambda s: s.t0)
+        return top
+
+
+def parse_events(records) -> Trace:
+    """Assemble a :class:`Trace` from an iterable of record dicts.
+
+    Accepts the in-memory event lists produced by
+    :func:`repro.telemetry.capture` as well as decoded file lines.  Raises
+    :class:`ValidationError` on a schema newer than this reader, malformed
+    span records, or unknown line types.
+    """
+    trace = Trace()
+    for record in records:
+        if not isinstance(record, dict):
+            raise ValidationError(f"trace record is not an object: {record!r}")
+        kind = record.get("type")
+        if kind == "meta":
+            trace.meta = record
+            schema = int(record.get("schema", 0))
+            if schema > TRACE_SCHEMA_VERSION:
+                raise ValidationError(
+                    f"trace schema {schema} is newer than supported "
+                    f"version {TRACE_SCHEMA_VERSION}"
+                )
+        elif kind == "span":
+            trace.spans.append(SpanRecord.from_dict(record))
+        elif kind == "counters":
+            trace.counters = dict(record.get("values") or {})
+            trace.gauges = dict(record.get("gauges") or {})
+        elif kind == "caches":
+            trace.caches = {k: v for k, v in record.items() if k != "type"}
+        else:
+            raise ValidationError(f"unknown trace record type: {kind!r}")
+    return trace
+
+
+def read_trace(path) -> Trace:
+    """Parse a JSONL trace file written by the tracer."""
+    path = Path(path)
+    if not path.exists():
+        raise ValidationError(f"trace file not found: {path}")
+    records = []
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ValidationError(
+                    f"{path}:{lineno}: invalid JSON in trace: {exc}"
+                ) from exc
+    return parse_events(records)

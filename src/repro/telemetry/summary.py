@@ -1,0 +1,181 @@
+"""Trace analysis: span summaries and per-worker timelines.
+
+The timeline view is the one the paper's load-balancing story needs: each
+``parallel.execute`` span (one threaded MTTKRP dispatch) carries the LPT
+plan's prediction — per-worker nnz loads and makespan — while its child
+``parallel.shard`` spans carry what actually happened (which worker ran
+which shard, for how long).  :func:`worker_timelines` joins the two so the
+measured per-worker busy time and the assigned shard costs can be compared
+worker by worker against the plan.
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.export import SpanRecord, Trace
+
+__all__ = ["span_summary", "worker_timelines", "render_summary",
+           "render_timeline", "render_cache_stats"]
+
+
+def _quantile(values: list[float], q: float) -> float:
+    data = sorted(values)
+    if len(data) == 1:
+        return data[0]
+    pos = q * (len(data) - 1)
+    low = int(pos)
+    high = min(low + 1, len(data) - 1)
+    frac = pos - low
+    return data[low] * (1.0 - frac) + data[high] * frac
+
+
+def span_summary(trace: Trace) -> list[dict]:
+    """Aggregate spans by name: count and total/mean/p95/max duration.
+
+    Sorted by total duration, descending — the hottest stage first.
+    """
+    groups: dict[str, list[float]] = {}
+    for sp in trace.spans:
+        groups.setdefault(sp.name, []).append(sp.dur)
+    rows = []
+    for name, durs in groups.items():
+        rows.append({
+            "name": name,
+            "count": len(durs),
+            "total": sum(durs),
+            "mean": sum(durs) / len(durs),
+            "p95": _quantile(durs, 0.95),
+            "max": max(durs),
+        })
+    rows.sort(key=lambda r: r["total"], reverse=True)
+    return rows
+
+
+def worker_timelines(trace: Trace) -> list[dict]:
+    """One timeline per ``parallel.execute`` span in the trace.
+
+    Each timeline maps every worker to its shard spans (relative to the
+    dispatch start), measured busy seconds, and the sum of the LPT shard
+    costs it actually ran, alongside the plan's predicted per-worker
+    ``loads``.  Shard costs are integer-valued nnz counts, so the per-worker
+    cost sums reconstructed from the shard spans match ``loads`` exactly
+    when the trace reflects the planned assignment.
+    """
+    timelines = []
+    for ex in trace.by_name("parallel.execute"):
+        shards = [s for s in trace.children_of(ex.id)
+                  if s.name == "parallel.shard"]
+        num_workers = int(ex.attrs.get("num_workers") or 0)
+        seen = [int(s.attrs.get("worker", 0)) for s in shards]
+        workers_n = max(num_workers, max(seen) + 1 if seen else 0)
+        workers = []
+        for w in range(workers_n):
+            mine = sorted((s for s in shards
+                           if int(s.attrs.get("worker", 0)) == w),
+                          key=lambda s: s.t0)
+            workers.append({
+                "worker": w,
+                "shards": [{
+                    "start": s.t0 - ex.t0,
+                    "end": s.t1 - ex.t0,
+                    "dur": s.dur,
+                    "cost": float(s.attrs.get("cost", 0.0)),
+                    "kind": s.attrs.get("kind"),
+                    "thread": s.thread,
+                } for s in mine],
+                "busy_seconds": sum(s.dur for s in mine),
+                "cost": sum(float(s.attrs.get("cost", 0.0)) for s in mine),
+            })
+        predicted_loads = [float(v) for v in (ex.attrs.get("loads") or [])]
+        timelines.append({
+            "format": ex.attrs.get("format"),
+            "mode": ex.attrs.get("mode"),
+            "num_workers": workers_n,
+            "duration": ex.dur,
+            "workers": workers,
+            "predicted_loads": predicted_loads,
+            "predicted_makespan": ex.attrs.get("makespan"),
+            "measured_makespan": max((w["busy_seconds"] for w in workers),
+                                     default=0.0),
+            "total_nnz": ex.attrs.get("total_nnz"),
+        })
+    return timelines
+
+
+# --------------------------------------------------------------------- #
+# text rendering (the repro-telemetry CLI and the speedup example)
+# --------------------------------------------------------------------- #
+def _fmt_s(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:8.3f}s "
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:8.3f}ms"
+    return f"{seconds * 1e6:8.1f}us"
+
+
+def render_summary(trace: Trace) -> str:
+    rows = span_summary(trace)
+    if not rows:
+        return "no spans in trace"
+    lines = [f"{'span':<24} {'count':>7} {'total':>10} {'mean':>10} "
+             f"{'p95':>10} {'max':>10}"]
+    for r in rows:
+        lines.append(
+            f"{r['name']:<24} {r['count']:>7d} {_fmt_s(r['total'])} "
+            f"{_fmt_s(r['mean'])} {_fmt_s(r['p95'])} {_fmt_s(r['max'])}"
+        )
+    if trace.counters:
+        lines.append("")
+        lines.append("counters:")
+        for name in sorted(trace.counters):
+            lines.append(f"  {name:<32} {trace.counters[name]}")
+    return "\n".join(lines)
+
+
+def render_timeline(timeline: dict, width: int = 48) -> str:
+    """ASCII per-worker timeline for one ``parallel.execute`` dispatch."""
+    total = max(timeline["duration"], 1e-12)
+    loads = timeline["predicted_loads"]
+    lines = [
+        f"parallel.execute format={timeline['format']} "
+        f"mode={timeline['mode']} workers={timeline['num_workers']} "
+        f"wall={_fmt_s(timeline['duration']).strip()}"
+    ]
+    for w in timeline["workers"]:
+        bar = [" "] * width
+        for sh in w["shards"]:
+            lo = min(width - 1, int(sh["start"] / total * width))
+            hi = min(width, max(lo + 1, int(sh["end"] / total * width)))
+            for i in range(lo, hi):
+                bar[i] = "#"
+        predicted = (f" plan={loads[w['worker']]:,.0f}nnz"
+                     if w["worker"] < len(loads) else "")
+        lines.append(
+            f"  w{w['worker']:<2d} |{''.join(bar)}| "
+            f"busy={_fmt_s(w['busy_seconds']).strip()} "
+            f"shards={len(w['shards'])} cost={w['cost']:,.0f}nnz{predicted}"
+        )
+    measured = timeline["measured_makespan"]
+    predicted = timeline.get("predicted_makespan")
+    line = f"  makespan: measured={_fmt_s(measured).strip()}"
+    if predicted:
+        line += f"  plan={float(predicted):,.0f}nnz"
+    lines.append(line)
+    return "\n".join(lines)
+
+
+def render_cache_stats(plan: dict, decision: dict,
+                       source: str = "live") -> str:
+    lines = [f"cache statistics ({source})", "", "plan cache:"]
+    for key in sorted(plan):
+        lines.append(f"  {key:<24} {plan[key]}")
+    lines.append("")
+    lines.append("decision cache:")
+    for key in sorted(decision):
+        value = decision[key]
+        if isinstance(value, dict):
+            lines.append(f"  {key}:")
+            for sub in sorted(value):
+                lines.append(f"    {sub:<22} {value[sub]}")
+        else:
+            lines.append(f"  {key:<24} {value}")
+    return "\n".join(lines)

@@ -20,6 +20,7 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 
+from repro.telemetry.counters import counter_add
 from repro.util.errors import ValidationError
 
 __all__ = [
@@ -42,18 +43,32 @@ class DecisionCache:
     the hit/miss counters), insertions, discards and stats snapshots — the
     threaded execution backend probes and records decisions from worker
     threads.
+
+    Beyond hit/miss/eviction the cache tracks what the tuner *did*:
+    ``probes`` counts candidate kernel executions paid for (reported via
+    :meth:`record_probes`) and ``winners`` tallies elections per winning
+    kernel label, so ``decision_cache_stats()`` answers both "how often did
+    we probe?" and "what keeps winning?".  ``telemetry=True`` (the
+    process-global instance) additionally mirrors activity into the
+    :mod:`repro.telemetry` counter registry as ``decision_cache.*``.
     """
 
-    def __init__(self, max_entries: int = DEFAULT_MAX_DECISIONS):
+    def __init__(self, max_entries: int = DEFAULT_MAX_DECISIONS,
+                 telemetry: bool = False):
         if max_entries < 1:
             raise ValidationError(
                 f"max_entries must be >= 1, got {max_entries}")
         self.max_entries = int(max_entries)
+        self.telemetry = bool(telemetry)
         self._entries: OrderedDict[tuple, object] = OrderedDict()
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        #: candidate kernel executions paid for across all probe sessions.
+        self.probes = 0
+        #: elected winner label -> number of elections.
+        self.winners: dict[str, int] = {}
 
     def __len__(self) -> int:
         with self._lock:
@@ -64,18 +79,37 @@ class DecisionCache:
             decision = self._entries.get(key)
             if decision is None:
                 self.misses += 1
-                return None
-            self._entries.move_to_end(key)
-            self.hits += 1
-            return decision
+            else:
+                self._entries.move_to_end(key)
+                self.hits += 1
+        if self.telemetry:
+            counter_add("decision_cache.hits" if decision is not None
+                        else "decision_cache.misses")
+        return decision
 
     def put(self, key: tuple, decision) -> None:
+        label = getattr(decision, "label", None)
+        evicted_n = 0
         with self._lock:
             self._entries.pop(key, None)
             self._entries[key] = decision
+            if label is not None:
+                self.winners[label] = self.winners.get(label, 0) + 1
             while len(self._entries) > self.max_entries:
                 self._entries.popitem(last=False)
                 self.evictions += 1
+                evicted_n += 1
+        if self.telemetry:
+            counter_add("decision_cache.decisions")
+            if evicted_n:
+                counter_add("decision_cache.evictions", evicted_n)
+
+    def record_probes(self, count: int = 1) -> None:
+        """Account ``count`` candidate kernel probes (tuner probe loop)."""
+        with self._lock:
+            self.probes += int(count)
+        if self.telemetry:
+            counter_add("decision_cache.probes", int(count))
 
     def discard(self, *, fingerprint: str | None = None,
                 format: str | None = None) -> int:
@@ -104,6 +138,8 @@ class DecisionCache:
                 self.hits = 0
                 self.misses = 0
                 self.evictions = 0
+                self.probes = 0
+                self.winners = {}
 
     def stats(self) -> dict:
         with self._lock:
@@ -116,10 +152,12 @@ class DecisionCache:
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "probes": self.probes,
+            "winners": dict(self.winners),
         }
 
 
-_GLOBAL_CACHE = DecisionCache()
+_GLOBAL_CACHE = DecisionCache(telemetry=True)
 
 
 def decision_cache() -> DecisionCache:

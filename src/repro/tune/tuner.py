@@ -29,6 +29,7 @@ from repro.formats import build_plan, format_names, get_format, tensor_fingerpri
 from repro.formats.plan_cache import config_token
 from repro.kernels.coo_mttkrp import COO_ACCUMULATE_METHODS, coo_mttkrp
 from repro.parallel.pool import resolve_backend, resolve_workers
+from repro.telemetry import span, stage
 from repro.tune.cache import decision_cache
 from repro.util.dtypes import dtype_token, resolve_dtype
 from repro.util.errors import ValidationError
@@ -327,20 +328,28 @@ def decide(
     timings: list[tuple[str, float]] = []
     best: Candidate | None = None
     best_seconds = float("inf")
-    for candidate in candidates:
-        fn = candidate_runner(candidate, tensor, factors, int(mode),
-                              config=config, dtype=dtype,
-                              num_workers=workers)
-        if measure is not None:
-            seconds = float(measure(fn))
-        else:
-            _, timer = repeat(fn, n=budget.repeats, warmup=budget.warmup)
-            seconds = timer.best
-        timings.append((candidate.label, seconds))
-        # strict < keeps ties deterministic: first (registry-order) wins
-        if seconds < best_seconds:
-            best = candidate
-            best_seconds = seconds
+    with stage("tune.decide", mode=int(mode), rank_bucket=bucket,
+               dtype=dtype_token(dtype), backend=backend_token,
+               candidates=len(candidates)) as decide_sp:
+        for candidate in candidates:
+            fn = candidate_runner(candidate, tensor, factors, int(mode),
+                                  config=config, dtype=dtype,
+                                  num_workers=workers)
+            with span("tune.probe", candidate=candidate.label) as probe_sp:
+                if measure is not None:
+                    seconds = float(measure(fn))
+                else:
+                    _, timer = repeat(fn, n=budget.repeats,
+                                      warmup=budget.warmup)
+                    seconds = timer.best
+                probe_sp.set(seconds=seconds)
+            timings.append((candidate.label, seconds))
+            # strict < keeps ties deterministic: first (registry-order) wins
+            if seconds < best_seconds:
+                best = candidate
+                best_seconds = seconds
+        cache.record_probes(len(candidates))
+        decide_sp.set(winner=best.label)
 
     decision = TuneDecision(
         format=best.format,

@@ -76,6 +76,43 @@ class Timer:
             return 0.0
         return _quantile(sorted(self.laps), 0.95)
 
+    def stats(self) -> dict:
+        """Summary statistics of the recorded laps, in one dict.
+
+        Keys: ``count``, ``best``, ``median``, ``p95``, ``max``, ``mean``,
+        ``stddev``, ``total`` and the raw ``laps`` list.  This is the
+        canonical summary :mod:`repro.bench` serialises per measurement
+        cell — consumers read one dict instead of assembling the statistic
+        properties piecemeal.
+
+        Raises
+        ------
+        ValidationError
+            When no laps have been recorded: every statistic would be a
+            meaningless 0.0, which summary consumers must not mistake for
+            an instantaneous measurement.
+        """
+        laps = list(self.laps)
+        n = len(laps)
+        if n == 0:
+            raise ValidationError(
+                "cannot summarise a timer with no laps; record at least "
+                "one lap (Timer.measure) before calling stats()")
+        total = sum(laps)
+        mean = total / n
+        var = sum((lap - mean) ** 2 for lap in laps) / n
+        return {
+            "count": n,
+            "best": min(laps),
+            "median": self.median,
+            "p95": self.p95,
+            "max": max(laps),
+            "mean": mean,
+            "stddev": var ** 0.5,
+            "total": total,
+            "laps": laps,
+        }
+
 
 def repeat(fn: Callable[[], T], n: int = 5, warmup: int = 1) -> tuple[T, Timer]:
     """Call ``fn()`` ``warmup + n`` times, timing the last ``n``.

@@ -1,0 +1,28 @@
+"""Telemetry test fixtures.
+
+Every test here runs under ``preserve_tracer``: whatever tracer was
+installed before the test (none, usually — but the CI leg that traces the
+whole run with ``REPRO_TRACE_FILE`` installs one at import) is re-installed
+afterwards without being closed, so tests may freely ``enable``/``disable``
+without truncating an ambient trace file.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry import tracer as tracer_mod
+
+
+@pytest.fixture(autouse=True)
+def preserve_tracer():
+    previous = tracer_mod.get_tracer()
+    # Detach (without closing) so tests that call enable()/disable() cannot
+    # close the ambient tracer: enable() closes whatever it replaces.
+    tracer_mod._install(None)
+    try:
+        yield
+    finally:
+        current = tracer_mod._install(previous)
+        if current is not None and current is not previous:
+            current.close()

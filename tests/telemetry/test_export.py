@@ -1,0 +1,136 @@
+"""Trace schema round-trip and parser validation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry.export import (
+    TRACE_SCHEMA_VERSION,
+    SpanRecord,
+    parse_events,
+    read_trace,
+)
+from repro.util.errors import ValidationError
+
+
+def _span(id=1, parent=None, name="s", t0=0.0, t1=1.0, **attrs):
+    return {"type": "span", "id": id, "parent": parent, "name": name,
+            "t0": t0, "t1": t1, "dur": t1 - t0, "thread": "main",
+            "attrs": attrs}
+
+
+class TestRoundTrip:
+    def test_emit_write_read(self, tmp_path):
+        """The acceptance-path round-trip: spans emitted through the real
+        tracer, streamed to JSONL, parsed back with identical structure."""
+        path = tmp_path / "roundtrip.jsonl"
+        with telemetry.trace_to(path):
+            with telemetry.span("build", format="b-csf", mode=1) as sp:
+                sp.set(seconds=0.5)
+                with telemetry.span("probe", candidate="coo"):
+                    pass
+        trace = read_trace(path)
+        assert trace.schema == TRACE_SCHEMA_VERSION
+        assert trace.meta["clock"] == "perf_counter"
+        build, = trace.by_name("build")
+        probe, = trace.by_name("probe")
+        assert build.attrs == {"format": "b-csf", "mode": 1, "seconds": 0.5}
+        assert probe.parent == build.id
+        assert trace.children_of(build.id) == [probe]
+        assert trace.roots() == [build]
+        # footers parsed
+        assert isinstance(trace.counters, dict)
+        assert set(trace.caches) == {"plan_cache", "decision_cache"}
+
+    def test_capture_parse_events_equivalent(self, tmp_path):
+        with telemetry.capture() as events:
+            with telemetry.span("a"):
+                pass
+        path = tmp_path / "file.jsonl"
+        with telemetry.trace_to(path):
+            with telemetry.span("a"):
+                pass
+        from_mem = parse_events(events)
+        from_file = read_trace(path)
+        assert [s.name for s in from_mem.spans] == \
+            [s.name for s in from_file.spans] == ["a"]
+
+    def test_numpy_attrs_are_json_safe(self, tmp_path):
+        np = pytest.importorskip("numpy")
+        path = tmp_path / "np.jsonl"
+        with telemetry.trace_to(path):
+            with telemetry.span("k", cost=np.int64(42), t=np.float64(0.5),
+                                loads=[np.float64(1.0), np.float64(2.0)]):
+                pass
+        span, = read_trace(path).spans
+        assert span.attrs == {"cost": 42, "t": 0.5, "loads": [1.0, 2.0]}
+        # verify the file really is plain JSON scalars
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert any(l.get("attrs", {}).get("cost") == 42 for l in lines)
+
+    def test_footerless_trace_is_readable(self, tmp_path):
+        """A crashed process leaves spans but no footers; the trace must
+        still parse (cache-stats then errors cleanly, see CLI tests)."""
+        path = tmp_path / "crash.jsonl"
+        path.write_text(
+            json.dumps({"type": "meta", "schema": TRACE_SCHEMA_VERSION,
+                        "pid": 1, "clock": "perf_counter",
+                        "created_at": 0.0}) + "\n" +
+            json.dumps(_span()) + "\n")
+        trace = read_trace(path)
+        assert len(trace.spans) == 1
+        assert trace.counters == {} and trace.caches == {}
+
+    def test_parent_after_child_tolerated(self):
+        trace = parse_events([
+            _span(id=2, parent=1, name="child", t0=0.1, t1=0.2),
+            _span(id=1, parent=None, name="parent", t0=0.0, t1=1.0),
+        ])
+        assert [s.name for s in trace.roots()] == ["parent"]
+        assert [s.name for s in trace.children_of(1)] == ["child"]
+
+
+class TestValidation:
+    def test_newer_schema_rejected(self):
+        with pytest.raises(ValidationError, match="newer"):
+            parse_events([{"type": "meta",
+                           "schema": TRACE_SCHEMA_VERSION + 1}])
+
+    def test_missing_span_fields_rejected(self):
+        bad = _span()
+        del bad["t1"]
+        with pytest.raises(ValidationError, match="t1"):
+            parse_events([bad])
+
+    def test_backwards_span_rejected(self):
+        with pytest.raises(ValidationError, match="ends before"):
+            parse_events([_span(t0=5.0, t1=1.0)])
+
+    def test_unknown_record_type_rejected(self):
+        with pytest.raises(ValidationError, match="unknown"):
+            parse_events([{"type": "mystery"}])
+
+    def test_non_object_record_rejected(self):
+        with pytest.raises(ValidationError, match="not an object"):
+            parse_events(["a string"])
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ValidationError, match="not found"):
+            read_trace(tmp_path / "nope.jsonl")
+
+    def test_invalid_json_line_numbered(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "meta", "schema": 1}\nnot json\n')
+        with pytest.raises(ValidationError, match=r"bad\.jsonl:2"):
+            read_trace(path)
+
+    def test_span_record_defaults(self):
+        rec = SpanRecord.from_dict({"id": 3, "name": "x",
+                                    "t0": 1.0, "t1": 2.0})
+        assert rec.parent is None
+        assert rec.dur == 1.0
+        assert rec.thread == "?"
+        assert rec.attrs == {}

@@ -1,0 +1,119 @@
+"""Span tracing under the threaded execution backend.
+
+The acceptance-criterion invariant: a traced threaded dispatch yields one
+``parallel.shard`` span per shard, parented under the dispatch's
+``parallel.execute`` span even though shards run on pool threads, and the
+per-worker shard-cost sums reconstruct the LPT plan's predicted loads
+exactly (shard costs are integer nnz — no float drift).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.formats import build_plan, get_format
+from repro.parallel.partition import shard_plan_for
+
+from tests.conftest import make_factors
+
+WORKERS = 4
+MODE = 0
+
+
+@pytest.fixture
+def traced_dispatch(skewed3d):
+    """One threaded b-csf dispatch under capture(); returns
+    (trace, plan, out, serial reference)."""
+    spec = get_format("b-csf")
+    factors = make_factors(skewed3d.shape, 8, seed=3)
+    built = build_plan(skewed3d, "b-csf", MODE)
+    plan = shard_plan_for(spec, built.rep, MODE, WORKERS, plan_key=built.key)
+    reference = spec.mttkrp(built.rep, factors, MODE, backend="serial")
+    with telemetry.capture() as events:
+        out = spec.mttkrp(built.rep, factors, MODE,
+                          backend="threads", num_workers=WORKERS)
+    return telemetry.parse_events(events), plan, out, reference
+
+
+class TestThreadedSpans:
+    def test_one_span_per_shard_parented_under_execute(self, traced_dispatch):
+        trace, plan, _, _ = traced_dispatch
+        execute, = trace.by_name("parallel.execute")
+        shards = trace.by_name("parallel.shard")
+        assert len(shards) == len(plan.shards)
+        assert all(s.parent == execute.id for s in shards)
+        assert trace.children_of(execute.id) == \
+            sorted(shards, key=lambda s: s.t0)
+        # shards genuinely ran on pool threads, not the dispatcher's
+        assert {s.thread for s in shards}.isdisjoint({execute.thread})
+
+    def test_worker_cost_sums_match_lpt_loads_exactly(self, traced_dispatch):
+        trace, plan, _, _ = traced_dispatch
+        shards = trace.by_name("parallel.shard")
+        sums: dict[int, float] = {}
+        for s in shards:
+            sums[s.attrs["worker"]] = \
+                sums.get(s.attrs["worker"], 0) + s.attrs["cost"]
+        predicted = {w: load for w, load in enumerate(plan.loads) if load}
+        assert sums == predicted
+
+    def test_execute_attrs_carry_the_plan(self, traced_dispatch):
+        trace, plan, _, _ = traced_dispatch
+        execute, = trace.by_name("parallel.execute")
+        assert execute.attrs["num_workers"] == plan.num_workers
+        assert execute.attrs["shards"] == len(plan.shards)
+        assert execute.attrs["loads"] == list(plan.loads)
+        assert execute.attrs["makespan"] == plan.makespan
+        assert execute.attrs["total_nnz"] == plan.total_nnz
+
+    def test_shard_spans_fit_inside_execute(self, traced_dispatch):
+        trace, _, _, _ = traced_dispatch
+        execute, = trace.by_name("parallel.execute")
+        for s in trace.by_name("parallel.shard"):
+            assert execute.t0 <= s.t0 <= s.t1 <= execute.t1
+
+    def test_tracing_does_not_change_the_result(self, traced_dispatch):
+        _, _, out, reference = traced_dispatch
+        np.testing.assert_array_equal(out, reference)
+
+    def test_untraced_dispatch_counts_but_emits_nothing(self, skewed3d):
+        spec = get_format("b-csf")
+        factors = make_factors(skewed3d.shape, 8, seed=3)
+        built = build_plan(skewed3d, "b-csf", MODE)
+        before = telemetry.counters_snapshot()
+        spec.mttkrp(built.rep, factors, MODE,
+                    backend="threads", num_workers=WORKERS)
+        delta = telemetry.counters_delta(before)
+        assert delta["parallel.dispatches"] == 1
+        assert delta["parallel.shards"] >= WORKERS
+
+
+class TestWorkerTimelines:
+    def test_timeline_reconstruction(self, traced_dispatch):
+        trace, plan, _, _ = traced_dispatch
+        timeline, = telemetry.worker_timelines(trace)
+        assert timeline["format"] == "b-csf"
+        assert timeline["num_workers"] == plan.num_workers
+        assert timeline["predicted_loads"] == list(plan.loads)
+        assert timeline["predicted_makespan"] == plan.makespan
+
+        workers = {w["worker"]: w for w in timeline["workers"]}
+        for worker, load in enumerate(plan.loads):
+            if not load:
+                continue
+            assert workers[worker]["cost"] == load
+            busy = sum(s["dur"] for s in workers[worker]["shards"])
+            assert workers[worker]["busy_seconds"] == pytest.approx(busy)
+        assert timeline["measured_makespan"] == pytest.approx(
+            max(w["busy_seconds"] for w in timeline["workers"]))
+
+    def test_render_timeline_mentions_every_worker(self, traced_dispatch):
+        trace, plan, _, _ = traced_dispatch
+        timeline, = telemetry.worker_timelines(trace)
+        text = telemetry.render_timeline(timeline)
+        for worker, load in enumerate(plan.loads):
+            if load:
+                assert f"w{worker}" in text
+        assert "makespan" in text

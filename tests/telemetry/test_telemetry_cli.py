@@ -1,0 +1,95 @@
+"""``repro-telemetry`` CLI: all three subcommands over a real trace."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import telemetry
+from repro.formats import build_plan, get_format
+from repro.telemetry.cli import main
+
+from tests.conftest import make_factors
+
+
+@pytest.fixture
+def trace_file(tmp_path, skewed3d):
+    """A real trace: one traced threaded dispatch, cleanly closed."""
+    path = tmp_path / "trace.jsonl"
+    spec = get_format("b-csf")
+    factors = make_factors(skewed3d.shape, 8, seed=5)
+    built = build_plan(skewed3d, "b-csf", 0)
+    with telemetry.trace_to(path):
+        spec.mttkrp(built.rep, factors, 0, backend="threads", num_workers=2)
+    return path
+
+
+class TestSummary:
+    def test_text(self, trace_file, capsys):
+        assert main(["summary", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "parallel.execute" in out
+        assert "kernel" in out
+        assert "counters:" in out
+
+    def test_json(self, trace_file, capsys):
+        assert main(["summary", str(trace_file), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        names = {row["name"] for row in payload["spans"]}
+        assert {"parallel.execute", "parallel.shard", "kernel"} <= names
+        assert payload["counters"]["parallel.dispatches"] >= 1
+
+
+class TestTimeline:
+    def test_text(self, trace_file, capsys):
+        assert main(["timeline", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "w0" in out and "w1" in out
+        assert "makespan" in out
+
+    def test_json_last(self, trace_file, capsys):
+        assert main(["timeline", str(trace_file), "--json", "--last"]) == 0
+        timelines = json.loads(capsys.readouterr().out)
+        assert len(timelines) == 1
+        assert timelines[0]["num_workers"] == 2
+
+    def test_no_dispatches_hints_and_fails(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        with telemetry.trace_to(path):
+            with telemetry.span("lonely"):
+                pass
+        assert main(["timeline", str(path)]) == 1
+        assert "no parallel.execute spans" in capsys.readouterr().out
+
+
+class TestCacheStats:
+    def test_from_trace_footer(self, trace_file, capsys):
+        assert main(["cache-stats", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "plan cache:" in out and "decision cache:" in out
+        assert str(trace_file) in out
+
+    def test_live_json(self, capsys):
+        assert main(["cache-stats", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["source"] == "live process"
+        assert "hits" in payload["plan_cache"]
+        assert "probes" in payload["decision_cache"]
+
+    def test_footerless_trace_is_a_clean_error(self, tmp_path, capsys):
+        path = tmp_path / "truncated.jsonl"
+        path.write_text(json.dumps({
+            "type": "meta", "schema": telemetry.TRACE_SCHEMA_VERSION,
+            "pid": 1, "clock": "perf_counter", "created_at": 0.0}) + "\n")
+        assert main(["cache-stats", str(path)]) == 2
+        assert "caches footer" in capsys.readouterr().err
+
+
+class TestErrors:
+    def test_missing_trace_exits_2(self, tmp_path, capsys):
+        assert main(["summary", str(tmp_path / "nope.jsonl")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_module_entrypoint_exists(self):
+        import repro.telemetry.__main__  # noqa: F401  (import must succeed)

@@ -1,0 +1,221 @@
+"""Tracer core: no-op fast path, nesting, stage counters, activation."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry import tracer as tracer_mod
+from repro.telemetry.tracer import _NOOP
+from repro.util.errors import ValidationError
+
+
+class TestDisabledFastPath:
+    def test_span_returns_shared_noop_singleton(self):
+        assert not telemetry.tracing_enabled()
+        sp = telemetry.span("anything", mode=3)
+        assert sp is _NOOP
+        assert telemetry.span("other") is sp
+
+    def test_noop_span_protocol(self):
+        with telemetry.span("x", a=1) as sp:
+            assert sp.id is None
+            assert sp.set(b=2) is sp
+        assert telemetry.current_span_id() is None
+
+    def test_disabled_overhead_is_small(self):
+        """The off path must stay a single global check — guard against a
+        future edit accidentally allocating or taking timestamps.  The
+        bound is absolute and generous (20us/call amortised) so it never
+        flakes on slow shared runners, while still catching a fast path
+        that grew file I/O or lock contention."""
+        n = 20_000
+        start = time.perf_counter()
+        for _ in range(n):
+            with telemetry.span("noop", mode=0):
+                pass
+        per_call = (time.perf_counter() - start) / n
+        assert per_call < 20e-6
+
+    def test_stage_counts_even_while_disabled(self):
+        before = telemetry.counters_snapshot()
+        with telemetry.stage("teststage.disabled", mode=1) as sp:
+            sp.set(extra=True)  # no-op handle, must not raise
+        delta = telemetry.counters_delta(before)
+        assert delta["teststage.disabled.count"] == 1
+        assert delta["teststage.disabled.seconds"] >= 0
+
+
+class TestNesting:
+    def test_implicit_parenting_per_thread(self):
+        with telemetry.capture() as events:
+            with telemetry.span("outer") as outer:
+                with telemetry.span("inner") as inner:
+                    assert inner.parent == outer.id
+                    assert telemetry.current_span_id() == inner.id
+                assert telemetry.current_span_id() == outer.id
+        spans = {e["name"]: e for e in events if e["type"] == "span"}
+        assert spans["inner"]["parent"] == spans["outer"]["id"]
+        assert spans["outer"]["parent"] is None
+        # children close (and hence stream) before their parents
+        names = [e["name"] for e in events if e["type"] == "span"]
+        assert names.index("inner") < names.index("outer")
+
+    def test_explicit_cross_thread_parent(self):
+        with telemetry.capture() as events:
+            with telemetry.span("dispatch") as root:
+                parent_id = root.id
+
+                def worker():
+                    with telemetry.span("shard", parent=parent_id, worker=0):
+                        pass
+
+                t = threading.Thread(target=worker)
+                t.start()
+                t.join()
+        spans = {e["name"]: e for e in events if e["type"] == "span"}
+        assert spans["shard"]["parent"] == spans["dispatch"]["id"]
+        assert spans["shard"]["thread"] != spans["dispatch"]["thread"]
+
+    def test_span_handle_accepted_as_parent(self):
+        with telemetry.capture() as events:
+            with telemetry.span("a") as a:
+                pass
+            with telemetry.span("b", parent=a):
+                pass
+        spans = {e["name"]: e for e in events if e["type"] == "span"}
+        assert spans["b"]["parent"] == spans["a"]["id"]
+
+    def test_timestamps_monotonic_and_nested(self):
+        with telemetry.capture() as events:
+            with telemetry.span("outer"):
+                with telemetry.span("inner"):
+                    time.sleep(0.001)
+        spans = {e["name"]: e for e in events if e["type"] == "span"}
+        outer, inner = spans["outer"], spans["inner"]
+        assert outer["t0"] <= inner["t0"] <= inner["t1"] <= outer["t1"]
+        assert inner["dur"] == pytest.approx(inner["t1"] - inner["t0"])
+
+    def test_exception_annotates_and_propagates(self):
+        with telemetry.capture() as events:
+            with pytest.raises(RuntimeError):
+                with telemetry.span("boom"):
+                    raise RuntimeError("x")
+        (span_event,) = [e for e in events if e["type"] == "span"]
+        assert span_event["attrs"]["error"] == "RuntimeError"
+
+
+class TestStage:
+    def test_stage_emits_span_and_counters_when_enabled(self):
+        before = telemetry.counters_snapshot()
+        with telemetry.capture() as events:
+            with telemetry.stage("teststage.live", mode=2) as sp:
+                sp.set(backend="serial")
+        delta = telemetry.counters_delta(before)
+        assert delta["teststage.live.count"] == 1
+        (span_event,) = [e for e in events if e["type"] == "span"]
+        assert span_event["name"] == "teststage.live"
+        assert span_event["attrs"] == {"mode": 2, "backend": "serial"}
+        # span duration is bounded by the stage's counter seconds
+        assert delta["teststage.live.seconds"] >= span_event["dur"]
+
+
+class TestActivation:
+    def test_tracer_requires_a_sink(self):
+        with pytest.raises(ValidationError, match="sink"):
+            tracer_mod.Tracer()
+
+    def test_enable_disable_roundtrip(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracer = telemetry.enable(path)
+        try:
+            assert telemetry.tracing_enabled()
+            assert telemetry.get_tracer() is tracer
+            with telemetry.span("one"):
+                pass
+        finally:
+            telemetry.disable()
+        assert not telemetry.tracing_enabled()
+        trace = telemetry.read_trace(path)
+        assert [s.name for s in trace.spans] == ["one"]
+
+    def test_enable_closes_previous_tracer(self, tmp_path):
+        first = telemetry.enable(tmp_path / "a.jsonl")
+        second = telemetry.enable(tmp_path / "b.jsonl")
+        try:
+            assert first._closed
+            assert not second._closed
+        finally:
+            telemetry.disable()
+
+    def test_disabled_restores_without_closing(self, tmp_path):
+        tracer = telemetry.enable(tmp_path / "t.jsonl")
+        try:
+            with telemetry.disabled():
+                assert not telemetry.tracing_enabled()
+                assert telemetry.span("hidden") is _NOOP
+            assert telemetry.get_tracer() is tracer
+            assert not tracer._closed
+        finally:
+            telemetry.disable()
+
+    def test_capture_restores_prior_tracer(self, tmp_path):
+        path = tmp_path / "outer.jsonl"
+        tracer = telemetry.enable(path)
+        try:
+            with telemetry.capture() as events:
+                with telemetry.span("inner-only"):
+                    pass
+            assert telemetry.get_tracer() is tracer
+            assert not tracer._closed
+        finally:
+            telemetry.disable()
+        assert [e["name"] for e in events if e["type"] == "span"] == \
+            ["inner-only"]
+        # the diverted span did not leak into the outer trace
+        assert telemetry.read_trace(path).spans == []
+
+    def test_trace_to_writes_and_restores(self, tmp_path):
+        path = tmp_path / "block.jsonl"
+        with telemetry.trace_to(path):
+            with telemetry.span("blocked"):
+                pass
+        assert not telemetry.tracing_enabled()
+        trace = telemetry.read_trace(path)
+        assert [s.name for s in trace.spans] == ["blocked"]
+        assert trace.counters  # footer present after clean close
+
+
+class TestInitFromEnv:
+    def test_off_by_default(self):
+        assert tracer_mod.init_from_env({}) is None
+        assert not telemetry.tracing_enabled()
+
+    def test_truthy_flag_enables_default_file(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        tracer = tracer_mod.init_from_env({"REPRO_TRACE": "1"})
+        try:
+            assert tracer is not None
+            assert tracer.path.name == tracer_mod.DEFAULT_TRACE_FILE
+        finally:
+            telemetry.disable()
+
+    def test_trace_file_alone_enables(self, tmp_path):
+        path = tmp_path / "envtrace.jsonl"
+        tracer = tracer_mod.init_from_env({"REPRO_TRACE_FILE": str(path)})
+        try:
+            assert tracer is not None and tracer.path == path
+        finally:
+            telemetry.disable()
+        assert path.exists()
+
+    def test_falsy_flag_wins_over_file(self, tmp_path):
+        tracer = tracer_mod.init_from_env({
+            "REPRO_TRACE": "0",
+            "REPRO_TRACE_FILE": str(tmp_path / "never.jsonl"),
+        })
+        assert tracer is None
+        assert not (tmp_path / "never.jsonl").exists()
