@@ -9,15 +9,44 @@ repo a machine-readable performance record:
   with robust statistics;
 * :mod:`repro.bench.schema` — versioned JSON artifacts
   (``BENCH_<name>.json`` + append-only ``BENCH_history.jsonl``);
-* :mod:`repro.bench.compare` — before/after regression verdicts;
-* :mod:`repro.bench.cli` — ``repro-bench list | run | matrix | compare``.
+* :mod:`repro.bench.compare` — before/after regression verdicts (with
+  environment comparability checks);
+* :mod:`repro.bench.history` — longitudinal trend / changepoint analytics
+  over the history trajectory;
+* :mod:`repro.bench.attribution` — counter-movement attribution of
+  detected regressions to a probable cause;
+* :mod:`repro.bench.cli` — ``repro-bench list | run | matrix | compare |
+  history``.
 
 Every perf-focused PR should attach a baseline and candidate artifact and
 let ``repro-bench compare`` state the verdict (see README "Benchmarking").
 """
 
+from repro.bench.attribution import (
+    Attribution,
+    CounterMove,
+    attribute_regression,
+    attribute_series,
+    rank_counter_moves,
+)
 from repro.bench.compare import CompareReport, Delta, compare_runs
-from repro.bench.env import capture_environment
+from repro.bench.env import (
+    capture_environment,
+    env_fingerprint,
+    env_incompatibilities,
+)
+from repro.bench.history import (
+    Series,
+    SeriesKey,
+    SeriesPoint,
+    SeriesReport,
+    TrendResult,
+    analyze_history,
+    build_series,
+    detect_trend,
+    load_history,
+    sparkline,
+)
 from repro.bench.runner import BUDGETS, BenchConfig, run_benchmarks
 from repro.bench.schema import (
     SCHEMA_VERSION,
@@ -40,22 +69,39 @@ from repro.bench.targets import (
 __all__ = [
     "SCHEMA_VERSION",
     "BUDGETS",
+    "Attribution",
     "BenchConfig",
     "BenchRun",
     "BenchTarget",
     "CompareReport",
+    "CounterMove",
     "Delta",
     "Measurement",
+    "Series",
+    "SeriesKey",
+    "SeriesPoint",
+    "SeriesReport",
+    "TrendResult",
+    "analyze_history",
     "append_history",
+    "attribute_regression",
+    "attribute_series",
     "bench_artifact_path",
+    "build_series",
     "capture_environment",
     "compare_runs",
+    "detect_trend",
+    "env_fingerprint",
+    "env_incompatibilities",
     "expand_targets",
     "get_target",
+    "load_history",
     "load_run",
+    "rank_counter_moves",
     "register_target",
     "run_benchmarks",
     "save_run",
+    "sparkline",
     "target_groups",
     "target_names",
 ]

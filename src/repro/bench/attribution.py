@@ -1,0 +1,266 @@
+"""Counter-based regression attribution: *why* did this cell slow down?
+
+A schema-v2 bench cell carries the telemetry counter deltas of everything
+the cell did — cache hits and misses, build/kernel stage totals, shard
+dispatches, tuner probes.  When a cell regresses, diffing those counters
+against a reference run usually names the cause outright: a plan-cache
+miss storm shows up as ``plan_cache.misses`` exploding, growing build
+share as ``build.seconds`` eating the cell, a partition shift as
+``parallel.shards`` moving.
+
+:func:`attribute_regression` ranks the most-moved counters between a
+reference and a candidate cell (relative movement, scale-aware for
+``.seconds`` counters, plus derived ``.share`` features for stage-time
+counters) and maps the top mover through a small cause table into a
+one-line probable cause.  :func:`attribute_series` applies it to a
+:class:`repro.bench.history.Series`, picking the reference from before the
+detected changepoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bench.history import Series, TrendResult, detect_trend
+from repro.util.errors import ValidationError
+from repro.util.timing import quantile
+
+__all__ = [
+    "CounterMove",
+    "Attribution",
+    "rank_counter_moves",
+    "attribute_regression",
+    "attribute_series",
+    "cause_for",
+]
+
+#: movement below this fraction of the reference value is noise, not a
+#: cause candidate.
+_MIN_RELATIVE_MOVE = 0.05
+
+#: a stage's share of total stage seconds must move by this many points
+#: before the derived ``.share`` feature is reported.
+_MIN_SHARE_MOVE = 0.10
+
+#: ordered prefix → phrase table; first match wins, so the specific rules
+#: (plan_cache.misses) sit above the generic ones (plan_cache.).
+_CAUSE_RULES: tuple[tuple[str, str], ...] = (
+    ("plan_cache.misses", "plan-cache miss storm — representations "
+                          "rebuilt instead of reused"),
+    ("plan_cache.evictions", "plan-cache evictions — working set no "
+                             "longer fits the cache budget"),
+    ("plan_cache.", "plan-cache behaviour changed"),
+    ("decision_cache.misses", "autotuner decision-cache misses — "
+                              "probes re-run on the hot path"),
+    ("decision_cache.", "autotuner decision-cache behaviour changed"),
+    ("tune.probe", "autotuner probe volume changed"),
+    ("tune.", "autotuner decide path changed"),
+    ("build.seconds.share", "build share of cell time grew — "
+                            "preprocessing is dominating"),
+    ("build.", "format-build work changed"),
+    ("parallel.shards", "shard count changed — partition / "
+                        "load-balance shift"),
+    ("parallel.", "parallel dispatch behaviour changed"),
+    ("kernel.", "kernel invocation volume changed"),
+    ("dispatch.", "dispatch path changed"),
+    ("als.", "ALS iteration volume changed"),
+    ("gpusim.", "simulated GPU work changed"),
+)
+
+
+def cause_for(name: str) -> str:
+    """The probable-cause phrase for one counter name."""
+    for prefix, phrase in _CAUSE_RULES:
+        if name.startswith(prefix):
+            return phrase
+    return f"counter {name} moved"
+
+
+@dataclass(frozen=True)
+class CounterMove:
+    """One counter's movement between the reference and candidate cells."""
+
+    name: str
+    reference: float
+    candidate: float
+    delta: float
+    #: delta scaled by the reference magnitude (1.0 = the counter doubled).
+    relative: float
+    cause: str
+
+    @property
+    def score(self) -> float:
+        return abs(self.relative)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "reference": self.reference,
+            "candidate": self.candidate,
+            "delta": self.delta,
+            "relative": self.relative,
+            "cause": self.cause,
+        }
+
+    def describe(self) -> str:
+        direction = "+" if self.delta >= 0 else ""
+        if self.name.endswith(".share"):
+            return (f"{self.name} {self.reference:.0%} -> "
+                    f"{self.candidate:.0%}")
+        if self.name.endswith(".seconds"):
+            return (f"{self.name} {self.reference:.4f}s -> "
+                    f"{self.candidate:.4f}s ({direction}{self.delta:.4f}s)")
+        return (f"{self.name} {self.reference:g} -> {self.candidate:g} "
+                f"({direction}{self.delta:g})")
+
+
+@dataclass
+class Attribution:
+    """Ranked counter movements plus the synthesised probable cause."""
+
+    moves: list[CounterMove] = field(default_factory=list)
+    probable_cause: str = ""
+    reference_seconds: float | None = None
+    candidate_seconds: float | None = None
+
+    @property
+    def slowdown(self) -> float | None:
+        if not self.reference_seconds or self.candidate_seconds is None:
+            return None
+        return self.candidate_seconds / self.reference_seconds
+
+    def to_dict(self) -> dict:
+        return {
+            "probable_cause": self.probable_cause,
+            "reference_seconds": self.reference_seconds,
+            "candidate_seconds": self.candidate_seconds,
+            "slowdown": self.slowdown,
+            "moves": [m.to_dict() for m in self.moves],
+        }
+
+
+def _seconds_scale(name: str, reference: float) -> float:
+    """The denominator for relative movement.
+
+    Stage-seconds counters are floats that legitimately live near zero, so
+    they get a millisecond floor; count-like counters get a floor of one
+    so a 0 -> N miss storm scores as N, not infinity.
+    """
+    if name.endswith(".seconds"):
+        return max(abs(reference), 1e-3)
+    return max(abs(reference), 1.0)
+
+
+def rank_counter_moves(reference: dict, candidate: dict,
+                       *, min_relative: float = _MIN_RELATIVE_MOVE,
+                       ) -> list[CounterMove]:
+    """All materially-moved counters, most-moved first.
+
+    Alongside the raw counters, every ``<stage>.seconds`` counter
+    contributes a derived ``<stage>.seconds.share`` feature — its share
+    of the cell's total stage seconds — so "build went from 5% to 60% of
+    the cell" is visible even when every stage got slower in absolute
+    terms.
+    """
+    names = set(reference) | set(candidate)
+    moves: list[CounterMove] = []
+    for name in names:
+        ref = float(reference.get(name, 0))
+        cand = float(candidate.get(name, 0))
+        delta = cand - ref
+        if delta == 0:
+            continue
+        relative = delta / _seconds_scale(name, ref)
+        if abs(relative) < min_relative:
+            continue
+        moves.append(CounterMove(name=name, reference=ref, candidate=cand,
+                                 delta=delta, relative=relative,
+                                 cause=cause_for(name)))
+
+    ref_total = sum(v for k, v in reference.items()
+                    if k.endswith(".seconds"))
+    cand_total = sum(v for k, v in candidate.items()
+                     if k.endswith(".seconds"))
+    if ref_total > 0 and cand_total > 0:
+        for name in names:
+            if not name.endswith(".seconds"):
+                continue
+            ref_share = float(reference.get(name, 0)) / ref_total
+            cand_share = float(candidate.get(name, 0)) / cand_total
+            share_delta = cand_share - ref_share
+            if abs(share_delta) < _MIN_SHARE_MOVE:
+                continue
+            share_name = name + ".share"
+            moves.append(CounterMove(
+                name=share_name, reference=ref_share, candidate=cand_share,
+                delta=share_delta, relative=share_delta,
+                cause=cause_for(share_name)))
+
+    moves.sort(key=lambda m: m.score, reverse=True)
+    return moves
+
+
+def attribute_regression(reference: dict, candidate: dict, *,
+                         reference_seconds: float | None = None,
+                         candidate_seconds: float | None = None,
+                         top: int = 8) -> Attribution:
+    """Rank counter movement and synthesise a one-line probable cause.
+
+    ``reference`` / ``candidate`` are the per-cell counter-delta dicts of
+    the two runs being compared (schema v2 ``measurement.counters``).
+    Cells without counters (schema v1) produce an honest "cannot
+    attribute" rather than a guess.
+    """
+    if not reference and not candidate:
+        return Attribution(
+            probable_cause="no counter data on either cell (schema-v1 "
+                           "history lines?) — cannot attribute",
+            reference_seconds=reference_seconds,
+            candidate_seconds=candidate_seconds)
+    moves = rank_counter_moves(reference, candidate)
+    attribution = Attribution(
+        moves=moves[:top],
+        reference_seconds=reference_seconds,
+        candidate_seconds=candidate_seconds)
+    if not moves:
+        attribution.probable_cause = (
+            "no counter moved materially — the slowdown is outside the "
+            "instrumented layers (machine load? memory pressure?)")
+        return attribution
+    lead = moves[0]
+    line = f"{lead.cause} ({lead.describe()})"
+    runner_up = next((m for m in moves[1:] if m.cause != lead.cause), None)
+    if runner_up is not None:
+        line += f"; also {runner_up.describe()}"
+    attribution.probable_cause = line
+    return attribution
+
+
+def attribute_series(series: Series, trend: TrendResult | None = None, *,
+                     top: int = 8) -> Attribution:
+    """Attribute the latest point of a history series against its past.
+
+    The reference cell is the point from *before* the detected
+    changepoint whose seconds is closest to the prefix median — the most
+    representative healthy measurement — and the candidate is the latest
+    point.  With no changepoint the prefix is everything but the last
+    point.
+    """
+    if len(series.points) < 2:
+        raise ValidationError(
+            f"series {series.key.label()} has {len(series.points)} "
+            "point(s); attribution needs at least 2")
+    if trend is None:
+        trend = detect_trend(series.values())
+    split = trend.changepoint
+    if split is None or split < 1 or split >= len(series.points):
+        split = len(series.points) - 1
+    prefix = series.points[:split]
+    candidate = series.points[-1]
+    prefix_median = quantile([p.seconds for p in prefix], 0.5)
+    reference = min(prefix, key=lambda p: abs(p.seconds - prefix_median))
+    return attribute_regression(
+        reference.counters, candidate.counters,
+        reference_seconds=reference.seconds,
+        candidate_seconds=candidate.seconds,
+        top=top)

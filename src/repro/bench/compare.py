@@ -8,15 +8,23 @@ chosen robust statistic (median by default):
 * ``improvement`` — candidate faster by more than the threshold,
 * ``neutral``     — within the threshold either way,
 
-plus ``added`` / ``removed`` for cells present in only one run.  The CLI
-exits non-zero when any regression is flagged, so CI and perf PRs get a
-mechanical before/after verdict.
+plus ``added`` / ``removed`` for cells present in only one run, and
+``incomparable`` for shared cells measured in materially different
+environments (machine architecture, CPU count, or Python major.minor —
+see :func:`repro.bench.env.env_fingerprint`): a cross-machine ratio is
+not a verdict, so those cells are reported separately and never fail the
+comparison.  ``check_env=False`` restores the old behaviour for gates
+that knowingly compare across machines with a widened threshold.
+
+The CLI exits non-zero when any regression is flagged, so CI and perf PRs
+get a mechanical before/after verdict.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.bench.env import env_incompatibilities
 from repro.bench.schema import BenchRun
 from repro.util.errors import ValidationError
 
@@ -25,7 +33,8 @@ __all__ = ["Delta", "CompareReport", "compare_runs", "DEFAULT_THRESHOLD"]
 #: relative slowdown/speedup beyond which a cell is flagged (10%).
 DEFAULT_THRESHOLD = 0.10
 
-_VERDICTS = ("regression", "improvement", "neutral", "added", "removed")
+_VERDICTS = ("regression", "improvement", "neutral", "added", "removed",
+             "incomparable")
 
 
 @dataclass(frozen=True)
@@ -64,6 +73,9 @@ class CompareReport:
     metric: str
     threshold: float
     deltas: list[Delta] = field(default_factory=list)
+    #: material environment differences between the two runs (empty when
+    #: comparable or when env checking was disabled).
+    env_differences: list[str] = field(default_factory=list)
 
     def by_verdict(self, verdict: str) -> list[Delta]:
         if verdict not in _VERDICTS:
@@ -79,6 +91,10 @@ class CompareReport:
     @property
     def improvements(self) -> list[Delta]:
         return self.by_verdict("improvement")
+
+    @property
+    def incomparable(self) -> list[Delta]:
+        return self.by_verdict("incomparable")
 
     @property
     def has_regressions(self) -> bool:
@@ -113,16 +129,29 @@ def compare_runs(
     *,
     threshold: float = DEFAULT_THRESHOLD,
     metric: str = "median",
+    check_env: bool = True,
 ) -> CompareReport:
-    """Classify every (target, scenario) cell of ``candidate`` vs ``baseline``."""
+    """Classify every (target, scenario) cell of ``candidate`` vs ``baseline``.
+
+    With ``check_env`` (the default), a material environment difference
+    between the two runs — machine architecture, CPU count, or Python
+    major.minor — classifies every shared cell as ``incomparable``
+    instead of letting cross-machine ratios masquerade as regressions or
+    improvements; the differences are listed in
+    :attr:`CompareReport.env_differences`.  ``check_env=False`` compares
+    regardless (the CI cross-machine gate with its widened threshold).
+    """
     if threshold < 0:
         raise ValidationError(f"threshold must be >= 0, got {threshold}")
 
+    env_diffs = (env_incompatibilities(baseline.env, candidate.env)
+                 if check_env else [])
     report = CompareReport(
         baseline_name=baseline.name,
         candidate_name=candidate.name,
         metric=metric,
         threshold=threshold,
+        env_differences=env_diffs,
     )
     base_keys = set(baseline.keys())
     cand_keys = set(candidate.keys())
@@ -142,7 +171,9 @@ def compare_runs(
             continue
         base_s = base.seconds(metric)
         cand_s = cand.seconds(metric)
-        if base_s > 0 and cand_s > base_s * (1.0 + threshold):
+        if env_diffs:
+            verdict = "incomparable"
+        elif base_s > 0 and cand_s > base_s * (1.0 + threshold):
             verdict = "regression"
         elif base_s > 0 and cand_s < base_s * (1.0 - threshold):
             verdict = "improvement"

@@ -1,0 +1,408 @@
+"""Trend analytics over the append-only ``BENCH_history.jsonl`` trajectory.
+
+:mod:`repro.bench.compare` answers "did *this* run regress against *that*
+run"; this module answers the longitudinal question: across every run ever
+appended to the history file, is a (target, scenario) cell drifting,
+stepped, or stable?
+
+The pipeline:
+
+1. :func:`load_history` reads and validates the JSONL trajectory (schema
+   versions 1 and 2 both load — v1 lines simply carry no counters).
+2. :func:`build_series` groups measurement cells into time series keyed by
+   ``(target, scenario, spec_hash)`` *split by comparability*: points
+   measured under a materially different environment
+   (:func:`repro.bench.env.env_fingerprint`: machine, CPU count, Python
+   major.minor) or measurement configuration (rank, dtype, backend,
+   workers) land in separate series, because a cross-machine step is a
+   hardware change, not a regression.
+3. :func:`detect_trend` classifies each series with a robust
+   median-shift-vs-MAD changepoint detector (pure Python, no SciPy): the
+   split point whose prefix/suffix median shift is largest relative to
+   the pooled median-absolute-deviation noise band wins, and is flagged
+   only when both statistically significant (``min_sigma``) and
+   practically large (``min_shift``).  Short series (2-4 points) fall
+   back to a last-vs-prior-median pairwise check.
+
+:mod:`repro.bench.attribution` consumes the flagged series to rank which
+telemetry counters moved with the slowdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.bench.env import env_fingerprint
+from repro.bench.schema import HISTORY_FILE, BenchRun
+from repro.util.errors import ValidationError
+from repro.util.timing import median_abs_deviation, quantile
+
+__all__ = [
+    "SeriesKey",
+    "SeriesPoint",
+    "Series",
+    "TrendResult",
+    "SeriesReport",
+    "load_history",
+    "build_series",
+    "detect_trend",
+    "analyze_history",
+    "sparkline",
+    "DEFAULT_MIN_SHIFT",
+    "DEFAULT_MIN_SIGMA",
+]
+
+#: smallest relative median shift reported as a trend (10% — matches the
+#: pairwise compare threshold, so the two tools agree on "material").
+DEFAULT_MIN_SHIFT = 0.10
+
+#: how many MAD-based noise sigmas a shift must clear to be a changepoint
+#: rather than noise.
+DEFAULT_MIN_SIGMA = 3.0
+
+#: noise floor as a fraction of the series median: even a series whose
+#: recorded laps happen to be identical is not measured more precisely
+#: than a couple of percent, so the sigma band never collapses to zero.
+_REL_NOISE_FLOOR = 0.02
+
+#: MAD of a Gaussian is sigma/1.4826; scaling back makes min_sigma read in
+#: familiar standard-deviation units.
+_MAD_SIGMA_SCALE = 1.4826
+
+
+@dataclass(frozen=True)
+class SeriesKey:
+    """What must match for two history cells to belong to one time series."""
+
+    target: str
+    scenario: str
+    spec_hash: str
+    #: :func:`repro.bench.env.env_fingerprint` of the run's environment.
+    env: tuple
+    #: (rank, dtype, backend, num_workers) of the measurement.
+    config: tuple
+
+    def label(self) -> str:
+        """Short human-readable series identity for reports."""
+        machine, cpu_count, python = self.env
+        env = f"{machine or '?'}/{cpu_count or '?'}cpu/py{python or '?'}"
+        return f"{self.target} on {self.scenario} [{env}]"
+
+
+@dataclass(frozen=True)
+class SeriesPoint:
+    """One measurement cell as seen from its series."""
+
+    run_index: int
+    run_name: str
+    created_at: str
+    git_sha: str | None
+    seconds: float
+    stats: dict
+    counters: dict
+    metrics: dict
+
+    def to_dict(self) -> dict:
+        return {
+            "run_index": self.run_index,
+            "run_name": self.run_name,
+            "created_at": self.created_at,
+            "git_sha": self.git_sha,
+            "seconds": self.seconds,
+        }
+
+
+@dataclass
+class Series:
+    """All comparable history points of one (target, scenario) cell."""
+
+    key: SeriesKey
+    points: list[SeriesPoint] = field(default_factory=list)
+
+    def values(self) -> list[float]:
+        return [p.seconds for p in self.points]
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+
+@dataclass(frozen=True)
+class TrendResult:
+    """Verdict of :func:`detect_trend` on one series.
+
+    ``verdict`` is ``"regressing"`` / ``"improving"`` / ``"stable"`` /
+    ``"insufficient"`` (fewer than two points).  ``changepoint`` is the
+    index of the first point *after* the detected shift (None when
+    stable).  ``sustained`` is True when at least two points sit on the
+    far side of the shift — a single slow latest run is flagged but not
+    yet sustained, which is what CI trend gates should require before
+    failing a build.
+    """
+
+    verdict: str
+    method: str
+    changepoint: int | None = None
+    before_median: float | None = None
+    after_median: float | None = None
+    shift_ratio: float | None = None
+    noise_sigma: float | None = None
+    score: float | None = None
+    sustained: bool = False
+
+    @property
+    def flagged(self) -> bool:
+        return self.verdict in ("regressing", "improving")
+
+    def to_dict(self) -> dict:
+        return {
+            "verdict": self.verdict,
+            "method": self.method,
+            "changepoint": self.changepoint,
+            "before_median": self.before_median,
+            "after_median": self.after_median,
+            "shift_ratio": self.shift_ratio,
+            "noise_sigma": self.noise_sigma,
+            "score": self.score,
+            "sustained": self.sustained,
+        }
+
+
+@dataclass
+class SeriesReport:
+    """A series together with its trend verdict (one report row)."""
+
+    series: Series
+    trend: TrendResult
+
+    def to_dict(self) -> dict:
+        key = self.series.key
+        return {
+            "target": key.target,
+            "scenario": key.scenario,
+            "spec_hash": key.spec_hash,
+            "env": list(key.env),
+            "config": list(key.config),
+            "samples": len(self.series),
+            "latest_seconds": (self.series.points[-1].seconds
+                               if self.series.points else None),
+            "trend": self.trend.to_dict(),
+            "points": [p.to_dict() for p in self.series.points],
+        }
+
+
+# --------------------------------------------------------------------- #
+# loading and grouping
+# --------------------------------------------------------------------- #
+def load_history(path: str | Path = HISTORY_FILE, *,
+                 strict: bool = True) -> list[BenchRun]:
+    """Read every run of a ``BENCH_history.jsonl`` trajectory, in order.
+
+    Both schema versions load (readers accept anything <= the current
+    version).  A malformed line raises :class:`ValidationError` naming
+    the line number; with ``strict=False`` bad lines are skipped instead
+    — the analysis tools prefer a partial trajectory over none when a
+    crashed append left a torn line.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise ValidationError(f"history file not found: {path}")
+    runs: list[BenchRun] = []
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                runs.append(BenchRun.from_json(line))
+            except ValidationError as exc:
+                if strict:
+                    raise ValidationError(
+                        f"{path}:{lineno}: {exc}") from None
+    return runs
+
+
+def build_series(runs: list[BenchRun], *,
+                 metric: str = "median") -> list[Series]:
+    """Group history cells into comparable time series.
+
+    Points appear in history (append) order, which is chronological.
+    Series are returned sorted by (target, scenario, spec_hash) and then
+    by environment, so cells re-measured on a new machine show up as a
+    sibling series rather than a phantom step in the old one.
+    """
+    groups: dict[SeriesKey, Series] = {}
+    for run_index, run in enumerate(runs):
+        env_key = env_fingerprint(run.env)
+        cfg = run.config or {}
+        git_sha = run.env.get("git_sha")
+        for m in run.measurements:
+            key = SeriesKey(
+                target=m.target,
+                scenario=m.scenario,
+                spec_hash=m.spec_hash,
+                env=env_key,
+                config=(m.rank, cfg.get("dtype"), cfg.get("backend"),
+                        cfg.get("num_workers")),
+            )
+            series = groups.get(key)
+            if series is None:
+                series = groups[key] = Series(key)
+            series.points.append(SeriesPoint(
+                run_index=run_index,
+                run_name=run.name,
+                created_at=run.created_at,
+                git_sha=git_sha,
+                seconds=m.seconds(metric),
+                stats=m.stats,
+                counters=m.counters,
+                metrics=m.metrics,
+            ))
+    ordered = sorted(groups.values(),
+                     key=lambda s: (s.key.target, s.key.scenario,
+                                    s.key.spec_hash,
+                                    tuple(str(v) for v in s.key.env),
+                                    tuple(str(v) for v in s.key.config)))
+    return ordered
+
+
+# --------------------------------------------------------------------- #
+# trend / changepoint detection
+# --------------------------------------------------------------------- #
+def detect_trend(values: list[float], *,
+                 min_shift: float = DEFAULT_MIN_SHIFT,
+                 min_sigma: float = DEFAULT_MIN_SIGMA) -> TrendResult:
+    """Classify one time series of seconds as stable, regressing or improving.
+
+    For series of five or more points, the candidate changepoint is the
+    split (at least two points before, one after) minimising the total
+    absolute deviation of each side around its own median — robust L1
+    segmentation, which localises the step even when a stray point sits
+    on the wrong side.  That split's median shift is then scored as
+    ``|median(after) - median(before)| / sigma`` where ``sigma`` is the
+    median absolute deviation of the split's residuals (scaled to
+    Gaussian-sigma units) floored at 2% of the prefix median, so
+    identical recorded values cannot produce an infinite score.  The
+    split is a changepoint when it clears ``min_sigma`` *and* shifts the
+    median by at least ``min_shift`` relatively — a shift must be both
+    statistically and practically significant.
+
+    Shorter series (2-4 points) cannot support a MAD estimate; they use a
+    pairwise check of the last point against the median of the prior
+    points with the same ``min_shift`` threshold (``method="pairwise"``).
+    """
+    if min_shift < 0:
+        raise ValidationError(f"min_shift must be >= 0, got {min_shift}")
+    if min_sigma <= 0:
+        raise ValidationError(f"min_sigma must be > 0, got {min_sigma}")
+    values = [float(v) for v in values]
+    n = len(values)
+    if n < 2:
+        return TrendResult(verdict="insufficient", method="none")
+
+    if n < 5:
+        prior = values[:-1]
+        last = values[-1]
+        ref = quantile(prior, 0.5)
+        if ref <= 0:
+            return TrendResult(verdict="insufficient", method="pairwise")
+        ratio = last / ref
+        if ratio > 1.0 + min_shift:
+            verdict = "regressing"
+        elif ratio < 1.0 - min_shift:
+            verdict = "improving"
+        else:
+            verdict = "stable"
+        return TrendResult(
+            verdict=verdict,
+            method="pairwise",
+            changepoint=n - 1 if verdict != "stable" else None,
+            before_median=ref,
+            after_median=last,
+            shift_ratio=ratio,
+            sustained=False,
+        )
+
+    best: tuple[float, int, float, float, list[float]] | None = None
+    for k in range(2, n):  # prefix >= 2 points, suffix >= 1
+        before, after = values[:k], values[k:]
+        bm = quantile(before, 0.5)
+        am = quantile(after, 0.5)
+        residuals = ([abs(v - bm) for v in before]
+                     + [abs(v - am) for v in after])
+        cost = sum(residuals)
+        if best is None or cost < best[0]:
+            best = (cost, k, bm, am, residuals)
+
+    _, k, bm, am, residuals = best
+    mad_sigma = _MAD_SIGMA_SCALE * quantile(residuals, 0.5)
+    sigma = max(mad_sigma, _REL_NOISE_FLOOR * max(bm, 1e-12))
+    score = abs(am - bm) / sigma
+    shift_ratio = am / bm if bm > 0 else None
+    relative_shift = abs(am - bm) / bm if bm > 0 else 0.0
+    if score >= min_sigma and relative_shift >= min_shift:
+        verdict = "regressing" if am > bm else "improving"
+        return TrendResult(
+            verdict=verdict,
+            method="changepoint",
+            changepoint=k,
+            before_median=bm,
+            after_median=am,
+            shift_ratio=shift_ratio,
+            noise_sigma=sigma,
+            score=score,
+            sustained=(n - k) >= 2,
+        )
+    return TrendResult(
+        verdict="stable",
+        method="changepoint",
+        before_median=bm,
+        after_median=am,
+        shift_ratio=shift_ratio,
+        noise_sigma=sigma,
+        score=score,
+    )
+
+
+def analyze_history(runs: list[BenchRun], *,
+                    metric: str = "median",
+                    min_shift: float = DEFAULT_MIN_SHIFT,
+                    min_sigma: float = DEFAULT_MIN_SIGMA,
+                    min_samples: int = 2) -> list[SeriesReport]:
+    """Build series from ``runs`` and attach a trend verdict to each.
+
+    Series with fewer than ``min_samples`` points are dropped — a single
+    sample has no trend and would only pad the report.
+    """
+    reports = []
+    for series in build_series(runs, metric=metric):
+        if len(series) < min_samples:
+            continue
+        trend = detect_trend(series.values(), min_shift=min_shift,
+                             min_sigma=min_sigma)
+        reports.append(SeriesReport(series=series, trend=trend))
+    return reports
+
+
+# --------------------------------------------------------------------- #
+# sparklines
+# --------------------------------------------------------------------- #
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: list[float], lo: float | None = None,
+              hi: float | None = None) -> str:
+    """One block character per value, scaled min..max over the series."""
+    if not values:
+        return ""
+    values = [float(v) for v in values]
+    lo = min(values) if lo is None else lo
+    hi = max(values) if hi is None else hi
+    if hi <= lo:
+        return _BLOCKS[3] * len(values)
+    span = hi - lo
+    return "".join(
+        _BLOCKS[min(len(_BLOCKS) - 1,
+                    int((v - lo) / span * len(_BLOCKS)))]
+        for v in values
+    )

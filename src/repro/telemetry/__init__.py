@@ -20,13 +20,21 @@ trace schema.
 """
 
 from repro.telemetry.counters import (
+    HISTOGRAMS_ENV,
     CounterRegistry,
+    Histogram,
     counter_add,
     counter_add_stage,
     counters_delta,
     counters_snapshot,
+    disable_histograms,
+    enable_histograms,
+    gauge_max,
     gauge_set,
     gauges_snapshot,
+    histogram_observe,
+    histograms_enabled,
+    histograms_snapshot,
     reset_counters,
 )
 from repro.telemetry.export import (
@@ -35,6 +43,8 @@ from repro.telemetry.export import (
     Trace,
     parse_events,
     read_trace,
+    to_chrome_trace,
+    write_chrome_trace,
 )
 from repro.telemetry.summary import (
     render_summary,
@@ -46,14 +56,19 @@ from repro.telemetry.tracer import (
     DEFAULT_TRACE_FILE,
     TRACE_ENV,
     TRACE_FILE_ENV,
+    TRACE_MEM_ENV,
     Tracer,
     capture,
     current_span_id,
     disable,
+    disable_memory_tracking,
     disabled,
     enable,
+    enable_memory_tracking,
     get_tracer,
     init_from_env,
+    init_mem_from_env,
+    memory_tracking_enabled,
     span,
     stage,
     trace_to,
@@ -67,21 +82,35 @@ __all__ = [
     "counter_add_stage",
     "counters_delta",
     "counters_snapshot",
+    "gauge_max",
     "gauge_set",
     "gauges_snapshot",
     "reset_counters",
+    # histograms
+    "HISTOGRAMS_ENV",
+    "Histogram",
+    "disable_histograms",
+    "enable_histograms",
+    "histogram_observe",
+    "histograms_enabled",
+    "histograms_snapshot",
     # tracer
     "DEFAULT_TRACE_FILE",
     "TRACE_ENV",
     "TRACE_FILE_ENV",
+    "TRACE_MEM_ENV",
     "Tracer",
     "capture",
     "current_span_id",
     "disable",
+    "disable_memory_tracking",
     "disabled",
     "enable",
+    "enable_memory_tracking",
     "get_tracer",
     "init_from_env",
+    "init_mem_from_env",
+    "memory_tracking_enabled",
     "span",
     "stage",
     "trace_to",
@@ -92,6 +121,8 @@ __all__ = [
     "Trace",
     "parse_events",
     "read_trace",
+    "to_chrome_trace",
+    "write_chrome_trace",
     "render_summary",
     "render_timeline",
     "span_summary",
@@ -99,5 +130,8 @@ __all__ = [
 ]
 
 # Environment activation: REPRO_TRACE=1 / REPRO_TRACE_FILE=path installs a
-# process-wide tracer the moment any instrumented layer imports telemetry.
+# process-wide tracer the moment any instrumented layer imports telemetry;
+# REPRO_TRACE_MEM=1 additionally starts tracemalloc for per-stage
+# allocation peaks (REPRO_HISTOGRAMS is handled in counters' own import).
 init_from_env()
+init_mem_from_env()

@@ -4,9 +4,13 @@ Three views over a trace written with ``REPRO_TRACE=1`` (or
 ``REPRO_TRACE_FILE=...``):
 
 * ``summary``      aggregate span durations by name, plus counters
+  (``--sort total|count|name``; p50/p95/p99 columns when the trace
+  carries duration histograms)
 * ``timeline``     per-worker shard timelines for threaded dispatches
 * ``cache-stats``  plan-/decision-cache statistics (from the trace footer,
   or live from the current process when no trace is given)
+* ``export``       convert a trace to another format (``--chrome out.json``
+  writes Chrome trace-event JSON for Perfetto / chrome://tracing)
 """
 
 from __future__ import annotations
@@ -15,8 +19,9 @@ import argparse
 import json
 import sys
 
-from repro.telemetry.export import read_trace
+from repro.telemetry.export import read_trace, write_chrome_trace
 from repro.telemetry.summary import (
+    SUMMARY_SORTS,
     render_cache_stats,
     render_summary,
     render_timeline,
@@ -43,6 +48,9 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"trace file (default: {DEFAULT_TRACE_FILE})")
     p_summary.add_argument(
         "--json", action="store_true", help="emit JSON instead of text")
+    p_summary.add_argument(
+        "--sort", choices=SUMMARY_SORTS, default="total",
+        help="row order: total (hottest first, default), count, or name")
 
     p_timeline = sub.add_parser(
         "timeline", help="per-worker shard timelines for threaded dispatches")
@@ -62,17 +70,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="trace file with a caches footer; omitted = live process stats")
     p_caches.add_argument(
         "--json", action="store_true", help="emit JSON instead of text")
+
+    p_export = sub.add_parser(
+        "export", help="convert a trace to another format")
+    p_export.add_argument(
+        "trace", nargs="?", default=DEFAULT_TRACE_FILE,
+        help=f"trace file (default: {DEFAULT_TRACE_FILE})")
+    p_export.add_argument(
+        "--chrome", metavar="OUT.json", required=True,
+        help="write Chrome trace-event JSON here "
+             "(open in Perfetto / chrome://tracing)")
     return parser
 
 
 def _cmd_summary(args) -> int:
     trace = read_trace(args.trace)
     if args.json:
-        print(json.dumps({"spans": span_summary(trace),
+        print(json.dumps({"spans": span_summary(trace, sort=args.sort),
                           "counters": trace.counters,
-                          "gauges": trace.gauges}, indent=2))
+                          "gauges": trace.gauges,
+                          "histograms": trace.histograms}, indent=2))
     else:
-        print(render_summary(trace))
+        print(render_summary(trace, sort=args.sort))
     return 0
 
 
@@ -120,10 +139,18 @@ def _cmd_cache_stats(args) -> int:
     return 0
 
 
+def _cmd_export(args) -> int:
+    trace = read_trace(args.trace)
+    out = write_chrome_trace(trace, args.chrome)
+    print(f"wrote {out}  ({len(trace.spans)} spans as Chrome trace events)")
+    return 0
+
+
 _COMMANDS = {
     "summary": _cmd_summary,
     "timeline": _cmd_timeline,
     "cache-stats": _cmd_cache_stats,
+    "export": _cmd_export,
 }
 
 

@@ -17,11 +17,16 @@ a ``type``:
 
 ``counters`` / ``caches``
     Footers written when the tracer closes: a snapshot of the counter and
-    gauge registries, and the plan-/decision-cache statistics.
+    gauge registries (plus serialised histograms when histogram recording
+    was on), and the plan-/decision-cache statistics.
 
 Spans stream to the file as they close, so the parent of a span can appear
 *after* it (the parent closes later) and a crashed process leaves a valid,
 footerless trace.  :func:`read_trace` tolerates both.
+
+:func:`to_chrome_trace` converts a parsed trace to the Chrome trace-event
+JSON format (one ``X`` complete event per span, one lane per thread) so
+traces open directly in Perfetto / ``chrome://tracing``.
 """
 
 from __future__ import annotations
@@ -33,7 +38,8 @@ from pathlib import Path
 from repro.util.errors import ValidationError
 
 __all__ = ["TRACE_SCHEMA_VERSION", "SpanRecord", "Trace",
-           "parse_events", "read_trace"]
+           "parse_events", "read_trace", "to_chrome_trace",
+           "write_chrome_trace"]
 
 #: bump when the line format above changes incompatibly.
 TRACE_SCHEMA_VERSION = 1
@@ -87,6 +93,7 @@ class Trace:
     spans: list[SpanRecord] = field(default_factory=list)
     counters: dict = field(default_factory=dict)
     gauges: dict = field(default_factory=dict)
+    histograms: dict = field(default_factory=dict)
     caches: dict = field(default_factory=dict)
 
     @property
@@ -137,11 +144,84 @@ def parse_events(records) -> Trace:
         elif kind == "counters":
             trace.counters = dict(record.get("values") or {})
             trace.gauges = dict(record.get("gauges") or {})
+            trace.histograms = dict(record.get("histograms") or {})
         elif kind == "caches":
             trace.caches = {k: v for k, v in record.items() if k != "type"}
         else:
             raise ValidationError(f"unknown trace record type: {kind!r}")
     return trace
+
+
+def to_chrome_trace(trace: Trace) -> dict:
+    """Convert a parsed trace to Chrome trace-event format.
+
+    Every span becomes one complete (``"ph": "X"``) event on the lane of
+    the thread that ran it: Perfetto and ``chrome://tracing`` then render
+    the worker timelines natively.  Timestamps are microseconds relative
+    to the earliest span in the trace (Chrome wants small numbers, and
+    ``perf_counter`` origins are arbitrary anyway).  Thread lanes are
+    numbered with ``MainThread`` first, then by first appearance, and
+    named via ``thread_name`` metadata events.  The counter / gauge /
+    cache footers ride along under ``otherData`` so nothing recorded is
+    lost in conversion.
+    """
+    pid = int(trace.meta.get("pid") or 0)
+    events: list[dict] = [{
+        "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+        "args": {"name": "repro"},
+    }]
+    ordered = sorted(trace.spans, key=lambda s: s.t0)
+    names: list[str] = []
+    for sp in ordered:
+        if sp.thread not in names:
+            names.append(sp.thread)
+    if "MainThread" in names:
+        names.remove("MainThread")
+        names.insert(0, "MainThread")
+    threads = {name: tid for tid, name in enumerate(names)}
+    for name, tid in threads.items():
+        events.append({
+            "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+            "args": {"name": name},
+        })
+    t_origin = min((s.t0 for s in trace.spans), default=0.0)
+    for sp in ordered:
+        args = dict(sp.attrs)
+        args["span_id"] = sp.id
+        if sp.parent is not None:
+            args["parent_span_id"] = sp.parent
+        events.append({
+            "name": sp.name,
+            "cat": sp.name.split(".", 1)[0],
+            "ph": "X",
+            "pid": pid,
+            "tid": threads.get(sp.thread, len(threads)),
+            "ts": (sp.t0 - t_origin) * 1e6,
+            "dur": sp.dur * 1e6,
+            "args": args,
+        })
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "schema": trace.schema,
+            "clock": trace.meta.get("clock"),
+            "counters": trace.counters,
+            "gauges": trace.gauges,
+            "histograms": trace.histograms,
+            "caches": trace.caches,
+        },
+    }
+
+
+def write_chrome_trace(trace: Trace, path) -> Path:
+    """Serialise :func:`to_chrome_trace` output to ``path`` as JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(to_chrome_trace(trace), fh, indent=1)
+        fh.write("\n")
+    return path
 
 
 def read_trace(path) -> Trace:

@@ -11,42 +11,55 @@ worker by worker against the plan.
 
 from __future__ import annotations
 
+from repro.telemetry.counters import Histogram
 from repro.telemetry.export import SpanRecord, Trace
+from repro.util.errors import ValidationError
+from repro.util.timing import quantile
 
 __all__ = ["span_summary", "worker_timelines", "render_summary",
-           "render_timeline", "render_cache_stats"]
+           "render_timeline", "render_cache_stats", "SUMMARY_SORTS"]
+
+#: accepted ``sort=`` keys for :func:`span_summary` (CLI ``--sort``).
+SUMMARY_SORTS = ("total", "count", "name")
 
 
-def _quantile(values: list[float], q: float) -> float:
-    data = sorted(values)
-    if len(data) == 1:
-        return data[0]
-    pos = q * (len(data) - 1)
-    low = int(pos)
-    high = min(low + 1, len(data) - 1)
-    frac = pos - low
-    return data[low] * (1.0 - frac) + data[high] * frac
-
-
-def span_summary(trace: Trace) -> list[dict]:
+def span_summary(trace: Trace, sort: str = "total") -> list[dict]:
     """Aggregate spans by name: count and total/mean/p95/max duration.
 
-    Sorted by total duration, descending — the hottest stage first.
+    ``sort`` orders the rows: ``"total"`` (default — hottest stage first)
+    and ``"count"`` descend, ``"name"`` is alphabetical.  When the trace
+    carries duration histograms (recorded under ``REPRO_HISTOGRAMS=1``),
+    each row whose ``<name>.duration`` histogram is present additionally
+    reports its ``p50`` / ``hist_p95`` / ``p99``.
     """
+    if sort not in SUMMARY_SORTS:
+        raise ValidationError(
+            f"unknown sort {sort!r}; choose one of {', '.join(SUMMARY_SORTS)}")
     groups: dict[str, list[float]] = {}
     for sp in trace.spans:
         groups.setdefault(sp.name, []).append(sp.dur)
     rows = []
     for name, durs in groups.items():
-        rows.append({
+        row = {
             "name": name,
             "count": len(durs),
             "total": sum(durs),
             "mean": sum(durs) / len(durs),
-            "p95": _quantile(durs, 0.95),
+            "p95": quantile(durs, 0.95),
             "max": max(durs),
-        })
-    rows.sort(key=lambda r: r["total"], reverse=True)
+        }
+        hist_dict = trace.histograms.get(f"{name}.duration")
+        if hist_dict:
+            hist = Histogram.from_dict(hist_dict)
+            if hist.count:
+                row["p50"] = hist.percentile(0.50)
+                row["hist_p95"] = hist.percentile(0.95)
+                row["p99"] = hist.percentile(0.99)
+        rows.append(row)
+    if sort == "name":
+        rows.sort(key=lambda r: r["name"])
+    else:
+        rows.sort(key=lambda r: r[sort], reverse=True)
     return rows
 
 
@@ -112,17 +125,33 @@ def _fmt_s(seconds: float) -> str:
     return f"{seconds * 1e6:8.1f}us"
 
 
-def render_summary(trace: Trace) -> str:
-    rows = span_summary(trace)
+def render_summary(trace: Trace, sort: str = "total") -> str:
+    rows = span_summary(trace, sort=sort)
     if not rows:
         return "no spans in trace"
-    lines = [f"{'span':<24} {'count':>7} {'total':>10} {'mean':>10} "
-             f"{'p95':>10} {'max':>10}"]
+    with_hist = any("p50" in r for r in rows)
+    header = (f"{'span':<24} {'count':>7} {'total':>10} {'mean':>10} "
+              f"{'p95':>10} {'max':>10}")
+    if with_hist:
+        header += f" {'p50':>10} {'h-p95':>10} {'p99':>10}"
+    lines = [header]
     for r in rows:
-        lines.append(
+        line = (
             f"{r['name']:<24} {r['count']:>7d} {_fmt_s(r['total'])} "
             f"{_fmt_s(r['mean'])} {_fmt_s(r['p95'])} {_fmt_s(r['max'])}"
         )
+        if with_hist:
+            if "p50" in r:
+                line += (f" {_fmt_s(r['p50'])} {_fmt_s(r['hist_p95'])} "
+                         f"{_fmt_s(r['p99'])}")
+            else:
+                line += f" {'-':>10} {'-':>10} {'-':>10}"
+        lines.append(line)
+    if with_hist:
+        lines.append("")
+        lines.append("p50/h-p95/p99 come from the recorded duration "
+                     "histograms (REPRO_HISTOGRAMS=1), the span-sample "
+                     "p95 from the spans themselves.")
     if trace.counters:
         lines.append("")
         lines.append("counters:")

@@ -25,7 +25,16 @@ every thread of the process.
 :class:`stage` is the dispatch-layer instrumentation primitive: it always
 feeds the counter registry (``<name>.count`` / ``<name>.seconds``, on
 whose deltas :mod:`repro.bench` builds its stage breakdowns) and
-additionally emits a span when tracing is enabled.
+additionally emits a span when tracing is enabled.  Two further opt-ins
+hang off it, both a single attribute check while off:
+
+* histogram recording (``REPRO_HISTOGRAMS=1`` /
+  :func:`repro.telemetry.counters.enable_histograms`) feeds each stage's
+  duration into a ``<name>.duration`` histogram, from which p50/p95/p99
+  are derivable;
+* memory tracking (``REPRO_TRACE_MEM=1`` /
+  :func:`enable_memory_tracking`) records each stage's tracemalloc
+  allocation peak as a ``<name>.alloc_peak_bytes`` high-water gauge.
 """
 
 from __future__ import annotations
@@ -36,13 +45,18 @@ import json
 import os
 import threading
 import time
+import tracemalloc
 from contextlib import contextmanager
 from pathlib import Path
 
 from repro.telemetry.counters import (
+    HIST_STATE,
     counter_add_stage,
     counters_snapshot,
+    gauge_max,
     gauges_snapshot,
+    histogram_observe,
+    histograms_snapshot,
 )
 from repro.telemetry.export import TRACE_SCHEMA_VERSION
 from repro.util.errors import ValidationError
@@ -50,6 +64,7 @@ from repro.util.errors import ValidationError
 __all__ = [
     "TRACE_ENV",
     "TRACE_FILE_ENV",
+    "TRACE_MEM_ENV",
     "DEFAULT_TRACE_FILE",
     "Tracer",
     "span",
@@ -62,6 +77,10 @@ __all__ = [
     "trace_to",
     "capture",
     "get_tracer",
+    "memory_tracking_enabled",
+    "enable_memory_tracking",
+    "disable_memory_tracking",
+    "init_mem_from_env",
 ]
 
 #: truthy values of this variable turn tracing on process-wide.
@@ -69,6 +88,9 @@ TRACE_ENV = "REPRO_TRACE"
 
 #: trace-file override; setting it implies tracing unless REPRO_TRACE=0.
 TRACE_FILE_ENV = "REPRO_TRACE_FILE"
+
+#: truthy values enable tracemalloc-based per-stage allocation peaks.
+TRACE_MEM_ENV = "REPRO_TRACE_MEM"
 
 #: file written when tracing is enabled without an explicit path.
 DEFAULT_TRACE_FILE = "repro-trace.jsonl"
@@ -166,11 +188,15 @@ class Tracer:
         """Write the counter / cache-stats footers and release the file."""
         if self._closed:
             return
-        self._emit({
+        footer = {
             "type": "counters",
             "values": counters_snapshot(),
             "gauges": gauges_snapshot(),
-        })
+        }
+        histograms = histograms_snapshot()
+        if histograms:
+            footer["histograms"] = histograms
+        self._emit(footer)
         self._emit({"type": "caches", **_cache_stats_safe()})
         with self._lock:
             self._closed = True
@@ -279,6 +305,90 @@ def span(name: str, *, parent=None, **attrs):
     return _LiveSpan(tracer, name, parent, attrs)
 
 
+# --------------------------------------------------------------------- #
+# opt-in tracemalloc memory tracking
+# --------------------------------------------------------------------- #
+class _MemState:
+    """Process-wide on/off flag for per-stage allocation tracking."""
+
+    __slots__ = ("enabled",)
+
+    def __init__(self) -> None:
+        self.enabled = False
+
+
+MEM_STATE = _MemState()
+
+
+def memory_tracking_enabled() -> bool:
+    """Whether per-stage allocation peaks are being recorded."""
+    return MEM_STATE.enabled
+
+
+def enable_memory_tracking() -> None:
+    """Start tracemalloc (if needed) and record per-stage allocation peaks.
+
+    Every :class:`stage` then sets a ``<name>.alloc_peak_bytes`` gauge to
+    the high-water mark of the stage's peak traced allocation above its
+    entry point.  Tracemalloc multiplies allocation cost several-fold —
+    this is a diagnostic mode, not a production default.
+    """
+    if not tracemalloc.is_tracing():
+        tracemalloc.start()
+    MEM_STATE.enabled = True
+
+
+def disable_memory_tracking() -> None:
+    """Stop recording allocation peaks and stop tracemalloc."""
+    MEM_STATE.enabled = False
+    if tracemalloc.is_tracing():
+        tracemalloc.stop()
+
+
+def _mem_stack() -> list:
+    stack = getattr(_STACKS, "mem", None)
+    if stack is None:
+        stack = _STACKS.mem = []
+    return stack
+
+
+def _mem_enter() -> list | None:
+    """Open one allocation-tracking window: ``[entry_current, max_peak]``.
+
+    The peak register is process-global, so before resetting it for this
+    stage the current peak is folded into every enclosing open window —
+    nesting loses nothing.  Windows are per-thread; with concurrent
+    threads allocating, a stage's peak includes other threads' traffic
+    (tracemalloc cannot attribute per thread), which is the honest
+    process-wide reading.
+    """
+    if not tracemalloc.is_tracing():  # disabled mid-flight
+        return None
+    current, peak = tracemalloc.get_traced_memory()
+    stack = _mem_stack()
+    for entry in stack:
+        if peak > entry[1]:
+            entry[1] = peak
+    tracemalloc.reset_peak()
+    entry = [current, current]
+    stack.append(entry)
+    return entry
+
+
+def _mem_exit(name: str, entry: list) -> None:
+    if tracemalloc.is_tracing():
+        _, peak = tracemalloc.get_traced_memory()
+    else:  # disabled mid-flight
+        peak = entry[1]
+    stack = _mem_stack()
+    if stack and stack[-1] is entry:
+        stack.pop()
+    elif entry in stack:  # pragma: no cover - unbalanced exit safety
+        stack.remove(entry)
+    final_peak = max(entry[1], peak)
+    gauge_max(name + ".alloc_peak_bytes", max(0, final_peak - entry[0]))
+
+
 class stage:
     """Instrument one pipeline stage: counters always, a span when tracing.
 
@@ -288,21 +398,32 @@ class stage:
     ``kernel`` span when a tracer is installed.  ``sp`` is the span handle
     (the no-op singleton while disabled), so ``sp.set(...)`` is always
     safe.
+
+    When histogram recording is enabled the duration additionally lands
+    in the ``<name>.duration`` histogram; when memory tracking is enabled
+    the stage's allocation peak lands in the ``<name>.alloc_peak_bytes``
+    gauge.  Both opt-ins cost one attribute check while off.
     """
 
-    __slots__ = ("_name", "_span", "_t0")
+    __slots__ = ("_name", "_span", "_t0", "_mem")
 
     def __init__(self, name: str, **attrs):
         self._name = name
         self._span = span(name, **attrs)
 
     def __enter__(self):
+        self._mem = _mem_enter() if MEM_STATE.enabled else None
         self._t0 = time.perf_counter()
         return self._span.__enter__()
 
     def __exit__(self, exc_type, exc, tb) -> bool:
         result = self._span.__exit__(exc_type, exc, tb)
-        counter_add_stage(self._name, time.perf_counter() - self._t0)
+        seconds = time.perf_counter() - self._t0
+        counter_add_stage(self._name, seconds)
+        if HIST_STATE.enabled:
+            histogram_observe(self._name + ".duration", seconds)
+        if self._mem is not None:
+            _mem_exit(self._name, self._mem)
         return result
 
 
@@ -424,3 +545,15 @@ def init_from_env(environ=None) -> Tracer | None:
         atexit.register(_close_global)
         return tracer
     return None
+
+
+def init_mem_from_env(environ=None) -> bool:
+    """Enable memory tracking when ``REPRO_TRACE_MEM`` is truthy.
+
+    Called once on package import; returns whether tracking was enabled.
+    """
+    env = os.environ if environ is None else environ
+    if env.get(TRACE_MEM_ENV, "").strip().lower() in _TRUTHY:
+        enable_memory_tracking()
+        return True
+    return False

@@ -26,6 +26,37 @@ def _quantile(sorted_values: list[float], q: float) -> float:
     return sorted_values[lo] * (1.0 - frac) + sorted_values[hi] * frac
 
 
+def quantile(values, q: float) -> float:
+    """Linear-interpolation quantile of an arbitrary non-empty sample.
+
+    The one quantile definition shared by :class:`Timer`, the telemetry
+    span summaries and the bench-history trend analysis, so a p95 means
+    the same thing everywhere it is printed.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValidationError(f"quantile q must be in [0, 1], got {q}")
+    data = sorted(float(v) for v in values)
+    if not data:
+        raise ValidationError("cannot take a quantile of an empty sample")
+    return _quantile(data, q)
+
+
+def median_abs_deviation(values, center: float | None = None) -> float:
+    """Median absolute deviation of a non-empty sample.
+
+    The robust noise estimate behind the bench-history changepoint
+    detector: unlike the standard deviation, one wild outlier lap cannot
+    inflate it and mask a real median shift.  ``center`` defaults to the
+    sample median.
+    """
+    data = [float(v) for v in values]
+    if not data:
+        raise ValidationError("cannot take the MAD of an empty sample")
+    if center is None:
+        center = quantile(data, 0.5)
+    return quantile([abs(v - center) for v in data], 0.5)
+
+
 @dataclass
 class Timer:
     """Accumulating wall-clock timer.

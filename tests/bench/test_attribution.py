@@ -1,0 +1,144 @@
+"""Counter-movement attribution: ranking, cause mapping, and series
+reference selection."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.attribution import (
+    attribute_regression,
+    attribute_series,
+    cause_for,
+    rank_counter_moves,
+)
+from repro.util.errors import ValidationError
+
+from tests.bench.test_history import ENV_A, KEY, make_run
+from repro.bench.history import build_series
+
+
+class TestRanking:
+    def test_most_moved_counter_ranks_first(self):
+        ref = {"plan_cache.misses": 1.0, "kernel.count": 100.0}
+        cand = {"plan_cache.misses": 64.0, "kernel.count": 110.0}
+        moves = rank_counter_moves(ref, cand)
+        assert moves[0].name == "plan_cache.misses"
+        assert moves[0].relative == pytest.approx(63.0)
+        assert [m.name for m in moves] == ["plan_cache.misses",
+                                           "kernel.count"]
+
+    def test_zero_to_n_storm_is_finite(self):
+        # count counters get a floor of 1, so 0 -> 128 scores as 128
+        moves = rank_counter_moves({}, {"plan_cache.misses": 128.0})
+        assert moves[0].relative == pytest.approx(128.0)
+
+    def test_seconds_counters_use_millisecond_floor(self):
+        moves = rank_counter_moves({"build.seconds": 0.0},
+                                   {"build.seconds": 0.01})
+        raw = [m for m in moves if m.name == "build.seconds"]
+        assert raw[0].relative == pytest.approx(10.0)
+
+    def test_immaterial_movement_filtered(self):
+        ref = {"kernel.count": 100.0}
+        cand = {"kernel.count": 101.0}  # +1%: below the 5% floor
+        assert rank_counter_moves(ref, cand) == []
+
+    def test_share_feature_derived(self):
+        # build goes from 10% to 70% of stage time even though both
+        # stages got slower in absolute terms
+        ref = {"build.seconds": 0.1, "kernel.seconds": 0.9}
+        cand = {"build.seconds": 1.4, "kernel.seconds": 0.6}
+        moves = rank_counter_moves(ref, cand)
+        shares = {m.name: m for m in moves if m.name.endswith(".share")}
+        assert "build.seconds.share" in shares
+        assert shares["build.seconds.share"].delta == pytest.approx(0.6)
+
+    def test_no_share_without_totals(self):
+        moves = rank_counter_moves({"kernel.count": 1.0},
+                                   {"kernel.count": 10.0})
+        assert all(not m.name.endswith(".share") for m in moves)
+
+
+class TestCauseMapping:
+    def test_specific_rule_beats_generic(self):
+        assert "miss storm" in cause_for("plan_cache.misses")
+        assert cause_for("plan_cache.hits") == "plan-cache behaviour changed"
+
+    def test_unknown_counter_gets_generic_phrase(self):
+        assert cause_for("weird.metric") == "counter weird.metric moved"
+
+
+class TestAttributeRegression:
+    def test_miss_storm_named_as_probable_cause(self):
+        ref = {"plan_cache.hits": 60.0, "plan_cache.misses": 2.0,
+               "kernel.count": 62.0}
+        cand = {"plan_cache.hits": 2.0, "plan_cache.misses": 60.0,
+                "kernel.count": 62.0}
+        attribution = attribute_regression(ref, cand,
+                                           reference_seconds=1.0,
+                                           candidate_seconds=2.0)
+        assert attribution.moves[0].name == "plan_cache.misses"
+        assert "miss storm" in attribution.probable_cause
+        assert attribution.slowdown == pytest.approx(2.0)
+
+    def test_no_counters_is_honest(self):
+        attribution = attribute_regression({}, {})
+        assert "cannot attribute" in attribution.probable_cause
+        assert attribution.moves == []
+
+    def test_no_material_movement_points_outside(self):
+        same = {"kernel.count": 10.0}
+        attribution = attribute_regression(same, dict(same))
+        assert "outside the instrumented layers" in \
+            attribution.probable_cause
+
+    def test_runner_up_with_different_cause_mentioned(self):
+        ref = {"plan_cache.misses": 1.0, "tune.probe.count": 2.0}
+        cand = {"plan_cache.misses": 50.0, "tune.probe.count": 40.0}
+        attribution = attribute_regression(ref, cand)
+        assert "miss storm" in attribution.probable_cause
+        assert "tune.probe.count" in attribution.probable_cause
+
+    def test_to_dict_json_safe(self):
+        attribution = attribute_regression({"kernel.count": 1.0},
+                                           {"kernel.count": 9.0},
+                                           reference_seconds=0.5,
+                                           candidate_seconds=1.0)
+        payload = json.loads(json.dumps(attribution.to_dict()))
+        assert payload["slowdown"] == pytest.approx(2.0)
+        assert payload["moves"][0]["name"] == "kernel.count"
+
+
+class TestAttributeSeries:
+    def _series(self, values, counters_list):
+        runs = [make_run({KEY: v}, name=f"r{i}", env=ENV_A,
+                         counters=c)
+                for i, (v, c) in enumerate(zip(values, counters_list))]
+        series, = build_series(runs)
+        return series
+
+    def test_reference_taken_from_before_changepoint(self):
+        healthy = {"plan_cache.misses": 2.0}
+        stormy = {"plan_cache.misses": 90.0}
+        series = self._series(
+            [1.0, 1.01, 0.99, 1.02, 0.98, 2.0, 2.02],
+            [healthy] * 5 + [stormy] * 2)
+        attribution = attribute_series(series)
+        assert attribution.reference_seconds == pytest.approx(1.0, rel=0.05)
+        assert attribution.candidate_seconds == pytest.approx(2.02)
+        assert attribution.moves[0].name == "plan_cache.misses"
+        assert "miss storm" in attribution.probable_cause
+
+    def test_two_point_series_uses_first_as_reference(self):
+        series = self._series([1.0, 2.0], [{"kernel.count": 5.0},
+                                           {"kernel.count": 50.0}])
+        attribution = attribute_series(series)
+        assert attribution.reference_seconds == pytest.approx(1.0)
+        assert attribution.slowdown == pytest.approx(2.0)
+
+    def test_single_point_series_rejected(self):
+        series = self._series([1.0], [{}])
+        with pytest.raises(ValidationError, match="at least 2"):
+            attribute_series(series)

@@ -10,7 +10,8 @@ from repro.bench.schema import BenchRun, Measurement
 from repro.util.errors import ValidationError
 
 
-def run_with(cells: dict[tuple[str, str], float], name: str = "r") -> BenchRun:
+def run_with(cells: dict[tuple[str, str], float], name: str = "r",
+             env: dict | None = None) -> BenchRun:
     measurements = []
     for (target, scenario), median in cells.items():
         stats = {"repeats": 3, "warmup": 1, "min": median * 0.9,
@@ -21,7 +22,8 @@ def run_with(cells: dict[tuple[str, str], float], name: str = "r") -> BenchRun:
             target=target, scenario=scenario, spec_hash="x",
             shape=(2, 2, 2), nnz=4, rank=4, stats=stats))
     return BenchRun(name=name, created_at="2026-07-28T00:00:00+00:00",
-                    env={}, config={}, measurements=measurements)
+                    env=dict(env or {}), config={},
+                    measurements=measurements)
 
 
 KEY = ("kernel.coo", "s1")
@@ -96,5 +98,58 @@ class TestReport:
         report = compare_runs(run_with({KEY: 1.0}), run_with({KEY: 1.0}))
         counts = report.counts()
         assert set(counts) == {"regression", "improvement", "neutral",
-                               "added", "removed"}
+                               "added", "removed", "incomparable"}
         assert sum(counts.values()) == len(report.deltas)
+
+
+LAPTOP = {"machine": "x86_64", "cpu_count": 1, "python": "3.11.7"}
+SERVER = {"machine": "arm64", "cpu_count": 64, "python": "3.12.1"}
+
+
+class TestEnvComparability:
+    def test_different_machines_are_incomparable(self):
+        base = run_with({KEY: 1.0}, env=LAPTOP)
+        cand = run_with({KEY: 3.0}, env=SERVER)  # 3x "slower"
+        report = compare_runs(base, cand)
+        (delta,) = report.deltas
+        assert delta.verdict == "incomparable"
+        assert not report.has_regressions  # never fails the gate
+        assert report.incomparable == [delta]
+        assert any("machine" in d for d in report.env_differences)
+
+    def test_both_seconds_still_recorded(self):
+        report = compare_runs(run_with({KEY: 1.0}, env=LAPTOP),
+                              run_with({KEY: 3.0}, env=SERVER))
+        (delta,) = report.deltas
+        assert delta.baseline_seconds == pytest.approx(1.0)
+        assert delta.candidate_seconds == pytest.approx(3.0)
+        assert delta.ratio == pytest.approx(3.0)
+
+    def test_added_removed_unaffected_by_env(self):
+        base = run_with({KEY: 1.0, ("b", "s"): 1.0}, env=LAPTOP)
+        cand = run_with({KEY: 1.0, ("c", "s"): 1.0}, env=SERVER)
+        counts = compare_runs(base, cand).counts()
+        assert counts["incomparable"] == 1
+        assert counts["added"] == 1 and counts["removed"] == 1
+
+    def test_check_env_false_restores_comparison(self):
+        base = run_with({KEY: 1.0}, env=LAPTOP)
+        cand = run_with({KEY: 3.0}, env=SERVER)
+        report = compare_runs(base, cand, check_env=False)
+        assert report.deltas[0].verdict == "regression"
+        assert report.env_differences == []
+
+    def test_patch_release_and_hostname_stay_comparable(self):
+        base = run_with({KEY: 1.0},
+                        env=dict(LAPTOP, hostname="a", numpy="1.26.0"))
+        cand = run_with({KEY: 2.0},
+                        env=dict(LAPTOP, python="3.11.9", hostname="b",
+                                 numpy="2.0.1"))
+        report = compare_runs(base, cand)
+        assert report.deltas[0].verdict == "regression"
+        assert report.env_differences == []
+
+    def test_empty_envs_are_comparable(self):
+        # legacy artifacts without captured environments keep comparing
+        report = compare_runs(run_with({KEY: 1.0}), run_with({KEY: 2.0}))
+        assert report.deltas[0].verdict == "regression"

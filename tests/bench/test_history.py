@@ -1,0 +1,201 @@
+"""History trend analytics: loading, series grouping, changepoint
+detection on synthetic series, and the report over the committed
+trajectory."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench.history import (
+    analyze_history,
+    build_series,
+    detect_trend,
+    load_history,
+    sparkline,
+)
+from repro.bench.schema import BenchRun, Measurement
+from repro.util.errors import ValidationError
+
+REPO_HISTORY = Path(__file__).resolve().parents[2] / "BENCH_history.jsonl"
+
+
+def make_run(cells: dict[tuple[str, str], float], name: str = "r", *,
+             env: dict | None = None, config: dict | None = None,
+             counters: dict | None = None) -> BenchRun:
+    measurements = []
+    for (target, scenario), median in cells.items():
+        stats = {"repeats": 3, "warmup": 1, "min": median * 0.9,
+                 "median": median, "p95": median * 1.1, "mean": median,
+                 "stddev": 0.0, "total": median * 3,
+                 "laps": [median] * 3}
+        measurements.append(Measurement(
+            target=target, scenario=scenario, spec_hash="x",
+            shape=(2, 2, 2), nnz=4, rank=4, stats=stats,
+            counters=dict(counters or {})))
+    return BenchRun(name=name, created_at="2026-08-01T00:00:00+00:00",
+                    env=dict(env or {}), config=dict(config or {}),
+                    measurements=measurements)
+
+
+KEY = ("kernel.coo", "s1")
+ENV_A = {"machine": "x86_64", "cpu_count": 1, "python": "3.11.7"}
+ENV_B = {"machine": "arm64", "cpu_count": 8, "python": "3.12.1"}
+
+
+class TestDetectTrend:
+    def test_injected_2x_step_is_flagged(self):
+        values = [1.0, 1.02, 0.98, 1.01, 0.99, 2.0, 2.02, 1.98]
+        trend = detect_trend(values)
+        assert trend.verdict == "regressing"
+        assert trend.method == "changepoint"
+        assert trend.changepoint == 5
+        assert trend.sustained
+        assert trend.shift_ratio == pytest.approx(2.0, rel=0.05)
+
+    def test_pure_noise_is_not_flagged(self):
+        # +-3% jitter around 1.0 — inside both the sigma and shift gates
+        values = [1.0, 1.03, 0.97, 1.01, 0.99, 1.02, 0.98, 1.0]
+        assert detect_trend(values).verdict == "stable"
+
+    def test_identical_values_are_stable(self):
+        # zero MAD must not produce an infinite score (noise floor)
+        assert detect_trend([1.0] * 8).verdict == "stable"
+
+    def test_improvement_direction(self):
+        values = [2.0, 2.02, 1.98, 2.01, 1.0, 1.02, 0.99]
+        trend = detect_trend(values)
+        assert trend.verdict == "improving"
+        assert trend.sustained
+
+    def test_single_slow_tail_is_flagged_but_not_sustained(self):
+        values = [1.0, 1.01, 0.99, 1.02, 0.98, 1.0, 2.5]
+        trend = detect_trend(values)
+        assert trend.verdict == "regressing"
+        assert not trend.sustained
+
+    def test_small_shift_below_min_shift_stays_stable(self):
+        # clean 15% step: statistically clear, practical only when
+        # min_shift allows it
+        values = [1.0, 1.0, 1.0, 1.0, 1.15, 1.15, 1.15]
+        assert detect_trend(values, min_shift=0.20).verdict == "stable"
+        assert detect_trend(values, min_shift=0.10).verdict == "regressing"
+
+    def test_short_series_pairwise(self):
+        trend = detect_trend([1.0, 1.0, 2.0])
+        assert trend.verdict == "regressing"
+        assert trend.method == "pairwise"
+        assert not trend.sustained
+        assert detect_trend([1.0, 1.02, 0.99]).verdict == "stable"
+
+    def test_one_point_insufficient(self):
+        assert detect_trend([1.0]).verdict == "insufficient"
+        assert detect_trend([]).verdict == "insufficient"
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValidationError, match="min_shift"):
+            detect_trend([1.0, 2.0], min_shift=-0.1)
+        with pytest.raises(ValidationError, match="min_sigma"):
+            detect_trend([1.0, 2.0], min_sigma=0.0)
+
+
+class TestBuildSeries:
+    def test_points_grouped_in_run_order(self):
+        runs = [make_run({KEY: v}, name=f"r{i}", env=ENV_A)
+                for i, v in enumerate([1.0, 1.1, 1.2])]
+        series, = build_series(runs)
+        assert series.values() == [1.0, 1.1, 1.2]
+        assert [p.run_name for p in series.points] == ["r0", "r1", "r2"]
+
+    def test_environment_change_splits_series(self):
+        runs = [make_run({KEY: 1.0}, env=ENV_A),
+                make_run({KEY: 5.0}, env=ENV_B),
+                make_run({KEY: 1.1}, env=ENV_A)]
+        series = build_series(runs)
+        assert len(series) == 2
+        by_env = {s.key.env: s.values() for s in series}
+        assert by_env[("x86_64", 1, "3.11")] == [1.0, 1.1]
+        assert by_env[("arm64", 8, "3.12")] == [5.0]
+
+    def test_python_patch_release_does_not_split(self):
+        env_patch = dict(ENV_A, python="3.11.9", hostname="other")
+        runs = [make_run({KEY: 1.0}, env=ENV_A),
+                make_run({KEY: 1.1}, env=env_patch)]
+        series, = build_series(runs)
+        assert len(series) == 2
+
+    def test_config_change_splits_series(self):
+        runs = [make_run({KEY: 1.0}, env=ENV_A,
+                         config={"backend": "serial"}),
+                make_run({KEY: 0.3}, env=ENV_A,
+                         config={"backend": "threads", "num_workers": 4})]
+        assert len(build_series(runs)) == 2
+
+    def test_analyze_drops_singletons(self):
+        runs = [make_run({KEY: 1.0, ("kernel.csf", "s1"): 1.0}, env=ENV_A),
+                make_run({KEY: 1.1}, env=ENV_A)]
+        reports = analyze_history(runs)
+        assert [r.series.key.target for r in reports] == ["kernel.coo"]
+
+    def test_report_to_dict_is_json_safe(self):
+        runs = [make_run({KEY: v}, env=ENV_A) for v in (1.0, 1.1)]
+        report, = analyze_history(runs)
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["samples"] == 2
+        assert payload["trend"]["verdict"] in ("stable", "regressing")
+
+
+class TestLoadHistory:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ValidationError, match="not found"):
+            load_history(tmp_path / "nope.jsonl")
+
+    def test_torn_line_strict_names_lineno(self, tmp_path):
+        path = tmp_path / "hist.jsonl"
+        path.write_text(make_run({KEY: 1.0}).to_json(indent=None)
+                        + "\n{torn\n")
+        with pytest.raises(ValidationError, match=r"hist\.jsonl:2"):
+            load_history(path)
+        assert len(load_history(path, strict=False)) == 1
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "hist.jsonl"
+        path.write_text("\n" + make_run({KEY: 1.0}).to_json(indent=None)
+                        + "\n\n")
+        assert len(load_history(path)) == 1
+
+
+@pytest.mark.skipif(not REPO_HISTORY.exists(),
+                    reason="committed history not present")
+class TestCommittedTrajectory:
+    def test_every_series_gets_a_verdict(self):
+        """Acceptance: history report yields a trend verdict for every
+        series with >= 2 comparable samples in the committed file."""
+        runs = load_history(REPO_HISTORY)
+        assert len(runs) >= 6
+        reports = analyze_history(runs)
+        assert reports, "committed history must produce comparable series"
+        for report in reports:
+            assert len(report.series) >= 2
+            assert report.trend.verdict in ("stable", "regressing",
+                                            "improving")
+
+    def test_schema_v1_lines_carry_no_counters(self):
+        runs = load_history(REPO_HISTORY)
+        v1 = [r for r in runs if r.schema_version == 1]
+        assert all(m.counters == {} for r in v1 for m in r.measurements)
+
+
+class TestSparkline:
+    def test_monotone_ramp(self):
+        line = sparkline([1.0, 2.0, 3.0, 4.0])
+        assert len(line) == 4
+        assert line[0] == "▁" and line[-1] == "█"
+
+    def test_flat_series_is_mid_blocks(self):
+        assert sparkline([2.0, 2.0, 2.0]) == "▄" * 3
+
+    def test_empty(self):
+        assert sparkline([]) == ""

@@ -1,0 +1,129 @@
+"""Chrome trace-event conversion: lane assignment, timestamps and the
+footer round-trip."""
+
+from __future__ import annotations
+
+import json
+
+from repro import telemetry
+from repro.formats import build_plan, get_format
+from repro.telemetry.export import (
+    read_trace,
+    to_chrome_trace,
+    write_chrome_trace,
+)
+
+from tests.conftest import make_factors
+
+
+def _trace_with_spans(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    with telemetry.trace_to(path):
+        with telemetry.span("build", format="b-csf"):
+            with telemetry.span("build.sort"):
+                pass
+        with telemetry.span("kernel", mode=0):
+            pass
+    return read_trace(path)
+
+
+class TestConversion:
+    def test_every_span_becomes_an_x_event(self, tmp_path):
+        trace = _trace_with_spans(tmp_path)
+        chrome = to_chrome_trace(trace)
+        xs = [e for e in chrome["traceEvents"] if e["ph"] == "X"]
+        assert {e["name"] for e in xs} == {"build", "build.sort", "kernel"}
+        assert all(e["dur"] >= 0 for e in xs)
+
+    def test_timestamps_are_relative_microseconds(self, tmp_path):
+        trace = _trace_with_spans(tmp_path)
+        xs = [e for e in to_chrome_trace(trace)["traceEvents"]
+              if e["ph"] == "X"]
+        assert min(e["ts"] for e in xs) == 0.0
+        # whole test ran in far under 60 seconds
+        assert max(e["ts"] for e in xs) < 60e6
+
+    def test_category_is_name_prefix(self, tmp_path):
+        trace = _trace_with_spans(tmp_path)
+        xs = {e["name"]: e for e in to_chrome_trace(trace)["traceEvents"]
+              if e["ph"] == "X"}
+        assert xs["build.sort"]["cat"] == "build"
+        assert xs["kernel"]["cat"] == "kernel"
+
+    def test_span_ids_preserved_in_args(self, tmp_path):
+        trace = _trace_with_spans(tmp_path)
+        xs = {e["name"]: e for e in to_chrome_trace(trace)["traceEvents"]
+              if e["ph"] == "X"}
+        sort = xs["build.sort"]["args"]
+        build = xs["build"]["args"]
+        assert sort["parent_span_id"] == build["span_id"]
+        assert build["format"] == "b-csf"
+
+    def test_footers_ride_in_other_data(self, tmp_path):
+        trace = _trace_with_spans(tmp_path)
+        other = to_chrome_trace(trace)["otherData"]
+        assert other["schema"] == trace.schema
+        assert set(other["caches"]) == {"plan_cache", "decision_cache"}
+        assert isinstance(other["counters"], dict)
+
+    def test_main_thread_gets_lane_zero(self, tmp_path):
+        trace = _trace_with_spans(tmp_path)
+        chrome = to_chrome_trace(trace)
+        lanes = {e["args"]["name"]: e["tid"]
+                 for e in chrome["traceEvents"]
+                 if e["ph"] == "M" and e["name"] == "thread_name"}
+        assert lanes["MainThread"] == 0
+
+
+class TestThreadLanes:
+    def test_worker_threads_get_distinct_lanes(self, tmp_path, skewed3d):
+        path = tmp_path / "par.jsonl"
+        spec = get_format("b-csf")
+        factors = make_factors(skewed3d.shape, 8, seed=5)
+        built = build_plan(skewed3d, "b-csf", 0)
+        with telemetry.trace_to(path):
+            spec.mttkrp(built.rep, factors, 0, backend="threads",
+                        num_workers=2)
+        chrome = to_chrome_trace(read_trace(path))
+        lanes = {e["args"]["name"]: e["tid"]
+                 for e in chrome["traceEvents"]
+                 if e["ph"] == "M" and e["name"] == "thread_name"}
+        worker_lanes = {n: t for n, t in lanes.items() if n != "MainThread"}
+        # the pool may satisfy a tiny tensor from a single worker thread
+        assert len(worker_lanes) >= 1
+        assert len(set(lanes.values())) == len(lanes)  # all distinct
+        shard_tids = {e["tid"] for e in chrome["traceEvents"]
+                      if e.get("name") == "parallel.shard"}
+        assert shard_tids <= set(worker_lanes.values())
+
+
+class TestWriteChromeTrace:
+    def test_file_is_valid_json_and_loadable(self, tmp_path):
+        trace = _trace_with_spans(tmp_path)
+        out = write_chrome_trace(trace, tmp_path / "sub" / "chrome.json")
+        payload = json.loads(out.read_text())
+        assert payload["displayTimeUnit"] == "ms"
+        assert len([e for e in payload["traceEvents"]
+                    if e["ph"] == "X"]) == 3
+
+    def test_histograms_survive_conversion(self, tmp_path):
+        from repro.telemetry.counters import (
+            disable_histograms,
+            enable_histograms,
+            reset_counters,
+        )
+
+        reset_counters()
+        enable_histograms()
+        try:
+            path = tmp_path / "hist.jsonl"
+            with telemetry.trace_to(path):
+                with telemetry.stage("chromehist.work"):
+                    pass
+            chrome = to_chrome_trace(read_trace(path))
+            hists = chrome["otherData"]["histograms"]
+            assert "chromehist.work.duration" in hists
+            assert hists["chromehist.work.duration"]["count"] == 1
+        finally:
+            disable_histograms()
+            reset_counters()

@@ -1,0 +1,188 @@
+"""Histogram metric: bucket math, percentiles, merging, stage() wiring
+and the disabled-path overhead guard."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry.counters import (
+    HIST_BUCKETS,
+    Histogram,
+    disable_histograms,
+    enable_histograms,
+    histograms_enabled,
+    init_histograms_from_env,
+    reset_counters,
+)
+from repro.util.errors import ValidationError
+
+
+@pytest.fixture(autouse=True)
+def clean_state():
+    reset_counters()
+    disable_histograms()
+    yield
+    reset_counters()
+    disable_histograms()
+
+
+class TestBuckets:
+    def test_monotone_bucket_edges(self):
+        h = Histogram()
+        uppers = [h.bucket_upper(i) for i in range(HIST_BUCKETS)]
+        assert uppers == sorted(uppers)
+
+    def test_values_land_below_their_upper_edge(self):
+        h = Histogram()
+        for v in (1e-7, 1e-6, 3e-6, 1e-3, 0.5, 7.0, 1e4):
+            idx = h.bucket_index(v)
+            assert v <= h.bucket_upper(idx)
+            if idx > 0:
+                assert v > h.bucket_upper(idx - 1) * (1 - 1e-9)
+
+    def test_overflow_clamps_to_last_bucket(self):
+        h = Histogram()
+        assert h.bucket_index(1e12) == HIST_BUCKETS - 1
+
+    def test_negative_and_zero_go_to_bucket_zero(self):
+        h = Histogram()
+        assert h.bucket_index(0.0) == 0
+        assert h.bucket_index(-5.0) == 0
+
+
+class TestPercentiles:
+    def test_percentile_within_one_bucket_width(self):
+        h = Histogram()
+        values = [0.001 * (i + 1) for i in range(1000)]  # 1ms..1s
+        for v in values:
+            h.record(v)
+        for q, true in ((0.5, 0.5005), (0.95, 0.9505), (0.99, 0.9905)):
+            est = h.percentile(q)
+            # log-bucketed estimate: within one 2x bucket of the truth
+            assert true / 2 <= est <= true * 2
+
+    def test_extremes_clamp_to_observed(self):
+        h = Histogram()
+        for v in (0.2, 0.3, 0.4):
+            h.record(v)
+        assert h.percentile(0.0) == pytest.approx(0.2)
+        assert h.percentile(1.0) == pytest.approx(0.3, rel=2.0)
+        assert h.percentile(1.0) <= 0.4
+
+    def test_single_value(self):
+        h = Histogram()
+        h.record(0.123)
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert h.percentile(q) == pytest.approx(0.123)
+
+    def test_empty_histogram_percentile_rejected(self):
+        with pytest.raises(ValidationError, match="empty"):
+            Histogram().percentile(0.5)
+
+    def test_quantiles_summary(self):
+        h = Histogram()
+        h.record(1.0)
+        qs = h.quantiles()
+        assert {"p50", "p95", "p99", "count", "mean"} <= set(qs)
+        assert qs["count"] == 1 and qs["mean"] == pytest.approx(1.0)
+
+    def test_invalid_quantile_rejected(self):
+        with pytest.raises(ValidationError):
+            Histogram().percentile(1.5)
+
+
+class TestMerge:
+    def test_merge_equals_combined_recording(self):
+        a, b, combined = Histogram(), Histogram(), Histogram()
+        for i in range(50):
+            a.record(0.001 * (i + 1))
+            combined.record(0.001 * (i + 1))
+        for i in range(50):
+            b.record(0.1 * (i + 1))
+            combined.record(0.1 * (i + 1))
+        a.merge(b)
+        assert a.count == combined.count == 100
+        assert a.counts == combined.counts
+        assert a.min == combined.min and a.max == combined.max
+        assert a.percentile(0.5) == combined.percentile(0.5)
+
+    def test_geometry_mismatch_rejected(self):
+        with pytest.raises(ValidationError, match="geometry"):
+            Histogram().merge(Histogram(lo=1e-3))
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self):
+        h = Histogram()
+        for v in (0.001, 0.01, 0.25):
+            h.record(v)
+        clone = Histogram.from_dict(h.to_dict())
+        assert clone.counts == h.counts
+        assert clone.count == h.count
+        assert clone.total == pytest.approx(h.total)
+        assert clone.percentile(0.95) == h.percentile(0.95)
+
+    def test_malformed_dict_rejected(self):
+        with pytest.raises(ValidationError):
+            Histogram.from_dict({"counts": "nope"})
+
+
+class TestStageWiring:
+    def test_stage_records_duration_histogram_when_enabled(self):
+        enable_histograms()
+        for _ in range(3):
+            with telemetry.stage("histtest.work"):
+                time.sleep(0.001)
+        snap = telemetry.histograms_snapshot()
+        assert "histtest.work.duration" in snap
+        h = Histogram.from_dict(snap["histtest.work.duration"])
+        assert h.count == 3
+        assert h.percentile(0.5) >= 0.0005
+
+    def test_disabled_records_nothing(self):
+        assert not histograms_enabled()
+        with telemetry.stage("histtest.off"):
+            pass
+        assert telemetry.histograms_snapshot() == {}
+
+    def test_env_init(self):
+        assert not init_histograms_from_env({})  # absent: no change
+        assert not histograms_enabled()
+        assert init_histograms_from_env({"REPRO_HISTOGRAMS": "1"})
+        assert histograms_enabled()
+        assert not init_histograms_from_env({"REPRO_HISTOGRAMS": "0"})
+
+    def test_concurrent_observe_loses_nothing(self):
+        enable_histograms()
+
+        def work():
+            for _ in range(1000):
+                telemetry.histogram_observe("histtest.mt", 0.001)
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        snap = telemetry.histograms_snapshot()
+        assert Histogram.from_dict(snap["histtest.mt"]).count == 4000
+
+
+class TestDisabledOverhead:
+    def test_disabled_stage_path_stays_cheap(self):
+        """Same guard as the tracer's: histograms off must not make the
+        untraced stage() hot path expensive."""
+        assert not histograms_enabled()
+        with telemetry.stage("histtest.warm"):
+            pass
+        iterations = 20_000
+        start = time.perf_counter()
+        for _ in range(iterations):
+            with telemetry.stage("histtest.guard"):
+                pass
+        per_call = (time.perf_counter() - start) / iterations
+        assert per_call < 20e-6, f"disabled stage cost {per_call:.2e}s/call"

@@ -1,0 +1,84 @@
+"""Opt-in per-stage allocation-peak tracking (REPRO_TRACE_MEM)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry.counters import reset_counters
+from repro.telemetry.tracer import (
+    disable_memory_tracking,
+    enable_memory_tracking,
+    init_mem_from_env,
+    memory_tracking_enabled,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_state():
+    reset_counters()
+    disable_memory_tracking()
+    yield
+    reset_counters()
+    disable_memory_tracking()
+
+
+def _gauges():
+    return telemetry.gauges_snapshot()
+
+
+class TestAllocationPeaks:
+    def test_stage_peak_recorded(self):
+        enable_memory_tracking()
+        with telemetry.stage("memtest.alloc"):
+            blob = [0] * 100_000
+            del blob
+        peak = _gauges().get("memtest.alloc.alloc_peak_bytes")
+        # a 100k-int list costs ~800kB; the gauge must see most of it
+        assert peak is not None and peak > 400_000
+
+    def test_gauge_keeps_high_water_mark(self):
+        enable_memory_tracking()
+        with telemetry.stage("memtest.hwm"):
+            blob = [0] * 100_000
+            del blob
+        big = _gauges()["memtest.hwm.alloc_peak_bytes"]
+        with telemetry.stage("memtest.hwm"):
+            pass  # allocates ~nothing
+        assert _gauges()["memtest.hwm.alloc_peak_bytes"] == big
+
+    def test_nested_stages_each_get_their_own_peak(self):
+        enable_memory_tracking()
+        with telemetry.stage("memtest.outer"):
+            outer_blob = [0] * 200_000
+            with telemetry.stage("memtest.inner"):
+                inner_blob = [0] * 50_000
+                del inner_blob
+            del outer_blob
+        gauges = _gauges()
+        outer = gauges["memtest.outer.alloc_peak_bytes"]
+        inner = gauges["memtest.inner.alloc_peak_bytes"]
+        # the outer window must see its own big allocation even though the
+        # inner stage reset the process peak register mid-flight
+        assert outer > 1_000_000
+        assert 0 < inner < outer
+
+    def test_disabled_records_nothing(self):
+        assert not memory_tracking_enabled()
+        with telemetry.stage("memtest.off"):
+            blob = [0] * 10_000
+            del blob
+        assert "memtest.off.alloc_peak_bytes" not in _gauges()
+
+    def test_disable_mid_stage_is_safe(self):
+        enable_memory_tracking()
+        with telemetry.stage("memtest.midflight"):
+            disable_memory_tracking()
+        # no crash; the gauge reads from the window snapshot
+        assert "memtest.midflight.alloc_peak_bytes" in _gauges()
+
+    def test_env_init(self):
+        assert not init_mem_from_env({})
+        assert not memory_tracking_enabled()
+        assert init_mem_from_env({"REPRO_TRACE_MEM": "1"})
+        assert memory_tracking_enabled()

@@ -93,3 +93,62 @@ class TestErrors:
 
     def test_module_entrypoint_exists(self):
         import repro.telemetry.__main__  # noqa: F401  (import must succeed)
+
+
+class TestSummarySort:
+    def test_sort_name_is_ascending(self, trace_file, capsys):
+        assert main(["summary", str(trace_file), "--sort", "name",
+                     "--json"]) == 0
+        names = [r["name"]
+                 for r in json.loads(capsys.readouterr().out)["spans"]]
+        assert names == sorted(names)
+
+    def test_sort_count_descends(self, trace_file, capsys):
+        assert main(["summary", str(trace_file), "--sort", "count",
+                     "--json"]) == 0
+        counts = [r["count"]
+                  for r in json.loads(capsys.readouterr().out)["spans"]]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_percentile_columns_appear_with_histograms(self, tmp_path,
+                                                       capsys):
+        from repro.telemetry.counters import (
+            disable_histograms,
+            enable_histograms,
+            reset_counters,
+        )
+
+        reset_counters()
+        enable_histograms()
+        try:
+            path = tmp_path / "hist.jsonl"
+            with telemetry.trace_to(path):
+                for _ in range(3):
+                    with telemetry.stage("clihist.work"):
+                        pass
+            assert main(["summary", str(path)]) == 0
+            out = capsys.readouterr().out
+            assert "p50" in out and "p99" in out
+            assert main(["summary", str(path), "--json"]) == 0
+            payload = json.loads(capsys.readouterr().out)
+            assert "clihist.work.duration" in payload["histograms"]
+        finally:
+            disable_histograms()
+            reset_counters()
+
+
+class TestExport:
+    def test_chrome_export_writes_loadable_json(self, trace_file, tmp_path,
+                                                capsys):
+        out = tmp_path / "chrome.json"
+        assert main(["export", str(trace_file), "--chrome", str(out)]) == 0
+        assert str(out) in capsys.readouterr().out
+        payload = json.loads(out.read_text())
+        names = {e["name"] for e in payload["traceEvents"]
+                 if e["ph"] == "X"}
+        assert "parallel.execute" in names
+
+    def test_missing_trace_errors(self, tmp_path, capsys):
+        assert main(["export", str(tmp_path / "nope.jsonl"),
+                     "--chrome", str(tmp_path / "out.json")]) == 2
+        assert "error:" in capsys.readouterr().err
