@@ -72,6 +72,17 @@ from repro.util.errors import ReproError
 
 __all__ = ["main", "build_parser"]
 
+#: metrics the compare/history commands accept: the timing stats plus the
+#: per-cell ``metrics`` fields worth gating on.
+_METRIC_CHOICES = ("min", "median", "p95", "mean", "total", "peak_rss_bytes")
+
+
+def _metric_unit(metric: str) -> tuple[str, float, int]:
+    """(unit label, multiplier, display digits) for a metric's values."""
+    if metric == "peak_rss_bytes":
+        return "MB", 1.0 / (1024 * 1024), 2
+    return "ms", 1e3, 4
+
 
 def _format_table(rows: list[dict]) -> str:
     from repro.experiments.common import format_table
@@ -108,6 +119,8 @@ def _make_config(args) -> BenchConfig:
             overrides["warmup"] = args.warmup
         if args.scale is not None:
             overrides["scale"] = args.scale
+        if args.shard_nnz is not None:
+            overrides["shard_nnz"] = args.shard_nnz
         if overrides:
             from dataclasses import replace
 
@@ -122,6 +135,7 @@ def _make_config(args) -> BenchConfig:
         dtype=args.dtype,
         backend=args.backend,
         num_workers=args.workers,
+        shard_nnz=args.shard_nnz,
     )
 
 
@@ -338,6 +352,7 @@ def _cmd_history_report(args) -> int:
         print("no series with >= 2 comparable samples "
               f"in {args.history}")
         return 0
+    unit, scale_, digits = _metric_unit(args.metric)
     rows = []
     for r in reports:
         values = r.series.values()
@@ -352,8 +367,8 @@ def _cmd_history_report(args) -> int:
             "scenario": r.series.key.scenario,
             "env": _series_env(r),
             "n": len(r.series),
-            "first ms": round(values[0] * 1e3, 4),
-            "last ms": round(values[-1] * 1e3, 4),
+            f"first {unit}": round(values[0] * scale_, digits),
+            f"last {unit}": round(values[-1] * scale_, digits),
             "shift": shift,
             "trend": verdict,
             "history": sparkline(values),
@@ -377,6 +392,7 @@ def _cmd_history_trend(args) -> int:
     elif not reports:
         print(f"no series with >= 2 comparable samples in {args.history}")
     else:
+        unit, scale_, _ = _metric_unit(args.metric)
         blocks = []
         for r in reports:
             trend = r.trend
@@ -385,12 +401,12 @@ def _cmd_history_trend(args) -> int:
                 f"{r.series.key.label()}  n={len(values)}  "
                 f"verdict={trend.verdict} ({trend.method})"
             ]
-            lines.append("  ms: "
-                         + " ".join(f"{v * 1e3:.3f}" for v in values)
+            lines.append(f"  {unit}: "
+                         + " ".join(f"{v * scale_:.3f}" for v in values)
                          + f"   {sparkline(values)}")
             if trend.before_median is not None:
-                detail = (f"  median {trend.before_median * 1e3:.3f}ms -> "
-                          f"{trend.after_median * 1e3:.3f}ms")
+                detail = (f"  median {trend.before_median * scale_:.3f}{unit}"
+                          f" -> {trend.after_median * scale_:.3f}{unit}")
                 if trend.shift_ratio is not None:
                     detail += f" ({trend.shift_ratio:.2f}x)"
                 if trend.changepoint is not None:
@@ -398,7 +414,8 @@ def _cmd_history_trend(args) -> int:
                                f", sustained={'yes' if trend.sustained else 'no'}")
                 if trend.score is not None:
                     detail += (f", {trend.score:.1f} sigma vs "
-                               f"{trend.noise_sigma * 1e3:.4f}ms noise band")
+                               f"{trend.noise_sigma * scale_:.4f}{unit} "
+                               "noise band")
                 lines.append(detail)
             blocks.append("\n".join(lines))
         print("\n\n".join(blocks))
@@ -439,13 +456,16 @@ def _cmd_history_attribute(args) -> int:
             "attribution": a.to_dict(),
         } for r, a in results], indent=2))
         return 0
+    unit, scale_, _ = _metric_unit(args.metric)
     blocks = []
     for r, a in results:
         lines = [f"{r.series.key.label()}  verdict={r.trend.verdict}"]
         if a.slowdown is not None:
             lines.append(
-                f"  latest {a.candidate_seconds * 1e3:.3f}ms vs reference "
-                f"{a.reference_seconds * 1e3:.3f}ms ({a.slowdown:.2f}x)")
+                f"  latest {a.candidate_seconds * scale_:.3f}{unit} "
+                f"vs reference "
+                f"{a.reference_seconds * scale_:.3f}{unit} "
+                f"({a.slowdown:.2f}x)")
         lines.append(f"  probable cause: {a.probable_cause}")
         if a.moves:
             lines.append("  counter movement (most-moved first):")
@@ -471,8 +491,9 @@ def _add_history_options(sub: argparse.ArgumentParser) -> None:
     sub.add_argument("--history", default=HISTORY_FILE,
                      help=f"trajectory file (default: {HISTORY_FILE})")
     sub.add_argument("--metric", default="median",
-                     choices=("min", "median", "p95", "mean", "total"),
-                     help="statistic tracked per cell (default median)")
+                     choices=_METRIC_CHOICES,
+                     help="statistic tracked per cell (default median); "
+                          "peak_rss_bytes tracks memory instead of time")
     sub.add_argument("--target", default=None,
                      help="only series whose target matches this glob")
     sub.add_argument("--scenario", default=None,
@@ -522,6 +543,10 @@ def _add_sweep_options(sub: argparse.ArgumentParser) -> None:
                      help="scenario nonzero-budget multiplier")
     sub.add_argument("--seed", type=int, default=None,
                      help="override every scenario's seed")
+    sub.add_argument("--shard-nnz", type=int, default=None,
+                     help="nonzeros per shard for out-of-core targets "
+                          "(build.ooc.*/kernel.ooc.*; default "
+                          "library shard size)")
     sub.add_argument("--name", default=None,
                      help="run name (artifact becomes BENCH_<name>.json)")
     sub.add_argument("--out", default=None,
@@ -569,8 +594,9 @@ def build_parser() -> argparse.ArgumentParser:
                       help="relative change flagged as regression/improvement "
                            "(default 0.10)")
     comp.add_argument("--metric", default="median",
-                      choices=("min", "median", "p95", "mean", "total"),
-                      help="statistic compared per cell (default median)")
+                      choices=_METRIC_CHOICES,
+                      help="statistic compared per cell (default median); "
+                           "peak_rss_bytes gates memory instead of time")
     comp.add_argument("--json", action="store_true",
                       help="emit the report as JSON instead of a table")
     comp.add_argument("--ignore-env", action="store_true",

@@ -108,19 +108,44 @@ class CompareReport:
 
     def rows(self) -> list[dict]:
         """Table rows for :func:`repro.experiments.common.format_table`."""
+        if self.metric == "peak_rss_bytes":
+            unit, scale_, digits = "MB", 1.0 / (1024 * 1024), 2
+        else:
+            unit, scale_, digits = "ms", 1e3, 4
         rows = []
         for d in self.deltas:
             rows.append({
                 "target": d.target,
                 "scenario": d.scenario,
-                "base ms": "-" if d.baseline_seconds is None
-                           else round(d.baseline_seconds * 1e3, 4),
-                "cand ms": "-" if d.candidate_seconds is None
-                           else round(d.candidate_seconds * 1e3, 4),
+                f"base {unit}": "-" if d.baseline_seconds is None
+                                else round(d.baseline_seconds * scale_, digits),
+                f"cand {unit}": "-" if d.candidate_seconds is None
+                                else round(d.candidate_seconds * scale_, digits),
                 "ratio": "-" if d.ratio is None else round(d.ratio, 3),
                 "verdict": d.verdict,
             })
         return rows
+
+
+def _check_metric(metric: str, *runs: BenchRun) -> None:
+    """Reject a metric that is neither a timing stat nor recorded anywhere.
+
+    Per-cell ``metrics`` keys are open-ended (``peak_rss_bytes``,
+    ``serial_seconds``, ...), so a name is valid when any measurement of
+    any run carries it; a name absent everywhere is a typo, not a metric
+    that merely predates some runs.
+    """
+    from repro.bench.schema import _STAT_KEYS
+
+    if metric in _STAT_KEYS:
+        return
+    for run in runs:
+        if any(metric in m.metrics for m in run.measurements):
+            return
+    raise ValidationError(
+        f"unknown metric {metric!r}; choose a timing stat "
+        f"({', '.join(_STAT_KEYS)}) or a metrics field recorded in the "
+        "runs (e.g. peak_rss_bytes)")
 
 
 def compare_runs(
@@ -143,6 +168,7 @@ def compare_runs(
     """
     if threshold < 0:
         raise ValidationError(f"threshold must be >= 0, got {threshold}")
+    _check_metric(metric, baseline, candidate)
 
     env_diffs = (env_incompatibilities(baseline.env, candidate.env)
                  if check_env else [])
@@ -162,16 +188,20 @@ def compare_runs(
         if base is None:
             report.deltas.append(Delta(
                 target=target, scenario=scenario, verdict="added",
-                candidate_seconds=cand.seconds(metric)))
+                candidate_seconds=cand.value(metric)))
             continue
         if cand is None:
             report.deltas.append(Delta(
                 target=target, scenario=scenario, verdict="removed",
-                baseline_seconds=base.seconds(metric)))
+                baseline_seconds=base.value(metric)))
             continue
-        base_s = base.seconds(metric)
-        cand_s = cand.seconds(metric)
-        if env_diffs:
+        base_s = base.value(metric)
+        cand_s = cand.value(metric)
+        if base_s is None or cand_s is None:
+            # one side predates this metric (e.g. peak_rss_bytes on an old
+            # run): there is no ratio to judge, so never gate on it.
+            verdict = "incomparable"
+        elif env_diffs:
             verdict = "incomparable"
         elif base_s > 0 and cand_s > base_s * (1.0 + threshold):
             verdict = "regression"

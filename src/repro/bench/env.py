@@ -24,6 +24,7 @@ except ImportError:  # pragma: no cover - resource is POSIX-only
     resource = None
 
 __all__ = ["capture_environment", "git_revision", "peak_rss_bytes",
+           "reset_peak_rss", "vm_hwm_bytes", "cell_peak_rss",
            "utc_now_iso", "env_fingerprint", "env_incompatibilities"]
 
 
@@ -84,6 +85,59 @@ def peak_rss_bytes() -> int | None:
     if sys.platform == "darwin":
         return int(maxrss)
     return int(maxrss) * 1024
+
+
+def reset_peak_rss() -> bool:
+    """Reset the kernel's resident-set high-water mark for this process.
+
+    Writing ``5`` to ``/proc/self/clear_refs`` zeroes ``VmHWM`` (Linux >=
+    4.0), which is what makes a *per-cell* peak measurement possible:
+    ``getrusage``'s ``ru_maxrss`` can never be reset, so without this every
+    cell would just report the largest cell seen so far.  Returns whether
+    the reset took effect; on non-Linux platforms (no procfs) it returns
+    False and callers fall back to the cumulative process peak.
+    """
+    try:
+        with open("/proc/self/clear_refs", "w") as fh:
+            fh.write("5")
+    except OSError:
+        return False
+    return True
+
+
+def vm_hwm_bytes() -> int | None:
+    """Current ``VmHWM`` (peak RSS since the last reset), in bytes.
+
+    Parsed from ``/proc/self/status``; None where procfs is unavailable.
+    Pairs with :func:`reset_peak_rss` — reset before the work, read after —
+    to bound the peak of just that work.
+    """
+    try:
+        with open("/proc/self/status", encoding="ascii") as fh:
+            for line in fh:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1]) * 1024
+    except (OSError, ValueError, IndexError):
+        return None
+    return None
+
+
+def cell_peak_rss(reset_ok: bool) -> tuple[int | None, str]:
+    """Peak RSS of the work since the last :func:`reset_peak_rss` attempt.
+
+    ``reset_ok`` is that attempt's return value.  When the reset took,
+    the resettable ``VmHWM`` counter bounds just the cell:
+    ``(bytes, "cell")``.  Otherwise — sandboxed ``/proc/self/clear_refs``,
+    non-Linux — the cumulative ``getrusage`` high-water mark is returned as
+    ``(bytes, "process")``: a number that only ever grows across cells,
+    labelled so consumers know whether a per-cell memory gate is
+    meaningful.
+    """
+    if reset_ok:
+        hwm = vm_hwm_bytes()
+        if hwm is not None:
+            return hwm, "cell"
+    return peak_rss_bytes(), "process"
 
 
 def utc_now_iso() -> str:

@@ -230,6 +230,11 @@ def build_series(runs: list[BenchRun], *,
     Series are returned sorted by (target, scenario, spec_hash) and then
     by environment, so cells re-measured on a new machine show up as a
     sibling series rather than a phantom step in the old one.
+
+    ``metric`` may be a timing stat or a per-cell metrics field such as
+    ``peak_rss_bytes``; cells recorded before that metric existed have no
+    value for it and are skipped rather than polluting the series with
+    phantom zeros.
     """
     groups: dict[SeriesKey, Series] = {}
     for run_index, run in enumerate(runs):
@@ -237,6 +242,9 @@ def build_series(runs: list[BenchRun], *,
         cfg = run.config or {}
         git_sha = run.env.get("git_sha")
         for m in run.measurements:
+            value = m.value(metric)
+            if value is None:
+                continue
             key = SeriesKey(
                 target=m.target,
                 scenario=m.scenario,
@@ -253,7 +261,7 @@ def build_series(runs: list[BenchRun], *,
                 run_name=run.name,
                 created_at=run.created_at,
                 git_sha=git_sha,
-                seconds=m.seconds(metric),
+                seconds=value,
                 stats=m.stats,
                 counters=m.counters,
                 metrics=m.metrics,

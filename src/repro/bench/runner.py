@@ -7,15 +7,23 @@ single measurement loop — and assembles a :class:`~repro.bench.schema.BenchRun
 
 from __future__ import annotations
 
+import os
+import tempfile
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
-from repro.bench.env import capture_environment, peak_rss_bytes, utc_now_iso
+from repro.bench.env import (
+    capture_environment,
+    cell_peak_rss,
+    reset_peak_rss,
+    utc_now_iso,
+)
 from repro.bench.schema import BenchRun, Measurement, stats_from_timer
 from repro.bench.targets import expand_targets, get_target
-from repro.scenarios.cache import ScenarioCache, materialize
+from repro.scenarios.cache import ScenarioCache, materialize, materialize_sharded
 from repro.scenarios.spec import ScenarioSpec, parse_spec
 from repro.scenarios.suites import get_suite
+from repro.tensor.shards import DEFAULT_SHARD_NNZ
 from repro.telemetry import counters_delta, counters_snapshot
 from repro.util.dtypes import resolve_dtype
 from repro.util.errors import ValidationError
@@ -60,6 +68,9 @@ class BenchConfig:
     dtype: str | None = None
     backend: str | None = None
     num_workers: int | None = None
+    #: nonzeros per shard for targets materialised as shard manifests
+    #: (``materialize="sharded"``); None takes the library default.
+    shard_nnz: int | None = None
 
     def __post_init__(self) -> None:
         if self.repeats < 1:
@@ -70,6 +81,9 @@ class BenchConfig:
             raise ValidationError(f"rank must be >= 1, got {self.rank}")
         if self.scale <= 0:
             raise ValidationError(f"scale must be positive, got {self.scale}")
+        if self.shard_nnz is not None and self.shard_nnz < 1:
+            raise ValidationError(
+                f"shard_nnz must be >= 1, got {self.shard_nnz}")
         if self.dtype is not None:
             resolve_dtype(self.dtype)
         if self.backend is not None:
@@ -110,12 +124,34 @@ class BenchConfig:
             "dtype": self.dtype,
             "backend": self.backend,
             "num_workers": self.num_workers,
+            "shard_nnz": self.shard_nnz,
         }
 
 
 def suite_scenarios(name: str) -> list[tuple[str, ScenarioSpec]]:
     """The (name, spec) entries of a scenario suite, unscaled."""
     return get_suite(name).specs()
+
+
+def _materialize_for(kind: str, spec: ScenarioSpec,
+                     cache: ScenarioCache | None, config: BenchConfig,
+                     scratch: list) -> object:
+    """Materialise ``spec`` the way a target's ``materialize`` kind asks.
+
+    Sharded materialisation without a cache lands in a self-cleaning
+    temporary directory (appended to ``scratch``; the caller removes it
+    when the run finishes), so ad-hoc out-of-core runs never leave shard
+    trees behind.
+    """
+    if kind == "sharded":
+        shard_nnz = config.shard_nnz or DEFAULT_SHARD_NNZ
+        if cache is not None:
+            return materialize_sharded(spec, cache, shard_nnz=shard_nnz)
+        tmp = tempfile.TemporaryDirectory(prefix="repro-ooc-")
+        scratch.append(tmp)
+        return materialize_sharded(spec, root=os.path.join(tmp.name, "shards"),
+                                   shard_nnz=shard_nnz)
+    return materialize(spec, cache)
 
 
 def _setup_target(target, tensor, config: BenchConfig):
@@ -199,40 +235,57 @@ def run_benchmarks(
         config=config.to_dict(),
     )
 
-    for scenario_name, effective in resolved_scenarios:
-        tensor = materialize(effective, cache)
-        for target_name in resolved:
-            target = get_target(target_name)
-            # counter deltas cover the whole cell — setup (builds, tuner
-            # probes) plus warmup plus the timed laps — so a cell's cache
-            # hit/miss movement and stage totals are attributable to it
-            # without ever resetting the shared registry
-            before = counters_snapshot()
-            fn = _setup_target(target, tensor, config)
-            result, timer = repeat(fn, n=config.repeats, warmup=config.warmup)
-            counters = counters_delta(before)
-            metrics = dict(target.probe(result)) if target.probe else {}
-            rss = peak_rss_bytes()
-            if rss is not None:
-                metrics["peak_rss_bytes"] = rss
-            measurement = Measurement(
-                target=target_name,
-                scenario=scenario_name,
-                spec_hash=effective.spec_hash(),
-                shape=tuple(tensor.shape),
-                nnz=tensor.nnz,
-                rank=config.rank,
-                stats=stats_from_timer(timer, config.warmup),
-                metrics=metrics,
-                counters=counters,
-            )
-            run.measurements.append(measurement)
-            if progress is not None:
-                progress(
-                    f"{target_name:<18} {scenario_name:<18} "
-                    f"median {measurement.seconds('median') * 1e3:9.3f} ms  "
-                    f"(min {measurement.seconds('min') * 1e3:.3f}, "
-                    f"p95 {measurement.seconds('p95') * 1e3:.3f}, "
-                    f"x{config.repeats})"
+    scratch: list[tempfile.TemporaryDirectory] = []
+    try:
+        for scenario_name, effective in resolved_scenarios:
+            # one materialisation per (scenario, kind): in-RAM targets share
+            # a CooTensor, out-of-core targets share a shard manifest
+            tensors: dict[str, object] = {}
+            for target_name in resolved:
+                target = get_target(target_name)
+                tensor = tensors.get(target.materialize)
+                if tensor is None:
+                    tensor = tensors[target.materialize] = _materialize_for(
+                        target.materialize, effective, cache, config, scratch)
+                # counter deltas cover the whole cell — setup (builds, tuner
+                # probes) plus warmup plus the timed laps — so a cell's cache
+                # hit/miss movement and stage totals are attributable to it
+                # without ever resetting the shared registry.  The RSS
+                # high-water mark is reset on the same boundary, so
+                # peak_rss_bytes bounds this cell alone wherever the kernel
+                # allows the reset (env records the scope).
+                before = counters_snapshot()
+                rss_reset = reset_peak_rss()
+                fn = _setup_target(target, tensor, config)
+                result, timer = repeat(fn, n=config.repeats,
+                                       warmup=config.warmup)
+                counters = counters_delta(before)
+                metrics = dict(target.probe(result)) if target.probe else {}
+                rss, rss_scope = cell_peak_rss(rss_reset)
+                if rss is not None:
+                    metrics["peak_rss_bytes"] = rss
+                run.env.setdefault("peak_rss_scope", rss_scope)
+                measurement = Measurement(
+                    target=target_name,
+                    scenario=scenario_name,
+                    spec_hash=effective.spec_hash(),
+                    shape=tuple(tensor.shape),
+                    nnz=tensor.nnz,
+                    rank=config.rank,
+                    stats=stats_from_timer(timer, config.warmup),
+                    metrics=metrics,
+                    counters=counters,
                 )
+                run.measurements.append(measurement)
+                if progress is not None:
+                    progress(
+                        f"{target_name:<18} {scenario_name:<18} "
+                        f"median {measurement.seconds('median') * 1e3:9.3f} ms  "
+                        f"(min {measurement.seconds('min') * 1e3:.3f}, "
+                        f"p95 {measurement.seconds('p95') * 1e3:.3f}, "
+                        f"x{config.repeats})"
+                    )
+    finally:
+        for tmp in scratch:
+            tmp.cleanup()
     return run

@@ -117,6 +117,20 @@ class Measurement:
             )
         return float(self.stats[metric])
 
+    def value(self, metric: str = "median") -> float | None:
+        """Comparable value of ``metric`` — a timing stat or a metrics field.
+
+        Timing stats (``min``/``median``/...) come from ``stats`` and are
+        always present; anything else (e.g. ``peak_rss_bytes``) is looked
+        up in the per-cell ``metrics`` dict and may be ``None`` for cells
+        recorded before that metric existed — callers must treat ``None``
+        as "not comparable", not as zero.
+        """
+        if metric in _STAT_KEYS:
+            return float(self.stats[metric])
+        raw = self.metrics.get(metric)
+        return None if raw is None else float(raw)
+
     def to_dict(self) -> dict:
         return {
             "target": self.target,

@@ -52,7 +52,12 @@ class BenchTarget:
     ``probe(result)`` (optional) receives the closure's final return value
     and extracts extra JSON-safe metrics recorded alongside the timings
     (e.g. the simulated GPU seconds for ``sim.*`` targets, where
-    wall-clock measures the *simulator*).
+    wall-clock measures the *simulator*).  ``materialize`` selects how the
+    runner materialises each scenario for this target: ``"coo"`` (one
+    in-RAM :class:`CooTensor`, the default) or ``"sharded"`` (an on-disk
+    :class:`~repro.tensor.shards.ShardedCooTensor` manifest, for the
+    out-of-core ``*.ooc.*`` targets whose whole point is never holding the
+    tensor in memory).
     """
 
     name: str
@@ -60,6 +65,7 @@ class BenchTarget:
     description: str
     setup: Callable[[CooTensor, int], Callable[[], object]]
     probe: Callable[[object], dict] | None = field(default=None)
+    materialize: str = "coo"
 
 
 _TARGETS: dict[str, BenchTarget] = {}
@@ -67,15 +73,19 @@ _TARGETS: dict[str, BenchTarget] = {}
 
 def register_target(name: str, *, group: str, description: str,
                     probe: Callable[[object], dict] | None = None,
+                    materialize: str = "coo",
                     overwrite: bool = False):
     """Decorator registering a ``setup`` callable as benchmark target ``name``."""
+    if materialize not in ("coo", "sharded"):
+        raise ValidationError(
+            f"materialize must be 'coo' or 'sharded', got {materialize!r}")
 
     def decorator(setup: Callable[[CooTensor, int], Callable[[], object]]):
         if name in _TARGETS and not overwrite:
             raise ValidationError(f"bench target {name!r} is already registered")
         _TARGETS[name] = BenchTarget(name=name, group=group,
                                      description=description, setup=setup,
-                                     probe=probe)
+                                     probe=probe, materialize=materialize)
         return setup
 
     return decorator
@@ -398,6 +408,84 @@ def _register_csl_build(name: str) -> None:
 
 
 # --------------------------------------------------------------------- #
+# *.ooc.* — the same operations fed from an on-disk shard manifest
+# (materialize="sharded"): the runner hands these targets a
+# ShardedCooTensor and the format builders stream it chunk by chunk, so
+# the cell's peak RSS is bounded by shards, not by nnz.  The probe's
+# metrics record the manifest geometry the memory gate divides by.
+# --------------------------------------------------------------------- #
+def _ooc_probe(result: object) -> dict:
+    return dict(result)
+
+
+def _ooc_manifest_metrics(tensor) -> dict:
+    return {
+        "num_shards": tensor.num_shards,
+        "largest_shard_bytes": tensor.largest_shard_bytes,
+    }
+
+
+def _register_ooc_build(name: str) -> None:
+    @register_target(f"build.ooc.{name}", group="build.ooc",
+                     description=f"{name} construction streamed from a shard "
+                                 "manifest (mode-0 root); the mode-sorted "
+                                 "shard view is built during warmup and "
+                                 "cached on disk, so timed laps measure the "
+                                 "two-pass streaming build itself",
+                     probe=_ooc_probe, materialize="sharded")
+    def _build(tensor, rank: int, dtype=None,
+               _name: str = name) -> Callable[[], object]:
+        from repro.formats import get_format
+
+        fmt = get_format(_name)
+        metrics = _ooc_manifest_metrics(tensor)
+
+        def run() -> dict:
+            fmt.build(tensor, 0, None, dtype)
+            return metrics
+
+        return run
+
+
+def _register_ooc_kernel(name: str) -> None:
+    @register_target(f"kernel.ooc.{name}", group="kernel.ooc",
+                     description=f"{name} MTTKRP on a representation built "
+                                 "by streaming from a shard manifest (build "
+                                 "untimed) — the kernel laps are identical "
+                                 f"to kernel.{name}, proving the streamed "
+                                 "build feeds the same downstream path",
+                     probe=_ooc_probe, materialize="sharded")
+    def _kernel(tensor, rank: int, dtype=None, backend=None,
+                num_workers=None, _name: str = name) -> Callable[[], object]:
+        from repro.formats import get_format
+
+        fmt = get_format(_name)
+        rep = fmt.build(tensor, 0, None, dtype)
+        factors = bench_factors(tensor.shape, rank, dtype)
+        metrics = _ooc_manifest_metrics(tensor)
+
+        def run() -> dict:
+            fmt.mttkrp(rep, factors, 0, dtype=dtype, backend=backend,
+                       num_workers=num_workers)
+            return metrics
+
+        return run
+
+
+def _register_ooc_targets() -> None:
+    from repro.formats import format_names, get_format
+
+    for fmt_name in format_names(kind="own", cpu=True):
+        # COO "builds" from shards by concatenating them back into RAM and
+        # the CSL group needs an eligible-slice mask — neither exercises
+        # the streaming two-pass builders this group exists to measure.
+        if fmt_name == "coo" or get_format(fmt_name).requires_singleton_fibers:
+            continue
+        _register_ooc_build(fmt_name)
+        _register_ooc_kernel(fmt_name)
+
+
+# --------------------------------------------------------------------- #
 # sim.* — analytical GPU simulations.  Wall-clock times the simulator
 # itself (its cost matters for experiment-driver throughput); the probe
 # reads the simulated kernel time/GFLOPS the figures are built from off
@@ -423,6 +511,7 @@ def _register_sim(fmt: str) -> None:
 
 
 _register_registry_targets()
+_register_ooc_targets()
 
 
 # --------------------------------------------------------------------- #

@@ -94,18 +94,27 @@ def split_long_fibers(
         new tree, the index of the original fiber it came from.
     """
     num_fibers = csf.num_fibers
-    identity = np.arange(num_fibers, dtype=INDEX_DTYPE)
     if threshold is None or csf.nnz == 0:
-        return csf, identity
+        return csf, np.arange(num_fibers, dtype=INDEX_DTYPE)
 
     if threshold < 1:
         raise ValidationError(f"fiber threshold must be >= 1, got {threshold}")
 
-    fiber_nnz = csf.nnz_per_fiber()
-    n_segments = np.ceil(fiber_nnz / threshold).astype(np.int64)
-    n_segments = np.maximum(n_segments, 1)
+    # Integer ceil-divide, in place on the fresh diff array: at millions
+    # of fibers the float round-trip (`ceil(nnz / t)` + astype) stacks
+    # three fiber-length temporaries that dominate the build's peak RSS.
+    n_segments = csf.nnz_per_fiber()
+    n_segments += threshold - 1
+    n_segments //= threshold
+    np.maximum(n_segments, 1, out=n_segments)
     if int(n_segments.sum()) == num_fibers:
-        return csf, identity  # nothing to split
+        # Nothing to split: recycle the buffer into the identity mapping
+        # (fill ones, zero the head, in-place cumsum -> 0..F-1) instead of
+        # allocating a second fiber-length array next to this one.
+        n_segments.fill(1)
+        n_segments[0] = 0
+        np.cumsum(n_segments, out=n_segments)
+        return csf, n_segments
 
     # Original fiber of every segment.
     segment_of_fiber = np.repeat(np.arange(num_fibers, dtype=np.int64), n_segments)
@@ -121,9 +130,14 @@ def split_long_fibers(
     # Fiber-level ids are replicated per segment.
     new_fiber_ids = csf.fids[-2][segment_of_fiber].astype(INDEX_DTYPE)
 
-    # The level above the fibers must re-point at the expanded segment list.
-    new_fptr = [p.copy() for p in csf.fptr]
-    new_fids = [f.copy() for f in csf.fids]
+    # The level above the fibers must re-point at the expanded segment
+    # list.  Only the fiber level and its two adjacent pointer levels
+    # change; every other level array (notably the big leaf fids) is
+    # shared with the input tree — level arrays are never mutated, and
+    # copying them would double the transient footprint of every B-CSF
+    # build for nothing.
+    new_fptr = list(csf.fptr)
+    new_fids = list(csf.fids)
     new_fids[-2] = new_fiber_ids
     new_fptr[-1] = new_leaf_ptr
     if csf.order >= 3:

@@ -28,6 +28,21 @@ def _mode_major_order(order: int, mode: int) -> tuple[int, ...]:
     return tuple([mode] + [x for x in range(order) if x != mode])
 
 
+def _is_sharded(tensor) -> bool:
+    """Out-of-core input?  (duck-typed: see ``ShardedCooTensor.is_sharded``)"""
+    return bool(getattr(tensor, "is_sharded", False))
+
+
+def _materialized(tensor):
+    """In-RAM COO view of a possibly sharded tensor.
+
+    Used by the representations that are inherently in-memory (COO itself
+    and the modeled baselines, whose classes do their own whole-tensor
+    preprocessing); the CSF-family builders stream instead.
+    """
+    return tensor.to_coo() if _is_sharded(tensor) else tensor
+
+
 def _simulate_kernel_for(workload, device, memory_model):
     from repro.gpusim.executor import simulate_kernel
 
@@ -78,7 +93,9 @@ def _coo_builder(tensor, mode, config):
     # cache entry serves every compute dtype) and the kernel applies the
     # dtype policy per call (values cast on the fly; the (nnz, R)
     # accumulator — the dominant traffic — is computed in the compute
-    # dtype either way).
+    # dtype either way).  A sharded input is materialised: the COO kernel
+    # walks raw index columns, so the representation is the arrays.
+    tensor = _materialized(tensor)
     return tensor.sorted_by_modes(_mode_major_order(tensor.order, mode))
 
 
@@ -118,6 +135,10 @@ register_format(FormatSpec(
 # csf
 # --------------------------------------------------------------------- #
 def _csf_builder(tensor, mode, config, dtype=None):
+    if _is_sharded(tensor):
+        from repro.formats.streaming import streaming_csf
+
+        return cast_values(streaming_csf(tensor, mode), dtype)
     from repro.tensor.csf import build_csf
 
     return cast_values(build_csf(tensor, mode), dtype)
@@ -156,7 +177,10 @@ register_format(FormatSpec(
 # b-csf
 # --------------------------------------------------------------------- #
 def _bcsf_builder(tensor, mode, config, dtype=None):
-    from repro.core.bcsf import build_bcsf
+    if _is_sharded(tensor):
+        from repro.formats.streaming import streaming_bcsf as build_bcsf
+    else:
+        from repro.core.bcsf import build_bcsf
 
     rep = build_bcsf(tensor, mode, config)
     cast = cast_values(rep.csf, dtype)
@@ -195,7 +219,10 @@ register_format(FormatSpec(
 # hb-csf
 # --------------------------------------------------------------------- #
 def _hbcsf_builder(tensor, mode, config, dtype=None):
-    from repro.core.hybrid import build_hbcsf
+    if _is_sharded(tensor):
+        from repro.formats.streaming import streaming_hbcsf as build_hbcsf
+    else:
+        from repro.core.hybrid import build_hbcsf
 
     rep = build_hbcsf(tensor, mode, config)
     dtype = resolve_dtype(dtype)
@@ -243,7 +270,11 @@ register_format(FormatSpec(
 # --------------------------------------------------------------------- #
 def _csl_builder(tensor, mode, config, dtype=None):
     from repro.core.csl import build_csl_group
-    from repro.tensor.csf import build_csf
+
+    if _is_sharded(tensor):
+        from repro.formats.streaming import streaming_csf as build_csf
+    else:
+        from repro.tensor.csf import build_csf
 
     csf = build_csf(tensor, mode)
     try:
@@ -301,7 +332,7 @@ def _baseline_kernel(rep, factors, mode, out):
 def _splatt_builder(tensor, mode, config):
     from repro.baselines.splatt import SplattMttkrp
 
-    return SplattMttkrp(tensor, tiled=False)
+    return SplattMttkrp(_materialized(tensor), tiled=False)
 
 
 register_format(FormatSpec(
@@ -319,7 +350,7 @@ register_format(FormatSpec(
 def _splatt_tiled_builder(tensor, mode, config):
     from repro.baselines.splatt import SplattMttkrp
 
-    return SplattMttkrp(tensor, tiled=True)
+    return SplattMttkrp(_materialized(tensor), tiled=True)
 
 
 register_format(FormatSpec(
@@ -336,7 +367,7 @@ register_format(FormatSpec(
 def _hicoo_builder(tensor, mode, config):
     from repro.baselines.hicoo import HicooMttkrp
 
-    return HicooMttkrp(tensor)
+    return HicooMttkrp(_materialized(tensor))
 
 
 register_format(FormatSpec(
@@ -353,7 +384,7 @@ register_format(FormatSpec(
 def _parti_builder(tensor, mode, config):
     from repro.baselines.parti import PartiGpuMttkrp
 
-    return PartiGpuMttkrp(tensor)
+    return PartiGpuMttkrp(_materialized(tensor))
 
 
 register_format(FormatSpec(
@@ -373,7 +404,7 @@ register_format(FormatSpec(
 def _fcoo_builder(tensor, mode, config):
     from repro.baselines.fcoo import FcooGpuMttkrp
 
-    return FcooGpuMttkrp(tensor)
+    return FcooGpuMttkrp(_materialized(tensor))
 
 
 def _fcoo_gpusim(tensor, mode, rank, device, launch, config, costs,

@@ -94,6 +94,17 @@ def tensor_fingerprint(tensor) -> str:
     cached = _FINGERPRINTS.get(key)
     if cached is not None:
         return cached
+    digest_fn = getattr(tensor, "manifest_digest", None)
+    if callable(digest_fn):
+        # Sharded tensors are content-addressed by their manifest (which
+        # embeds a sha256 per shard payload) — never pull GBs of mmap'd
+        # indices through the hash.
+        digest = "sharded:" + digest_fn()
+        with _FINGERPRINT_LOCK:
+            if key not in _FINGERPRINTS:
+                _FINGERPRINTS[key] = digest
+                weakref.finalize(tensor, _FINGERPRINTS.pop, key, None)
+        return digest
     h = hashlib.sha256()
     h.update(repr(tuple(tensor.shape)).encode())
     for arr in (tensor.indices, tensor.values):

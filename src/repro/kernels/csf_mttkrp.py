@@ -21,7 +21,24 @@ from repro.tensor.dense import _check_factors
 from repro.util.dtypes import resolve_dtype
 from repro.util.errors import DimensionError, TensorFormatError
 
-__all__ = ["csf_mttkrp", "segment_sum"]
+__all__ = ["csf_mttkrp", "segment_sum", "DEFAULT_SLAB_ELEMS", "slab_nnz_for"]
+
+#: soft cap on the elements of the ``(nnz, R)`` scratch the tree reduction
+#: materialises per slab (2^22 float64 elements = 32 MB).  Tensors whose
+#: nonzero count fits one slab take the exact historical single-pass path;
+#: larger tensors are evaluated in root-aligned slabs so peak scratch stays
+#: bounded no matter how far the out-of-core ladder scales nnz.
+DEFAULT_SLAB_ELEMS = 1 << 22
+
+
+def slab_nnz_for(rank: int, slab_nnz: int | None = None) -> int:
+    """Nonzeros per reduction slab: explicit override or the element budget."""
+    if slab_nnz is not None:
+        if slab_nnz < 1:
+            raise TensorFormatError(
+                f"slab_nnz must be >= 1, got {slab_nnz}")
+        return slab_nnz
+    return max(1, DEFAULT_SLAB_ELEMS // max(rank, 1))
 
 
 def segment_sum(data: np.ndarray, ptr: np.ndarray,
@@ -60,6 +77,7 @@ def csf_mttkrp(
     out: np.ndarray | None = None,
     dtype=None,
     validate: bool = True,
+    slab_nnz: int | None = None,
 ) -> np.ndarray:
     """MTTKRP for the root mode of a CSF tensor.
 
@@ -82,6 +100,13 @@ def csf_mttkrp(
         Skip the factor-shape checks and the segment-monotonicity scans
         when ``False`` — for trusted internal re-invocations on
         builder-produced trees.
+    slab_nnz:
+        Nonzeros per reduction slab (``None`` derives it from
+        :data:`DEFAULT_SLAB_ELEMS` and the rank).  Slabs split only at
+        root-entry boundaries, so every output row is produced by exactly
+        one slab and the result is bit-identical to the single-pass
+        evaluation regardless of the slab size; a single root entry larger
+        than the slab is evaluated whole.
     """
     if mode is None:
         mode = csf.root_mode
@@ -107,18 +132,58 @@ def csf_mttkrp(
     factors = [np.asarray(f, dtype=compute_dtype) for f in factors]
     values = csf.values.astype(compute_dtype, copy=False)
 
-    # Leaf level: val * A_leafmode[leaf index, :]
-    leaf_mode = csf.mode_order[-1]
-    buf = values[:, None] * factors[leaf_mode][csf.fids[-1]]
+    slab = slab_nnz_for(rank, slab_nnz)
+    if csf.nnz <= slab:
+        _tree_reduce(values, csf.fids, csf.fptr, csf.mode_order, factors,
+                     out, validate)
+        return out
+
+    # Leaf offset of every root-entry boundary: chain the pointer levels.
+    off = csf.fptr[0]
+    for ptr in csf.fptr[1:]:
+        off = ptr[off]
+    nroot = csf.fids[0].shape[0]
+    start = 0
+    while start < nroot:
+        stop = int(np.searchsorted(off, off[start] + slab, side="right")) - 1
+        stop = min(max(stop, start + 1), nroot)
+        # Restrict every level to the [start, stop) root entries: pointer
+        # views are rebased to the slab, index/value views are plain slices.
+        lo, hi = start, stop
+        fids, fptr = [], []
+        for ptr in csf.fptr:
+            fids.append(csf.fids[len(fptr)][lo:hi])
+            seg = ptr[lo:hi + 1]
+            fptr.append(seg - seg[0])
+            lo, hi = int(ptr[lo]), int(ptr[hi])
+        fids.append(csf.fids[-1][lo:hi])
+        _tree_reduce(values[lo:hi], fids, fptr, csf.mode_order, factors,
+                     out, validate)
+        start = stop
+    return out
+
+
+def _tree_reduce(values: np.ndarray, fids: list, fptr: list,
+                 mode_order: tuple, factors: list[np.ndarray],
+                 out: np.ndarray, validate: bool) -> None:
+    """Bottom-up CSF tree reduction over one (slab of a) tensor,
+    accumulated into ``out``.  ``fptr`` entries must be rebased to start
+    at 0 and ``values``/``fids`` sliced consistently."""
+    order = len(mode_order)
+    # Leaf level: val * A_leafmode[leaf index, :].  The gather is a fresh
+    # copy, so scaling it in place keeps one (nnz, R) array live instead
+    # of two (multiplication is commutative bit-for-bit).
+    leaf_mode = mode_order[-1]
+    buf = factors[leaf_mode][fids[-1]]
+    buf *= values[:, None]
 
     # Reduce up the tree, scaling by the factor of each internal level except
     # the root.
     for level in range(order - 2, 0, -1):
-        buf = segment_sum(buf, csf.fptr[level], validate=validate)
-        level_mode = csf.mode_order[level]
-        buf *= factors[level_mode][csf.fids[level]]
+        buf = segment_sum(buf, fptr[level], validate=validate)
+        level_mode = mode_order[level]
+        buf *= factors[level_mode][fids[level]]
 
     # Root level: reduce fibers (or sub-trees) into slices and scatter.
-    slice_vals = segment_sum(buf, csf.fptr[0], validate=validate)
-    np.add.at(out, csf.fids[0], slice_vals)
-    return out
+    slice_vals = segment_sum(buf, fptr[0], validate=validate)
+    np.add.at(out, fids[0], slice_vals)

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.kernels.csf_mttkrp import segment_sum
+from repro.kernels.csf_mttkrp import segment_sum, slab_nnz_for
 from repro.util.errors import DimensionError, TensorFormatError
 
 __all__ = ["csl_mttkrp"]
@@ -26,6 +26,7 @@ def csl_mttkrp(
     mode_order: tuple[int, ...],
     out: np.ndarray,
     validate: bool = True,
+    slab_nnz: int | None = None,
 ) -> np.ndarray:
     """MTTKRP over a CSL-stored group of slices, accumulated into ``out``.
 
@@ -51,6 +52,11 @@ def csl_mttkrp(
         Skip the structural checks (and the segment-monotonicity scan)
         when ``False`` — for trusted call sites executing a validated
         :class:`~repro.core.csl.CslGroup`.
+    slab_nnz:
+        Nonzeros per reduction slab (``None`` derives it from
+        :data:`repro.kernels.csf_mttkrp.DEFAULT_SLAB_ELEMS` and the rank).
+        Slabs split only at slice boundaries, so the result is
+        bit-identical to the single-pass evaluation.
     """
     num_slices = slice_inds.shape[0]
     nnz = values.shape[0]
@@ -70,15 +76,48 @@ def csl_mttkrp(
     rank = out.shape[1]
     compute_dtype = out.dtype
     vals = values.astype(compute_dtype, copy=False)
+    factors = [np.asarray(f, dtype=compute_dtype) for f in factors]
+
+    slab = slab_nnz_for(rank, slab_nnz)
+    if nnz <= slab:
+        _slice_reduce(vals, rest_indices, slice_ptr, slice_inds, factors,
+                      mode_order, rank, out, validate)
+        return out
+
+    start = 0
+    while start < num_slices:
+        stop = int(np.searchsorted(slice_ptr, slice_ptr[start] + slab,
+                                   side="right")) - 1
+        stop = min(max(stop, start + 1), num_slices)
+        lo, hi = int(slice_ptr[start]), int(slice_ptr[stop])
+        seg = slice_ptr[start:stop + 1]
+        _slice_reduce(vals[lo:hi], rest_indices[lo:hi], seg - seg[0],
+                      slice_inds[start:stop], factors, mode_order, rank,
+                      out, validate)
+        start = stop
+    return out
+
+
+def _slice_reduce(vals: np.ndarray, rest_indices: np.ndarray,
+                  slice_ptr: np.ndarray, slice_inds: np.ndarray,
+                  factors: list[np.ndarray], mode_order: tuple,
+                  rank: int, out: np.ndarray, validate: bool) -> None:
+    """One (slab of a) CSL group reduced into ``out``.  ``slice_ptr`` must
+    be rebased to start at 0 and the arrays sliced consistently."""
     acc = None
     for col, m in enumerate(mode_order[1:]):
-        gathered = np.asarray(factors[m], dtype=compute_dtype)[rest_indices[:, col]]
+        gathered = factors[m][rest_indices[:, col]]
         # Scale the first gathered factor by the values directly instead of
         # materialising a (nnz, R) broadcast of the values (same fix as the
-        # COO kernel; bit-identical multiplication order).
-        acc = vals[:, None] * gathered if acc is None else acc * gathered
+        # COO kernel).  Both multiplies run in place on the fresh gather /
+        # the accumulator, so at most two (nnz, R) arrays are ever live;
+        # elementwise multiplication is commutative bit-for-bit.
+        if acc is None:
+            gathered *= vals[:, None]
+            acc = gathered
+        else:
+            acc *= gathered
     if acc is None:  # order-1 group: no non-root factors to gather
         acc = np.repeat(vals[:, None], rank, axis=1)
     per_slice = segment_sum(acc, slice_ptr, validate=validate)
     np.add.at(out, slice_inds, per_slice)
-    return out

@@ -16,18 +16,36 @@ from __future__ import annotations
 
 import json
 import os
+import shutil
 from pathlib import Path
 
 import numpy as np
 
-from repro.scenarios.registry import materialize_spec
+from repro.scenarios.registry import get_generator, materialize_spec
 from repro.scenarios.spec import ScenarioSpec, parse_spec
 from repro.tensor.coo import CooTensor, INDEX_DTYPE, VALUE_DTYPE
+from repro.tensor.shards import (
+    DEFAULT_SHARD_NNZ,
+    ShardedCooTensor,
+    ShardedCooWriter,
+    open_sharded,
+)
 from repro.util.errors import ValidationError
 
-__all__ = ["ScenarioCache", "default_cache_dir", "materialize"]
+__all__ = [
+    "ScenarioCache",
+    "default_cache_dir",
+    "materialize",
+    "materialize_sharded",
+    "generate_sharded",
+]
 
 _MANIFEST = "manifest.json"
+
+#: nonzeros generated per batch on the sharded path.  Fixed (instead of
+#: derived from the shard size) so the generated data depends only on
+#: (spec, batch) — the shard size then only changes the file layout.
+DEFAULT_BATCH_NNZ = 1 << 20
 
 
 def default_cache_dir() -> Path:
@@ -128,6 +146,91 @@ class ScenarioCache:
         self._write_manifest(manifest)
         return path
 
+    # ------------------------------------------------------------------ #
+    # sharded entries
+    # ------------------------------------------------------------------ #
+    def shard_dir_for(self, spec: ScenarioSpec, *,
+                      shard_nnz: int = DEFAULT_SHARD_NNZ,
+                      batch_nnz: int = DEFAULT_BATCH_NNZ) -> Path:
+        """Directory of the sharded entry for ``spec``.
+
+        Both knobs enter the name: ``batch_nnz`` changes the generated data
+        (the rng is consumed per batch) and ``shard_nnz`` changes the file
+        layout, so each combination is its own cache identity.
+        """
+        return self.root / (f"{spec.spec_hash()}-b{int(batch_nnz)}"
+                            f"-s{int(shard_nnz)}.shards")
+
+    def get_sharded(self, spec: ScenarioSpec, *,
+                    shard_nnz: int = DEFAULT_SHARD_NNZ,
+                    batch_nnz: int = DEFAULT_BATCH_NNZ,
+                    ) -> ShardedCooTensor | None:
+        """Cached sharded tensor for ``spec``, or ``None`` on a miss.
+
+        Every file the shard manifest lists is validated against disk; a
+        deleted or truncated shard turns the whole entry into a clean miss
+        (the damaged directory is removed so the caller's rebuild starts
+        fresh) instead of a ``FileNotFoundError`` deep inside ``np.load``.
+        """
+        path = self.shard_dir_for(spec, shard_nnz=shard_nnz,
+                                  batch_nnz=batch_nnz)
+        if not path.exists():
+            return None
+        try:
+            sharded = open_sharded(path)
+        except ValidationError:
+            shutil.rmtree(path, ignore_errors=True)
+            return None
+        if tuple(sharded.shape) != tuple(spec.shape):
+            shutil.rmtree(path, ignore_errors=True)
+            return None
+        return sharded
+
+    def _record_sharded(self, spec: ScenarioSpec, sharded: ShardedCooTensor,
+                        *, shard_nnz: int, batch_nnz: int) -> None:
+        manifest = self.manifest()
+        manifest[f"{spec.spec_hash()}-b{int(batch_nnz)}-s{int(shard_nnz)}"] = {
+            "spec": spec.canonical(),
+            "name": spec.name,
+            "file": sharded.root.name,
+            "kind": "shards",
+            "shape": list(sharded.shape),
+            "nnz": sharded.nnz,
+            "num_shards": sharded.num_shards,
+        }
+        self._write_manifest(manifest)
+
+    # ------------------------------------------------------------------ #
+    # maintenance
+    # ------------------------------------------------------------------ #
+    def validate(self) -> list[str]:
+        """Prune manifest entries whose backing files are gone.
+
+        Returns the dropped keys.  An npz entry must exist on disk; a
+        sharded entry must open cleanly with every listed shard file
+        present (a damaged directory is removed).  Run this to reconcile
+        the manifest after files were deleted out from under the cache.
+        """
+        manifest = self.manifest()
+        dropped: list[str] = []
+        for key, entry in list(manifest.items()):
+            target = self.root / str(entry.get("file", ""))
+            if entry.get("kind") == "shards":
+                try:
+                    open_sharded(target)
+                    ok = True
+                except ValidationError:
+                    shutil.rmtree(target, ignore_errors=True)
+                    ok = False
+            else:
+                ok = target.is_file()
+            if not ok:
+                dropped.append(key)
+                del manifest[key]
+        if dropped:
+            self._write_manifest(manifest)
+        return dropped
+
     def clear(self) -> int:
         """Delete all cache entries; returns the number of tensors removed."""
         if not self.root.exists():
@@ -135,6 +238,9 @@ class ScenarioCache:
         removed = 0
         for path in self.root.glob("*.npz"):
             path.unlink()
+            removed += 1
+        for path in self.root.glob("*.shards"):
+            shutil.rmtree(path, ignore_errors=True)
             removed += 1
         self.manifest_path.unlink(missing_ok=True)
         return removed
@@ -160,3 +266,64 @@ def materialize(spec_like, cache: ScenarioCache | None = None, *,
     if cache is not None:
         cache.put(spec, tensor)
     return tensor
+
+
+def generate_sharded(spec: ScenarioSpec, root: str | os.PathLike, *,
+                     shard_nnz: int = DEFAULT_SHARD_NNZ,
+                     batch_nnz: int = DEFAULT_BATCH_NNZ) -> ShardedCooTensor:
+    """Generate ``spec`` straight into a shard manifest under ``root``.
+
+    The generator function is invoked in batches of ``batch_nnz`` nonzeros
+    against one persistent rng and each batch streams to the shard writer,
+    so the working set is one batch — never the full tensor.  (Batched
+    generation consumes the rng differently from the single-call
+    :func:`materialize_spec`, which is why ``batch_nnz`` is part of the
+    sharded cache identity.)
+    """
+    gen = get_generator(spec.generator)
+    params = gen.validate_params(spec.params_dict())
+    rng = np.random.default_rng(spec.seed)
+    writer = ShardedCooWriter(root, spec.shape, shard_nnz=shard_nnz)
+    remaining = int(spec.nnz)
+    batch = max(1, int(batch_nnz))
+    while remaining > 0:
+        take = min(batch, remaining)
+        part = gen.fn(tuple(spec.shape), take, rng, **params)
+        writer.append(part.indices, part.values, validate=False)
+        remaining -= take
+    return writer.close()
+
+
+def materialize_sharded(spec_like, cache: ScenarioCache | None = None, *,
+                        scale: float = 1.0, seed: int | None = None,
+                        shard_nnz: int = DEFAULT_SHARD_NNZ,
+                        batch_nnz: int = DEFAULT_BATCH_NNZ,
+                        root: str | os.PathLike | None = None,
+                        ) -> ShardedCooTensor:
+    """Out-of-core counterpart of :func:`materialize`.
+
+    With a ``cache`` the shard directory lives inside the cache root and a
+    validated prior materialisation is reused; otherwise ``root`` names the
+    target directory explicitly.
+    """
+    spec = parse_spec(spec_like)
+    if scale != 1.0:
+        spec = spec.with_scale(scale)
+    if seed is not None:
+        spec = spec.with_seed(seed)
+    if cache is None and root is None:
+        raise ValidationError(
+            "materialize_sharded needs a cache or an explicit root")
+    if cache is not None:
+        hit = cache.get_sharded(spec, shard_nnz=shard_nnz,
+                                batch_nnz=batch_nnz)
+        if hit is not None:
+            return hit
+        root = cache.shard_dir_for(spec, shard_nnz=shard_nnz,
+                                   batch_nnz=batch_nnz)
+    sharded = generate_sharded(spec, root, shard_nnz=shard_nnz,
+                               batch_nnz=batch_nnz)
+    if cache is not None:
+        cache._record_sharded(spec, sharded, shard_nnz=shard_nnz,
+                              batch_nnz=batch_nnz)
+    return sharded

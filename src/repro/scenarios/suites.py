@@ -20,9 +20,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Iterator
 
-from repro.scenarios.cache import ScenarioCache, materialize
+from repro.scenarios.cache import (
+    DEFAULT_BATCH_NNZ,
+    ScenarioCache,
+    materialize,
+    materialize_sharded,
+)
 from repro.scenarios.spec import ScenarioSpec, parse_spec
 from repro.tensor.coo import CooTensor
+from repro.tensor.shards import DEFAULT_SHARD_NNZ, ShardedCooTensor
 from repro.util.errors import ValidationError
 
 __all__ = [
@@ -31,6 +37,7 @@ __all__ = [
     "get_suite",
     "suite_names",
     "iter_suite",
+    "iter_suite_sharded",
 ]
 
 
@@ -81,6 +88,25 @@ def iter_suite(name: str, *, scale: float = 1.0, seed: int | None = None,
     """Yield ``(scenario name, tensor)`` for every entry of suite ``name``."""
     for entry_name, spec in get_suite(name).specs():
         yield entry_name, materialize(spec, cache, scale=scale, seed=seed)
+
+
+def iter_suite_sharded(name: str, *, scale: float = 1.0,
+                       seed: int | None = None,
+                       cache: ScenarioCache | None = None,
+                       shard_nnz: int = DEFAULT_SHARD_NNZ,
+                       batch_nnz: int = DEFAULT_BATCH_NNZ,
+                       ) -> Iterator[tuple[str, ShardedCooTensor]]:
+    """Like :func:`iter_suite` but each tensor materialises as shards.
+
+    Generation streams batch-by-batch into the cache's shard directories
+    (bounded working set), so suites sized far beyond RAM — e.g.
+    ``scale_ladder_xl`` — stay iterable on a fixed-memory box.
+    """
+    cache = cache if cache is not None else ScenarioCache()
+    for entry_name, spec in get_suite(name).specs():
+        yield entry_name, materialize_sharded(
+            spec, cache, scale=scale, seed=seed,
+            shard_nnz=shard_nnz, batch_nnz=batch_nnz)
 
 
 # --------------------------------------------------------------------- #
@@ -176,4 +202,31 @@ def _scaling_ladder() -> list[tuple[str, ScenarioSpec]]:
                        "block_alpha": 1.2},
         })
         entries.append((f"ladder-{tier}", spec))
+    return entries
+
+
+@register_suite(
+    "scale_ladder_xl",
+    description="out-of-core extension of the ladder: 10^6 -> 10^7 nonzeros "
+                "on a 4e4 x 3e4 x 5e4 grid, generated straight into shard "
+                "manifests (use iter_suite_sharded / materialize_sharded)",
+)
+def _scale_ladder_xl() -> list[tuple[str, ScenarioSpec]]:
+    # Same block-community family as `scaling_ladder` so per-slice structure
+    # is comparable across the two suites; the shape is ~400x more cells so
+    # density stays realistic as nnz climbs.  At the top tier the raw COO
+    # arrays are ~320 MB — materialise through iter_suite_sharded, not
+    # iter_suite, unless you have the RAM to spare.
+    tiers = (("1m", 1_000_000), ("3m", 3_200_000), ("10m", 10_000_000))
+    entries = []
+    for tier, nnz in tiers:
+        spec = parse_spec({
+            "generator": "block_community",
+            "shape": (40_000, 30_000, 50_000),
+            "nnz": nnz,
+            "seed": 9_000,
+            "params": {"num_blocks": 12, "within_fraction": 0.8,
+                       "block_alpha": 1.2},
+        })
+        entries.append((f"xl-{tier}", spec))
     return entries

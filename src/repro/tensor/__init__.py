@@ -25,6 +25,13 @@ from repro.tensor.datasets import (
 )
 from repro.tensor.stats import TensorStats, mode_stats, tensor_stats
 from repro.tensor.io import read_tns, write_tns
+from repro.tensor.shards import (
+    ShardedCooTensor,
+    ShardedCooWriter,
+    open_sharded,
+    save_sharded,
+    sort_sharded,
+)
 from repro.tensor.reorder import (
     Reordering,
     random_relabel,
@@ -52,6 +59,11 @@ __all__ = [
     "tensor_stats",
     "read_tns",
     "write_tns",
+    "ShardedCooTensor",
+    "ShardedCooWriter",
+    "open_sharded",
+    "save_sharded",
+    "sort_sharded",
     "Reordering",
     "random_relabel",
     "relabel_mode_by_density",

@@ -84,11 +84,13 @@ class CsfTensor:
 
     def nnz_per_fiber(self) -> np.ndarray:
         """Leaf count of every fiber (level ``N-2`` node)."""
-        return np.diff(self.fptr[-1]).astype(INDEX_DTYPE)
+        # ``diff`` already allocates a fresh int64 array; copy=False avoids
+        # duplicating it (fiber counts run to hundreds of MB at 1e7 nnz).
+        return np.diff(self.fptr[-1]).astype(INDEX_DTYPE, copy=False)
 
     def nnz_per_slice(self) -> np.ndarray:
         """Leaf count of every slice (level-0 node)."""
-        counts = np.diff(self.fptr[-1]).astype(np.int64)
+        counts = np.diff(self.fptr[-1]).astype(np.int64, copy=False)
         for level in range(self.order - 3, -1, -1):
             ptr = self.fptr[level]
             counts = np.add.reduceat(counts, ptr[:-1]) if counts.size else counts

@@ -1,0 +1,74 @@
+"""Out-of-core bench targets: sharded materialisation and per-cell RSS."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.runner import BenchConfig, run_benchmarks
+from repro.bench.targets import expand_targets, get_target, target_names
+from repro.util.errors import ValidationError
+
+SCENARIO = ("ooc-tiny", {
+    "generator": "block_community",
+    "shape": (60, 50, 70),
+    "nnz": 4_000,
+    "seed": 77,
+    "params": {"num_blocks": 3},
+})
+
+
+class TestRegistration:
+    def test_ooc_groups_present(self):
+        for fmt in ("csf", "b-csf", "hb-csf"):
+            assert f"build.ooc.{fmt}" in target_names("build.ooc")
+            assert f"kernel.ooc.{fmt}" in target_names("kernel.ooc")
+
+    def test_ooc_targets_declare_sharded_materialisation(self):
+        for name in target_names("build.ooc") + target_names("kernel.ooc"):
+            assert get_target(name).materialize == "sharded"
+
+    def test_default_targets_stay_coo(self):
+        assert get_target("kernel.hb-csf").materialize == "coo"
+        assert get_target("build.csf").materialize == "coo"
+
+    def test_ooc_not_in_default_matrix_group(self):
+        assert not any(n.startswith(("build.ooc", "kernel.ooc"))
+                       for n in expand_targets(["kernel"]))
+
+    def test_shard_nnz_validated(self):
+        with pytest.raises(ValidationError):
+            BenchConfig(shard_nnz=0)
+
+
+class TestRunner:
+    @pytest.fixture(scope="class")
+    def run(self):
+        config = BenchConfig(repeats=2, warmup=1, rank=4, shard_nnz=1_000)
+        return run_benchmarks(
+            ["build.ooc.hb-csf", "kernel.ooc.csf", "kernel.csf"],
+            [SCENARIO], config, name="ooc-test")
+
+    def test_all_cells_measured(self, run):
+        assert sorted(t for t, _ in run.keys()) == [
+            "build.ooc.hb-csf", "kernel.csf", "kernel.ooc.csf"]
+
+    def test_manifest_metrics_on_ooc_cells(self, run):
+        for target in ("build.ooc.hb-csf", "kernel.ooc.csf"):
+            m = run.measurement(target, "ooc-tiny")
+            assert m.metrics["num_shards"] == 4  # 4000 nnz / 1000 per shard
+            assert m.metrics["largest_shard_bytes"] > 0
+
+    def test_per_cell_rss_recorded_with_scope(self, run):
+        scope = run.env.get("peak_rss_scope")
+        assert scope in ("cell", "process")
+        for m in run.measurements:
+            assert m.metrics.get("peak_rss_bytes", 0) > 0
+
+    def test_shard_nnz_in_config_provenance(self, run):
+        assert run.config["shard_nnz"] == 1_000
+
+    def test_ooc_kernel_matches_in_memory_kernel_shape(self, run):
+        ooc = run.measurement("kernel.ooc.csf", "ooc-tiny")
+        mem = run.measurement("kernel.csf", "ooc-tiny")
+        assert ooc.shape == mem.shape
+        assert ooc.nnz == mem.nnz

@@ -1,0 +1,161 @@
+"""Memory-gated benchmarking: peak_rss_bytes as a first-class metric.
+
+Injected-regression drills: a candidate run whose peak RSS doubles must
+fail ``compare`` and (when sustained) ``history trend --fail-on-regression``
+through exactly the machinery that gates seconds — and runs recorded before
+the metric existed must be incomparable, never phantom regressions.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.cli import main
+from repro.bench.compare import compare_runs
+from repro.bench.history import build_series, detect_trend, load_history
+from repro.bench.schema import BenchRun, Measurement, append_history, save_run
+
+MB = 1024 * 1024
+
+
+def rss_run(rss_by_cell: dict[tuple[str, str], float | None],
+            name: str = "r", median: float = 0.01) -> BenchRun:
+    measurements = []
+    for (target, scenario), rss in rss_by_cell.items():
+        stats = {"repeats": 3, "warmup": 1, "min": median * 0.9,
+                 "median": median, "p95": median * 1.1, "max": median * 1.1,
+                 "mean": median, "stddev": 0.0, "total": median * 3,
+                 "laps": [median] * 3}
+        metrics = {} if rss is None else {"peak_rss_bytes": float(rss)}
+        measurements.append(Measurement(
+            target=target, scenario=scenario, spec_hash="x",
+            shape=(4, 4, 4), nnz=16, rank=4, stats=stats, metrics=metrics))
+    return BenchRun(name=name, created_at="2026-08-07T00:00:00+00:00",
+                    env={"python": "3.12.0", "machine": "x86_64",
+                         "cpu_count": 4},
+                    config={}, measurements=measurements)
+
+
+KEY = ("build.ooc.hb-csf", "xl-1m")
+
+
+class TestCompareGate:
+    def test_injected_rss_regression_fails(self):
+        base = rss_run({KEY: 100 * MB})
+        cand = rss_run({KEY: 220 * MB}, name="cand")
+        report = compare_runs(base, cand, metric="peak_rss_bytes")
+        (delta,) = report.deltas
+        assert delta.verdict == "regression"
+        assert delta.ratio == pytest.approx(2.2)
+        assert report.has_regressions
+
+    def test_rss_improvement_and_neutral(self):
+        base = rss_run({KEY: 100 * MB})
+        assert compare_runs(base, rss_run({KEY: 50 * MB}),
+                            metric="peak_rss_bytes").deltas[0].verdict \
+            == "improvement"
+        assert compare_runs(base, rss_run({KEY: 105 * MB}),
+                            metric="peak_rss_bytes").deltas[0].verdict \
+            == "neutral"
+
+    def test_predates_metric_is_incomparable(self):
+        # a run from before peak_rss_bytes existed has no value to ratio
+        old = rss_run({KEY: None})
+        new = rss_run({KEY: 100 * MB}, name="new")
+        for a, b in ((old, new), (new, old)):
+            report = compare_runs(a, b, metric="peak_rss_bytes")
+            assert report.deltas[0].verdict == "incomparable"
+            assert not report.has_regressions
+
+    def test_seconds_metric_unaffected(self):
+        base = rss_run({KEY: 100 * MB})
+        cand = rss_run({KEY: 300 * MB}, name="cand")  # same seconds
+        assert not compare_runs(base, cand).has_regressions
+
+    def test_rows_format_mb(self):
+        report = compare_runs(rss_run({KEY: 100 * MB}),
+                              rss_run({KEY: 220 * MB}),
+                              metric="peak_rss_bytes")
+        (row,) = report.rows()
+        assert row["base MB"] == 100.0
+        assert row["cand MB"] == 220.0
+
+    def test_cli_exit_code(self, tmp_path, capsys):
+        save_run(rss_run({KEY: 100 * MB}), tmp_path / "base.json")
+        save_run(rss_run({KEY: 220 * MB}, name="c"), tmp_path / "cand.json")
+        rc = main(["compare", str(tmp_path / "base.json"),
+                   str(tmp_path / "cand.json"),
+                   "--metric", "peak_rss_bytes", "--json"])
+        out = json.loads(capsys.readouterr().out)
+        assert rc == 1
+        assert out["counts"]["regression"] == 1
+        rc = main(["compare", str(tmp_path / "base.json"),
+                   str(tmp_path / "cand.json")])  # seconds: no regression
+        capsys.readouterr()
+        assert rc == 0
+
+
+class TestHistoryGate:
+    def _history(self, tmp_path, peaks: list[float | None]) -> str:
+        path = tmp_path / "BENCH_history.jsonl"
+        for i, rss in enumerate(peaks):
+            append_history(rss_run({KEY: rss}, name=f"r{i}"), path)
+        return str(path)
+
+    def test_build_series_skips_none_points(self, tmp_path):
+        path = self._history(tmp_path, [None, 100 * MB, None, 110 * MB])
+        runs = load_history(path)
+        (series,) = build_series(runs, metric="peak_rss_bytes")
+        assert len(series) == 2
+        assert series.values() == [100 * MB, 110 * MB]
+        # seconds series still sees all four runs
+        (sseries,) = build_series(runs, metric="median")
+        assert len(sseries) == 4
+
+    def test_sustained_rss_jump_fails_trend_gate(self, tmp_path, capsys):
+        peaks = [100 * MB] * 5 + [260 * MB] * 2
+        path = self._history(tmp_path, peaks)
+        rc = main(["history", "trend", "--history", path,
+                   "--metric", "peak_rss_bytes", "--fail-on-regression"])
+        err = capsys.readouterr().err
+        assert rc == 1
+        assert "TREND REGRESSION" in err
+
+    def test_stable_rss_passes_trend_gate(self, tmp_path, capsys):
+        peaks = [100 * MB, 101 * MB, 99 * MB, 100 * MB, 102 * MB]
+        path = self._history(tmp_path, peaks)
+        rc = main(["history", "trend", "--history", path,
+                   "--metric", "peak_rss_bytes", "--fail-on-regression"])
+        capsys.readouterr()
+        assert rc == 0
+
+    def test_report_shows_mb_columns(self, tmp_path, capsys):
+        path = self._history(tmp_path, [100 * MB, 120 * MB, 118 * MB])
+        rc = main(["history", "report", "--history", path,
+                   "--metric", "peak_rss_bytes"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "first MB" in out and "last MB" in out
+
+    def test_detect_trend_on_bytes(self):
+        values = [100.0 * MB] * 5 + [300.0 * MB] * 2
+        trend = detect_trend(values)
+        assert trend.verdict == "regressing"
+        assert trend.sustained
+
+
+class TestMeasurementValue:
+    def test_stats_vs_metrics_lookup(self):
+        run = rss_run({KEY: 42 * MB}, median=0.5)
+        (m,) = run.measurements
+        assert m.value("median") == pytest.approx(0.5)
+        assert m.value("peak_rss_bytes") == pytest.approx(42 * MB)
+        assert m.value("no_such_metric") is None
+
+    def test_roundtrip_preserves_metrics(self):
+        run = rss_run({KEY: 42 * MB})
+        back = BenchRun.from_json(run.to_json())
+        assert back.measurements[0].value("peak_rss_bytes") \
+            == pytest.approx(42 * MB)

@@ -30,8 +30,8 @@ class TestListing:
         assert names == target_names()  # deterministic across calls
 
     def test_groups(self):
-        assert set(target_groups()) == {"kernel", "kernel.par", "build",
-                                        "sim", "cpd"}
+        assert set(target_groups()) == {"kernel", "kernel.par", "kernel.ooc",
+                                        "build", "build.ooc", "sim", "cpd"}
         assert DEFAULT_MATRIX_GROUP in target_groups()
 
     def test_four_mttkrp_kernels_registered(self):

@@ -1,0 +1,122 @@
+"""Sharded scenario cache: content addressing, damage recovery, XL suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.scenarios.cache import (
+    DEFAULT_BATCH_NNZ,
+    ScenarioCache,
+    generate_sharded,
+    materialize,
+    materialize_sharded,
+)
+from repro.scenarios.spec import parse_spec
+from repro.scenarios.suites import get_suite, iter_suite_sharded, suite_names
+from repro.util.errors import ValidationError
+
+SPEC = {
+    "generator": "block_community",
+    "shape": (80, 60, 90),
+    "nnz": 5_000,
+    "seed": 123,
+    "params": {"num_blocks": 4},
+}
+
+
+class TestShardedCache:
+    def test_miss_generate_hit(self, tmp_path):
+        cache = ScenarioCache(tmp_path)
+        spec = parse_spec(SPEC)
+        assert cache.get_sharded(spec, shard_nnz=1_000) is None
+        first = materialize_sharded(spec, cache, shard_nnz=1_000)
+        hit = cache.get_sharded(spec, shard_nnz=1_000)
+        assert hit is not None
+        assert hit.manifest_digest() == first.manifest_digest()
+
+    def test_regeneration_is_deterministic(self, tmp_path):
+        spec = parse_spec(SPEC)
+        a = generate_sharded(spec, tmp_path / "a", shard_nnz=1_000)
+        b = generate_sharded(spec, tmp_path / "b", shard_nnz=1_000)
+        assert a.manifest_digest() == b.manifest_digest()
+
+    def test_matches_in_memory_generation(self, tmp_path):
+        # one batch covers the whole budget, so the rng draws identically
+        spec = parse_spec(SPEC)
+        assert spec.nnz <= DEFAULT_BATCH_NNZ
+        sharded = materialize_sharded(spec, ScenarioCache(tmp_path),
+                                      shard_nnz=1_000)
+        in_ram = materialize(spec)
+        coo = sharded.to_coo()
+        np.testing.assert_array_equal(coo.indices, in_ram.indices)
+        np.testing.assert_array_equal(coo.values.view(np.uint64),
+                                      in_ram.values.view(np.uint64))
+
+    def test_deleted_shard_is_clean_miss_and_rebuild(self, tmp_path):
+        cache = ScenarioCache(tmp_path)
+        spec = parse_spec(SPEC)
+        first = materialize_sharded(spec, cache, shard_nnz=1_000)
+        victim = sorted(first.root.glob("*.npy"))[0]
+        victim.unlink()
+        assert cache.get_sharded(spec, shard_nnz=1_000) is None
+        assert not first.root.exists()  # damaged directory removed
+        rebuilt = materialize_sharded(spec, cache, shard_nnz=1_000)
+        assert rebuilt.manifest_digest() == first.manifest_digest()
+
+    def test_validate_prunes_dead_entries(self, tmp_path):
+        import shutil
+
+        cache = ScenarioCache(tmp_path)
+        spec = parse_spec(SPEC)
+        sharded = materialize_sharded(spec, cache, shard_nnz=1_000)
+        tensor = materialize(spec, cache)
+        assert tensor.nnz > 0
+        assert cache.validate() == []
+        shutil.rmtree(sharded.root)
+        cache.path_for(spec).unlink()
+        dropped = cache.validate()
+        assert len(dropped) == 2
+        assert cache.validate() == []
+
+    def test_shard_and_batch_size_are_cache_identities(self, tmp_path):
+        cache = ScenarioCache(tmp_path)
+        spec = parse_spec(SPEC)
+        a = cache.shard_dir_for(spec, shard_nnz=1_000, batch_nnz=2_000)
+        b = cache.shard_dir_for(spec, shard_nnz=500, batch_nnz=2_000)
+        c = cache.shard_dir_for(spec, shard_nnz=1_000, batch_nnz=4_000)
+        assert len({a, b, c}) == 3
+
+    def test_needs_cache_or_root(self):
+        with pytest.raises(ValidationError, match="cache or an explicit root"):
+            materialize_sharded(SPEC)
+
+    def test_clear_removes_shard_dirs(self, tmp_path):
+        cache = ScenarioCache(tmp_path)
+        materialize_sharded(parse_spec(SPEC), cache, shard_nnz=1_000)
+        assert cache.clear() >= 1
+        assert not list(tmp_path.glob("*.shards"))
+
+
+class TestScaleLadderXl:
+    def test_registered_with_three_tiers(self):
+        assert "scale_ladder_xl" in suite_names()
+        specs = get_suite("scale_ladder_xl").specs()
+        assert [name for name, _ in specs] == ["xl-1m", "xl-3m", "xl-10m"]
+        budgets = [spec.nnz for _, spec in specs]
+        assert budgets == [1_000_000, 3_200_000, 10_000_000]
+        for _, spec in specs:
+            assert spec.shape == (40_000, 30_000, 50_000)
+
+    def test_iter_suite_sharded_scaled_down(self, tmp_path):
+        # 1/1000 scale keeps the suite test-sized while exercising the
+        # same generate-into-shards path the XL tiers use
+        cache = ScenarioCache(tmp_path)
+        seen = []
+        for name, sharded in iter_suite_sharded(
+                "scale_ladder_xl", scale=0.001, cache=cache,
+                shard_nnz=2_000):
+            seen.append(name)
+            assert sharded.nnz >= 1_000
+            assert sharded.num_shards == -(-sharded.nnz // 2_000)
+        assert seen == ["xl-1m", "xl-3m", "xl-10m"]

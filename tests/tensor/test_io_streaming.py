@@ -1,0 +1,80 @@
+"""Chunked .tns parsing and shard-manifest ingestion."""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+import repro.tensor.io as tns_io
+from repro.tensor.io import dumps_tns, read_tns
+from repro.tensor.random_gen import random_coo
+from repro.util.errors import ValidationError
+from repro.util.prng import default_rng
+
+
+@pytest.fixture
+def tensor():
+    return random_coo((25, 30, 20), 1_500, default_rng(64))
+
+
+class TestChunkedParsing:
+    def test_multi_block_equals_single_block(self, tensor, monkeypatch):
+        text = dumps_tns(tensor)
+        whole = read_tns(io.StringIO(text), tensor.shape)
+        monkeypatch.setattr(tns_io, "_PARSE_BLOCK_LINES", 100)
+        chunked = read_tns(io.StringIO(text), tensor.shape)
+        assert chunked == whole == tensor
+
+    def test_error_names_exact_line_across_blocks(self, monkeypatch):
+        monkeypatch.setattr(tns_io, "_PARSE_BLOCK_LINES", 4)
+        lines = ["1 1 1 1.0"] * 9 + ["2 2 oops 1.0"]  # line 10, third block
+        with pytest.raises(ValidationError, match="line 10"):
+            read_tns(io.StringIO("\n".join(lines)), (3, 3, 3))
+
+    def test_wrong_field_count_names_line(self, monkeypatch):
+        monkeypatch.setattr(tns_io, "_PARSE_BLOCK_LINES", 4)
+        lines = ["1 1 1 1.0"] * 6 + ["2 2 1.0"]
+        with pytest.raises(ValidationError,
+                           match="line 7: expected 4 fields, got 3"):
+            read_tns(io.StringIO("\n".join(lines)), (3, 3, 3))
+
+    def test_one_based_guard_preserved(self):
+        with pytest.raises(ValidationError, match="must be >= 1"):
+            read_tns(io.StringIO("0 1 1 2.0\n"), (2, 2, 2))
+
+    def test_empty_stream_raises_with_or_without_shape(self):
+        for shape in (None, (2, 2, 2)):
+            with pytest.raises(ValidationError, match="empty .tns stream"):
+                read_tns(io.StringIO("# only comments\n"), shape)
+
+
+class TestShardIngestion:
+    def test_streams_to_manifest(self, tmp_path, tensor):
+        text = dumps_tns(tensor)
+        sharded = read_tns(io.StringIO(text), tensor.shape,
+                           shards=tmp_path / "s", shard_nnz=128)
+        assert sharded.shape == tensor.shape
+        assert sharded.nnz == tensor.nnz
+        assert sharded.num_shards == -(-tensor.nnz // 128)
+        coo = sharded.to_coo()
+        np.testing.assert_array_equal(coo.indices, tensor.indices)
+        np.testing.assert_array_equal(coo.values.view(np.uint64),
+                                      tensor.values.view(np.uint64))
+
+    def test_shape_inferred_from_stream(self, tmp_path):
+        text = "1 1 1 2.0\n4 2 5 1.5\n"
+        sharded = read_tns(io.StringIO(text), shards=tmp_path / "s")
+        assert sharded.shape == (4, 2, 5)
+
+    def test_ingestion_respects_block_boundaries(self, tmp_path, tensor,
+                                                 monkeypatch):
+        monkeypatch.setattr(tns_io, "_PARSE_BLOCK_LINES", 64)
+        sharded = read_tns(io.StringIO(dumps_tns(tensor)), tensor.shape,
+                           shards=tmp_path / "s", shard_nnz=100)
+        assert sharded.to_coo() == tensor
+
+    def test_empty_stream_raises(self, tmp_path):
+        with pytest.raises(ValidationError, match="empty .tns stream"):
+            read_tns(io.StringIO(""), (2, 2), shards=tmp_path / "s")

@@ -1,0 +1,142 @@
+"""Sharded COO storage: manifest round-trips, streaming stats, external sort."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.tensor.coo import CooTensor, INDEX_DTYPE, VALUE_DTYPE
+from repro.tensor.random_gen import random_coo
+from repro.tensor.shards import (
+    ShardedCooWriter,
+    open_sharded,
+    save_sharded,
+    sort_sharded,
+)
+from repro.util.errors import ValidationError
+from repro.util.prng import default_rng
+
+
+def dup_tensor(seed: int = 7, nnz: int = 3_000,
+               shape=(23, 17, 29)) -> CooTensor:
+    """A tensor with many duplicate coordinates (dedup paths must sum them)."""
+    rng = default_rng(seed)
+    indices = np.stack([rng.integers(0, s, size=nnz) for s in shape],
+                       axis=1).astype(INDEX_DTYPE)
+    values = rng.standard_normal(nnz).astype(VALUE_DTYPE)
+    return CooTensor(indices, values, shape)
+
+
+class TestRoundTrip:
+    def test_save_open_to_coo(self, tmp_path, small3d):
+        save_sharded(small3d, tmp_path / "s", shard_nnz=17)
+        back = open_sharded(tmp_path / "s")
+        assert back.shape == small3d.shape
+        assert back.nnz == small3d.nnz
+        assert back.num_shards == -(-small3d.nnz // 17)
+        coo = back.to_coo()
+        np.testing.assert_array_equal(coo.indices, small3d.indices)
+        np.testing.assert_array_equal(
+            coo.values.view(np.uint64), small3d.values.view(np.uint64))
+
+    def test_iter_chunks_cover_exactly(self, tmp_path, small4d):
+        sharded = save_sharded(small4d, tmp_path / "s", shard_nnz=31)
+        chunks = list(sharded.iter_chunks())
+        assert sum(c.nnz for c in chunks) == small4d.nnz
+        assert all(c.nnz == 31 for c in chunks[:-1])  # exact-size cutting
+        np.testing.assert_array_equal(
+            np.concatenate([c.indices for c in chunks]), small4d.indices)
+
+    def test_writer_batching_does_not_change_digest(self, tmp_path, small3d):
+        one = save_sharded(small3d, tmp_path / "one", shard_nnz=25)
+        w = ShardedCooWriter(tmp_path / "many", small3d.shape, shard_nnz=25)
+        for i in range(0, small3d.nnz, 7):  # ragged appends, same stream
+            w.append(small3d.indices[i:i + 7], small3d.values[i:i + 7])
+        many = w.close()
+        assert one.manifest_digest() == many.manifest_digest()
+
+    def test_digest_depends_on_layout_and_content(self, tmp_path, small3d):
+        a = save_sharded(small3d, tmp_path / "a", shard_nnz=25)
+        b = save_sharded(small3d, tmp_path / "b", shard_nnz=26)
+        assert a.manifest_digest() != b.manifest_digest()
+        other = small3d.with_values(small3d.values * 2.0)
+        c = save_sharded(other, tmp_path / "c", shard_nnz=25)
+        assert a.manifest_digest() != c.manifest_digest()
+
+
+class TestValidation:
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(ValidationError):
+            open_sharded(tmp_path / "nope")
+
+    def test_deleted_shard_file(self, tmp_path, small3d):
+        sharded = save_sharded(small3d, tmp_path / "s", shard_nnz=20)
+        victim = sorted((tmp_path / "s").glob("*.npy"))[0]
+        victim.unlink()
+        with pytest.raises(ValidationError):
+            open_sharded(tmp_path / "s")
+        assert sharded.nnz == small3d.nnz  # already-open handle unaffected
+
+    def test_truncated_shard_file(self, tmp_path, small3d):
+        save_sharded(small3d, tmp_path / "s", shard_nnz=20)
+        victim = sorted((tmp_path / "s").glob("*.npy"))[-1]
+        victim.write_bytes(victim.read_bytes()[:64])
+        with pytest.raises(ValidationError):
+            open_sharded(tmp_path / "s")
+
+
+class TestStreamingStats:
+    @pytest.mark.parametrize("mode", [0, 1, 2])
+    def test_slice_and_fiber_stats_match_coo(self, tmp_path, mode):
+        tensor = random_coo((15, 12, 18), 900, default_rng(5))
+        sharded = save_sharded(tensor, tmp_path / f"m{mode}", shard_nnz=64)
+        keys, counts = tensor.slice_keys(mode)
+        skeys, scounts = sharded.slice_keys(mode)
+        np.testing.assert_array_equal(keys, skeys)
+        np.testing.assert_array_equal(counts, scounts)
+        assert sharded.num_slices(mode) == tensor.num_slices(mode)
+        _, fc = tensor.fiber_keys(mode)
+        _, sfc = sharded.fiber_keys(mode)
+        np.testing.assert_array_equal(np.sort(fc), np.sort(sfc))
+        assert sharded.num_fibers(mode) == tensor.num_fibers(mode)
+
+    def test_mode_slice_counts_full_length(self, tmp_path, small3d):
+        sharded = save_sharded(small3d, tmp_path / "s", shard_nnz=40)
+        for mode in range(small3d.order):
+            counts = sharded.mode_slice_counts(mode)
+            assert counts.shape == (small3d.shape[mode],)
+            assert counts.sum() == small3d.nnz
+
+
+class TestExternalSort:
+    @pytest.mark.parametrize("mode_order", [(0, 1, 2), (1, 0, 2), (2, 1, 0)])
+    def test_sort_bit_identical_to_in_memory(self, tmp_path, mode_order):
+        tensor = dup_tensor()
+        sharded = save_sharded(tensor, tmp_path / "s", shard_nnz=100)
+        # tiny merge blocks force the multi-run external path
+        view = sort_sharded(sharded, mode_order,
+                            tmp_path / "sorted", block_nnz=128)
+        expected = tensor.deduplicated().sorted_by_modes(mode_order)
+        got = view.to_coo()
+        np.testing.assert_array_equal(got.indices, expected.indices)
+        np.testing.assert_array_equal(
+            got.values.view(np.uint64), expected.values.view(np.uint64))
+
+    def test_sorted_view_cached_and_invalidated(self, tmp_path):
+        tensor = dup_tensor(seed=11, nnz=500)
+        sharded = save_sharded(tensor, tmp_path / "s", shard_nnz=64)
+        v1 = sharded.sorted_view((1, 0, 2))
+        v2 = sharded.sorted_view((1, 0, 2))
+        assert v1.manifest_digest() == v2.manifest_digest()
+        assert v1.manifest.get("source_digest") == sharded.manifest_digest()
+        # view of a different source digest is stale and rebuilt
+        other = save_sharded(dup_tensor(seed=12, nnz=500),
+                             tmp_path / "s2", shard_nnz=64)
+        assert other.sorted_view((1, 0, 2)).manifest.get("source_digest") \
+            == other.manifest_digest()
+
+    def test_already_sorted_view_returns_self(self, tmp_path):
+        tensor = dup_tensor(seed=13, nnz=400)
+        sharded = save_sharded(tensor, tmp_path / "s", shard_nnz=64)
+        view = sharded.sorted_view((0, 1, 2))
+        assert view.sorted_view((0, 1, 2)) is view
