@@ -45,6 +45,15 @@ _MIN_SHARE_MOVE = 0.10
 #: ordered prefix → phrase table; first match wins, so the specific rules
 #: (plan_cache.misses) sit above the generic ones (plan_cache.).
 _CAUSE_RULES: tuple[tuple[str, str], ...] = (
+    ("cache.quarantined", "cache corruption storm — quarantined entries "
+                          "forced regeneration"),
+    ("faults.injected", "fault injection active — cell ran under a "
+                        "REPRO_FAULTS schedule"),
+    ("faults.recovered", "recovery work on the hot path — damaged state "
+                         "rebuilt mid-cell"),
+    ("faults.", "fault-harness activity changed"),
+    ("recovery.", "recovery stages ran — torn or corrupt state was "
+                  "rebuilt mid-cell"),
     ("plan_cache.misses", "plan-cache miss storm — representations "
                           "rebuilt instead of reused"),
     ("plan_cache.evictions", "plan-cache evictions — working set no "

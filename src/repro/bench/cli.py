@@ -107,10 +107,10 @@ def _make_cache(args) -> ScenarioCache | None:
 
 def _make_config(args) -> BenchConfig:
     if args.budget is not None:
-        config = BenchConfig.from_budget(args.budget, rank=args.rank,
-                                         seed=args.seed, dtype=args.dtype,
-                                         backend=args.backend,
-                                         num_workers=args.workers)
+        config = BenchConfig.from_budget(
+            args.budget, rank=args.rank, seed=args.seed, dtype=args.dtype,
+            backend=args.backend, num_workers=args.workers,
+            cell_timeout_seconds=args.cell_timeout)
         # explicit flags override the budget presets
         overrides = {}
         if args.repeats is not None:
@@ -136,6 +136,7 @@ def _make_config(args) -> BenchConfig:
         backend=args.backend,
         num_workers=args.workers,
         shard_nnz=args.shard_nnz,
+        cell_timeout_seconds=args.cell_timeout,
     )
 
 
@@ -547,6 +548,12 @@ def _add_sweep_options(sub: argparse.ArgumentParser) -> None:
                      help="nonzeros per shard for out-of-core targets "
                           "(build.ooc.*/kernel.ooc.*; default "
                           "library shard size)")
+    sub.add_argument("--cell-timeout", type=float, default=None,
+                     metavar="SECONDS",
+                     help="per-cell wall-clock budget; an expired cell is "
+                          "recorded with status=timeout and the sweep "
+                          "continues (cooperative: checked at kernel slab "
+                          "and ALS iteration boundaries)")
     sub.add_argument("--name", default=None,
                      help="run name (artifact becomes BENCH_<name>.json)")
     sub.add_argument("--out", default=None,

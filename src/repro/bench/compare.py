@@ -197,7 +197,13 @@ def compare_runs(
             continue
         base_s = base.value(metric)
         cand_s = cand.value(metric)
-        if base_s is None or cand_s is None:
+        if not (base.ok and cand.ok):
+            # a timed-out cell carries placeholder stats (the elapsed wall
+            # clock at expiry, a lower bound) — never a ratio verdict.
+            verdict = "incomparable"
+            base_s = base_s if base.ok else None
+            cand_s = cand_s if cand.ok else None
+        elif base_s is None or cand_s is None:
             # one side predates this metric (e.g. peak_rss_bytes on an old
             # run): there is no ratio to judge, so never gate on it.
             verdict = "incomparable"

@@ -242,6 +242,10 @@ def build_series(runs: list[BenchRun], *,
         cfg = run.config or {}
         git_sha = run.env.get("git_sha")
         for m in run.measurements:
+            if not m.ok:
+                # timed-out cells carry placeholder stats — a lower bound,
+                # not a timing — and would register as phantom steps
+                continue
             value = m.value(metric)
             if value is None:
                 continue

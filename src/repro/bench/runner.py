@@ -18,15 +18,21 @@ from repro.bench.env import (
     reset_peak_rss,
     utc_now_iso,
 )
-from repro.bench.schema import BenchRun, Measurement, stats_from_timer
+from repro.bench.schema import (
+    BenchRun,
+    Measurement,
+    stats_from_timer,
+    timeout_stats,
+)
 from repro.bench.targets import expand_targets, get_target
+from repro.faults.deadline import Deadline, deadline_scope
 from repro.scenarios.cache import ScenarioCache, materialize, materialize_sharded
 from repro.scenarios.spec import ScenarioSpec, parse_spec
 from repro.scenarios.suites import get_suite
 from repro.tensor.shards import DEFAULT_SHARD_NNZ
 from repro.telemetry import counters_delta, counters_snapshot
 from repro.util.dtypes import resolve_dtype
-from repro.util.errors import ValidationError
+from repro.util.errors import DeadlineExceeded, ValidationError
 from repro.util.timing import repeat
 
 __all__ = ["BenchConfig", "BUDGETS", "run_benchmarks", "suite_scenarios"]
@@ -71,6 +77,12 @@ class BenchConfig:
     #: nonzeros per shard for targets materialised as shard manifests
     #: (``materialize="sharded"``); None takes the library default.
     shard_nnz: int | None = None
+    #: wall-clock budget per (target, scenario) cell.  Enforced
+    #: cooperatively through the ambient deadline (kernel slab boundaries,
+    #: ALS iteration edges): an expired cell is recorded with
+    #: ``status="timeout"`` and the sweep moves on to the next cell
+    #: instead of aborting the matrix.  ``None`` disables the watchdog.
+    cell_timeout_seconds: float | None = None
 
     def __post_init__(self) -> None:
         if self.repeats < 1:
@@ -81,6 +93,11 @@ class BenchConfig:
             raise ValidationError(f"rank must be >= 1, got {self.rank}")
         if self.scale <= 0:
             raise ValidationError(f"scale must be positive, got {self.scale}")
+        if (self.cell_timeout_seconds is not None
+                and self.cell_timeout_seconds <= 0):
+            raise ValidationError(
+                f"cell_timeout_seconds must be positive, got "
+                f"{self.cell_timeout_seconds}")
         if self.shard_nnz is not None and self.shard_nnz < 1:
             raise ValidationError(
                 f"shard_nnz must be >= 1, got {self.shard_nnz}")
@@ -102,7 +119,9 @@ class BenchConfig:
                     seed: int | None = None,
                     dtype: str | None = None,
                     backend: str | None = None,
-                    num_workers: int | None = None) -> "BenchConfig":
+                    num_workers: int | None = None,
+                    cell_timeout_seconds: float | None = None,
+                    ) -> "BenchConfig":
         try:
             scale, repeats, warmup = BUDGETS[budget]
         except KeyError:
@@ -111,7 +130,8 @@ class BenchConfig:
                 f"{', '.join(BUDGETS)}") from None
         return cls(repeats=repeats, warmup=warmup, rank=rank, scale=scale,
                    seed=seed, budget=budget, dtype=dtype, backend=backend,
-                   num_workers=num_workers)
+                   num_workers=num_workers,
+                   cell_timeout_seconds=cell_timeout_seconds)
 
     def to_dict(self) -> dict:
         return {
@@ -125,6 +145,7 @@ class BenchConfig:
             "backend": self.backend,
             "num_workers": self.num_workers,
             "shard_nnz": self.shard_nnz,
+            "cell_timeout_seconds": self.cell_timeout_seconds,
         }
 
 
@@ -256,15 +277,41 @@ def run_benchmarks(
                 # allows the reset (env records the scope).
                 before = counters_snapshot()
                 rss_reset = reset_peak_rss()
-                fn = _setup_target(target, tensor, config)
-                result, timer = repeat(fn, n=config.repeats,
-                                       warmup=config.warmup)
+                # The per-cell watchdog is an ambient deadline over the
+                # whole cell (setup + warmup + laps): instrumented layers
+                # poll it at their cooperative boundaries, so an expired
+                # cell raises DeadlineExceeded mid-kernel instead of
+                # hanging the matrix.  Targets that never reach an
+                # instrumented boundary run to completion regardless.
+                result = timer = None
+                timed_out: DeadlineExceeded | None = None
+                try:
+                    if config.cell_timeout_seconds is not None:
+                        cell_deadline = Deadline(config.cell_timeout_seconds)
+                        with deadline_scope(cell_deadline):
+                            fn = _setup_target(target, tensor, config)
+                            result, timer = repeat(fn, n=config.repeats,
+                                                   warmup=config.warmup)
+                    else:
+                        fn = _setup_target(target, tensor, config)
+                        result, timer = repeat(fn, n=config.repeats,
+                                               warmup=config.warmup)
+                except DeadlineExceeded as exc:
+                    timed_out = exc
                 counters = counters_delta(before)
-                metrics = dict(target.probe(result)) if target.probe else {}
+                metrics = ({} if timed_out is not None or target.probe is None
+                           else dict(target.probe(result)))
                 rss, rss_scope = cell_peak_rss(rss_reset)
                 if rss is not None:
                     metrics["peak_rss_bytes"] = rss
                 run.env.setdefault("peak_rss_scope", rss_scope)
+                if timed_out is not None:
+                    elapsed = float(timed_out.elapsed_seconds
+                                    or config.cell_timeout_seconds)
+                    stats = timeout_stats(elapsed, config.warmup)
+                    metrics["timeout_seconds"] = config.cell_timeout_seconds
+                else:
+                    stats = stats_from_timer(timer, config.warmup)
                 measurement = Measurement(
                     target=target_name,
                     scenario=scenario_name,
@@ -272,19 +319,28 @@ def run_benchmarks(
                     shape=tuple(tensor.shape),
                     nnz=tensor.nnz,
                     rank=config.rank,
-                    stats=stats_from_timer(timer, config.warmup),
+                    stats=stats,
                     metrics=metrics,
                     counters=counters,
+                    status="timeout" if timed_out is not None else "ok",
                 )
                 run.measurements.append(measurement)
                 if progress is not None:
-                    progress(
-                        f"{target_name:<18} {scenario_name:<18} "
-                        f"median {measurement.seconds('median') * 1e3:9.3f} ms  "
-                        f"(min {measurement.seconds('min') * 1e3:.3f}, "
-                        f"p95 {measurement.seconds('p95') * 1e3:.3f}, "
-                        f"x{config.repeats})"
-                    )
+                    if timed_out is not None:
+                        progress(
+                            f"{target_name:<18} {scenario_name:<18} "
+                            f"TIMEOUT after {elapsed:.3f} s at "
+                            f"{timed_out.where or 'unknown'} "
+                            f"(budget {config.cell_timeout_seconds} s)"
+                        )
+                    else:
+                        progress(
+                            f"{target_name:<18} {scenario_name:<18} "
+                            f"median {measurement.seconds('median') * 1e3:9.3f} ms  "
+                            f"(min {measurement.seconds('min') * 1e3:.3f}, "
+                            f"p95 {measurement.seconds('p95') * 1e3:.3f}, "
+                            f"x{config.repeats})"
+                        )
     finally:
         for tmp in scratch:
             tmp.cleanup()

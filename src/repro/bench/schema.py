@@ -47,6 +47,7 @@ __all__ = [
     "Measurement",
     "BenchRun",
     "stats_from_timer",
+    "timeout_stats",
     "validate_run_dict",
     "load_run",
     "save_run",
@@ -57,9 +58,13 @@ __all__ = [
 #: bump when the serialised layout changes incompatibly.  Version 2 added
 #: the optional per-measurement ``counters`` object (telemetry counter
 #: deltas: cache hits, kernel/build stage totals, gpusim work) and the
-#: ``peak_rss_bytes`` environment/metric fields; version-1 files still
-#: load — readers accept anything <= this version.
-SCHEMA_VERSION = 2
+#: ``peak_rss_bytes`` environment/metric fields.  Version 3 added the
+#: optional per-measurement ``status`` field (``"ok"`` when absent;
+#: ``"timeout"`` marks a cell that hit the per-cell deadline — its stats
+#: are the elapsed wall clock at expiry, not lap timings, and comparison
+#: or trend tooling must not treat them as measurements).  Older files
+#: still load — readers accept anything <= this version.
+SCHEMA_VERSION = 3
 
 #: append-only trajectory file kept next to the ``BENCH_<name>.json`` files.
 HISTORY_FILE = "BENCH_history.jsonl"
@@ -89,6 +94,21 @@ def stats_from_timer(timer: Timer, warmup: int) -> dict:
     }
 
 
+def timeout_stats(elapsed: float, warmup: int) -> dict:
+    """Placeholder stats for a cell that hit its per-cell deadline.
+
+    Every summary stat is set to the elapsed wall clock at expiry — a lower
+    bound on the true cost, kept numeric so version-agnostic readers don't
+    crash — and ``repeats`` is 0 / ``laps`` empty so the record cannot be
+    mistaken for a completed measurement.  The measurement's ``status``
+    field (``"timeout"``) is the authoritative marker.
+    """
+    stats = {key: float(elapsed) for key in _STAT_KEYS}
+    stats.update({"repeats": 0, "warmup": warmup,
+                  "max": float(elapsed), "laps": []})
+    return stats
+
+
 @dataclass(frozen=True)
 class Measurement:
     """One timed (target, scenario) cell.
@@ -98,6 +118,12 @@ class Measurement:
     hit/miss movement, ``kernel.count``/``kernel.seconds`` stage totals,
     simulated gpusim work.  Empty for cells that touched no instrumented
     layer and for version-1 files.
+
+    ``status`` is ``"ok"`` for a completed measurement and ``"timeout"``
+    for a cell that hit the runner's per-cell deadline (its stats are
+    :func:`timeout_stats` placeholders).  Non-ok cells are incomparable:
+    ``compare`` and ``history`` tooling must skip them rather than read
+    their stats as timings.
     """
 
     target: str
@@ -109,6 +135,11 @@ class Measurement:
     stats: dict
     metrics: dict = field(default_factory=dict)
     counters: dict = field(default_factory=dict)
+    status: str = "ok"
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
 
     def seconds(self, metric: str = "median") -> float:
         if metric not in _STAT_KEYS:
@@ -142,6 +173,7 @@ class Measurement:
             "stats": dict(self.stats),
             "metrics": dict(self.metrics),
             "counters": dict(self.counters),
+            "status": self.status,
         }
 
     @classmethod
@@ -157,6 +189,7 @@ class Measurement:
                 stats=dict(data["stats"]),
                 metrics=dict(data.get("metrics", {})),
                 counters=dict(data.get("counters", {})),
+                status=str(data.get("status", "ok")),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise ValidationError(f"malformed measurement: {exc}") from None
@@ -242,6 +275,10 @@ def validate_run_dict(data: object) -> None:
         stats = m["stats"]
         if not isinstance(stats, dict):
             raise ValidationError(f"measurement #{i} stats is not an object")
+        if m.get("status", "ok") != "ok":
+            # a timed-out / failed cell carries placeholder stats; only its
+            # identity fields (checked above) are load-bearing
+            continue
         for key in _STAT_KEYS:
             if not isinstance(stats.get(key), (int, float)):
                 raise ValidationError(

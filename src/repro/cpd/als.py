@@ -32,12 +32,21 @@ import numpy as np
 
 from repro.core.mttkrp import MttkrpPlan
 from repro.core.splitting import SplitConfig
+from repro.cpd.checkpoint import load_checkpoint, save_checkpoint
 from repro.cpd.fit import cp_fit, tensor_norm
 from repro.cpd.init import init_factors
+from repro.faults.deadline import (
+    as_deadline,
+    check_deadline,
+    current_deadline,
+    deadline_scope,
+)
+from repro.faults.hooks import fault_point
+from repro.formats.plan_cache import tensor_fingerprint
 from repro.telemetry import counter_add, span
 from repro.tensor.coo import CooTensor
 from repro.util.dtypes import resolve_dtype
-from repro.util.errors import ValidationError
+from repro.util.errors import DeadlineExceeded, ValidationError
 
 __all__ = ["CpdResult", "cp_als"]
 
@@ -112,6 +121,9 @@ def cp_als(
     dtype=None,
     backend: str | None = None,
     num_workers: int | None = None,
+    deadline=None,
+    checkpoint=None,
+    checkpoint_every: int = 1,
 ) -> CpdResult:
     """Run CPD-ALS on a sparse tensor (Algorithm 1).
 
@@ -143,9 +155,30 @@ def cp_als(
         ``"threads"``; ``None`` defers to ``REPRO_BACKEND``).  The threaded
         backend is bit-identical to serial, so the factor trajectory — and
         the fit — do not depend on this choice.
+    deadline:
+        Optional wall-clock budget (seconds, or a
+        :class:`repro.faults.Deadline`).  Checked cooperatively at every
+        iteration edge and — through the ambient deadline scope — at every
+        kernel slab boundary.  On expiry the solve raises
+        :class:`~repro.util.errors.DeadlineExceeded` whose ``partial``
+        attribute is a :class:`CpdResult` of the committed (fully finished)
+        iterations; with a ``checkpoint`` the same state is on disk.
+    checkpoint:
+        Optional path to an ``.npz`` checkpoint.  When the file holds a
+        valid committed checkpoint for *this* solve (same tensor
+        fingerprint, rank, dtype and format) the solve resumes from it and
+        replays the uninterrupted factor trajectory bit-for-bit; a
+        missing, torn or foreign checkpoint starts fresh (damage is
+        quarantined).  State is committed atomically every
+        ``checkpoint_every`` iterations and at the final iteration.
+    checkpoint_every:
+        Commit cadence in iterations (default: every iteration).
     """
     if n_iters < 1:
         raise ValidationError(f"n_iters must be >= 1, got {n_iters}")
+    if checkpoint_every < 1:
+        raise ValidationError(
+            f"checkpoint_every must be >= 1, got {checkpoint_every}")
     if tensor.nnz == 0:
         raise ValidationError("cannot decompose an empty tensor")
     compute_dtype = resolve_dtype(dtype)
@@ -169,11 +202,39 @@ def cp_als(
                       dtype=dtype, rank=rank, backend=backend,
                       num_workers=num_workers)
     order = tensor.order
+    dl = as_deadline(deadline)
+
+    # Resume: a committed checkpoint for this exact solve (tensor content,
+    # rank, dtype, resolved format) restores factors / weights / the fit
+    # trajectory and skips the finished iterations.  Grams, norm_x and the
+    # workspaces are recomputed — they are deterministic functions of the
+    # restored state, so the trajectory replays bit-for-bit.
+    ckpt_meta = None
+    fits: list[float] = []
+    weights = np.ones(rank, dtype=np.float64)
+    start_iter = 0
+    converged = False
+    if checkpoint is not None:
+        ckpt_meta = {
+            "fingerprint": tensor_fingerprint(tensor),
+            "rank": int(rank),
+            "dtype": str(np.dtype(compute_dtype)),
+            "format": plan.format,
+        }
+        state = load_checkpoint(checkpoint, expect_meta=ckpt_meta)
+        if state is not None:
+            factors = [np.asarray(f, dtype=compute_dtype)
+                       for f in state["factors"]]
+            weights = np.asarray(state["weights"], dtype=np.float64)
+            fits = list(state["fits"])
+            start_iter = state["iteration"]
+            converged = bool(state["meta"].get("converged", False))
+            counter_add("als.resumes")
+
     norm_x = tensor_norm(tensor)
     # Per-factor Gram cache (float64 for the normal equations): only the
     # updated factor's Gram is recomputed inside the sweep.
     grams = [(f.T @ f).astype(np.float64, copy=False) for f in factors]
-    weights = np.ones(rank, dtype=np.float64)
 
     # Hot-path workspaces, allocated once per solve: the kernels accumulate
     # into a zeroed per-mode output, and the Hadamard product of the Grams
@@ -190,64 +251,104 @@ def cp_als(
     ]
     v_buf = np.empty((rank, rank), dtype=np.float64)
 
-    fits: list[float] = []
     mttkrp_seconds = 0.0
-    converged = False
-    iterations = 0
+    iterations = start_iter
+
+    # When any watchdog can fire (an explicit budget here, or an ambient
+    # deadline installed by a caller such as the bench runner's cell
+    # timeout), keep a snapshot of the last *committed* iteration so
+    # ``DeadlineExceeded.partial`` never exposes a half-swept factor set.
+    watchdog = dl is not None or current_deadline() is not None
+    committed = (np.array(weights), [f.copy() for f in factors],
+                 list(fits), iterations) if watchdog else None
 
     with span("als.solve", format=plan.format, rank=rank,
               n_iters=n_iters, nnz=tensor.nnz) as solve_sp:
-        for iteration in range(n_iters):
-            last_mttkrp = None
-            with span("als.iteration", iteration=iteration):
-                for mode in range(order):
-                    with span("als.mode", mode=mode):
-                        ws = workspaces[mode]
-                        if ws is not None:
-                            ws.fill(0.0)
-                        start = time.perf_counter()
-                        # The factor shapes were validated above and never
-                        # change, so the kernels skip their per-call checks.
-                        m_mat = plan.mttkrp(factors, mode, out=ws,
-                                            validate=False)
-                        mttkrp_seconds += time.perf_counter() - start
+        try:
+            with deadline_scope(dl):
+                for iteration in range(start_iter, n_iters):
+                    if converged:
+                        break  # a restored checkpoint had already converged
+                    fault_point("als.iteration", iteration=iteration)
+                    check_deadline("als.iteration")
+                    last_mttkrp = None
+                    with span("als.iteration", iteration=iteration):
+                        for mode in range(order):
+                            with span("als.mode", mode=mode):
+                                ws = workspaces[mode]
+                                if ws is not None:
+                                    ws.fill(0.0)
+                                start = time.perf_counter()
+                                # The factor shapes were validated above and
+                                # never change, so the kernels skip their
+                                # per-call checks.
+                                m_mat = plan.mttkrp(factors, mode, out=ws,
+                                                    validate=False)
+                                mttkrp_seconds += time.perf_counter() - start
 
-                        v_buf.fill(1.0)
-                        for other in range(order):
-                            if other != mode:
-                                v_buf *= grams[other]
-                        new_factor = m_mat @ np.linalg.pinv(v_buf)
+                                v_buf.fill(1.0)
+                                for other in range(order):
+                                    if other != mode:
+                                        v_buf *= grams[other]
+                                new_factor = m_mat @ np.linalg.pinv(v_buf)
 
-                        # normalise columns into the weights
-                        if iteration == 0:
-                            norms = np.linalg.norm(new_factor, axis=0)
-                        else:
-                            norms = np.maximum(
-                                np.max(np.abs(new_factor), axis=0), 1.0)
-                        norms[norms == 0.0] = 1.0
-                        new_factor = (new_factor / norms).astype(
-                            compute_dtype, copy=False)
-                        weights = np.asarray(norms, dtype=np.float64)
+                                # normalise columns into the weights
+                                if iteration == 0:
+                                    norms = np.linalg.norm(new_factor,
+                                                           axis=0)
+                                else:
+                                    norms = np.maximum(
+                                        np.max(np.abs(new_factor), axis=0),
+                                        1.0)
+                                norms[norms == 0.0] = 1.0
+                                new_factor = (new_factor / norms).astype(
+                                    compute_dtype, copy=False)
+                                weights = np.asarray(norms,
+                                                     dtype=np.float64)
 
-                        factors[mode] = new_factor
-                        grams[mode] = (new_factor.T @ new_factor).astype(
-                            np.float64, copy=False)
-                        last_mttkrp = m_mat
+                                factors[mode] = new_factor
+                                grams[mode] = (
+                                    new_factor.T @ new_factor
+                                ).astype(np.float64, copy=False)
+                                last_mttkrp = m_mat
 
-            iterations = iteration + 1
-            counter_add("als.iterations")
-            if compute_fit:
-                # The last MTTKRP was computed from the already-normalised
-                # other factors and never reads the target factor, so it can
-                # be reused for the inner product as-is.
-                fit = cp_fit(tensor, weights, factors,
-                             mttkrp_last=last_mttkrp,
-                             last_mode=order - 1, norm_x=norm_x,
-                             grams=grams)
-                fits.append(fit)
-                if iteration > 0 and abs(fits[-1] - fits[-2]) < tol:
-                    converged = True
-                    break
+                    iterations = iteration + 1
+                    counter_add("als.iterations")
+                    if compute_fit:
+                        # The last MTTKRP was computed from the already-
+                        # normalised other factors and never reads the
+                        # target factor, so it can be reused for the inner
+                        # product as-is.
+                        fit = cp_fit(tensor, weights, factors,
+                                     mttkrp_last=last_mttkrp,
+                                     last_mode=order - 1, norm_x=norm_x,
+                                     grams=grams)
+                        fits.append(fit)
+                        if len(fits) > 1 and abs(fits[-1] - fits[-2]) < tol:
+                            converged = True
+                    if watchdog:
+                        committed = (np.array(weights),
+                                     [f.copy() for f in factors],
+                                     list(fits), iterations)
+                    if checkpoint is not None and (
+                            converged or iterations == n_iters
+                            or iterations % checkpoint_every == 0):
+                        save_checkpoint(
+                            checkpoint, factors=factors, weights=weights,
+                            fits=fits, iteration=iterations,
+                            meta={**ckpt_meta, "converged": converged})
+                    if converged:
+                        break
+        except DeadlineExceeded as exc:
+            if committed is not None:
+                cw, cf, cfits, cit = committed
+                exc.partial = CpdResult(
+                    weights=cw, factors=cf, fits=cfits, iterations=cit,
+                    converged=False,
+                    preprocessing_seconds=plan.preprocessing_seconds,
+                    mttkrp_seconds=mttkrp_seconds,
+                )
+            raise
         solve_sp.set(iterations=iterations, converged=converged,
                      mttkrp_seconds=mttkrp_seconds)
 

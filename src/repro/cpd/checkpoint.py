@@ -1,0 +1,132 @@
+"""Crash-safe CP-ALS checkpoints.
+
+A checkpoint is one ``.npz`` holding the complete committed-iteration
+state of a solve — factors, weights, the fit trajectory and the iteration
+count — plus a meta record binding it to the solve it belongs to (tensor
+fingerprint, rank, compute dtype, format).  Everything else the iteration
+loop holds (Gram matrices, the tensor norm, workspaces) is recomputed
+deterministically from that state, which is why a resumed solve replays
+the uninterrupted trajectory bit-for-bit.
+
+Commit protocol (see :mod:`repro.util.safe_io`): the npz is written
+atomically (temp + fsync + rename, with the ``checkpoint.commit`` fault
+point on the temp file), then a ``<name>.sha256`` sidecar of the committed
+bytes is written atomically.  The sidecar is the journal record: a
+checkpoint without a matching sidecar was interrupted between the two
+commits and is treated as absent.  On load, any unreadable / digest-
+mismatched / wrong-solve checkpoint is quarantined and reported as absent
+— resuming from damage falls back to a fresh start, never to silently
+wrong factors.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.telemetry import counter_add, stage
+from repro.util.errors import CheckpointError
+from repro.util.safe_io import (
+    atomic_savez,
+    atomic_write_text,
+    quarantine,
+    sha256_file,
+)
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "save_checkpoint",
+    "load_checkpoint",
+]
+
+CHECKPOINT_VERSION = 1
+
+
+def _sidecar(path: Path) -> Path:
+    return path.with_name(path.name + ".sha256")
+
+
+def save_checkpoint(path: str | os.PathLike, *, factors, weights, fits,
+                    iteration: int, meta: dict) -> Path:
+    """Atomically commit one iteration's solve state to ``path``."""
+    path = Path(path)
+    record = dict(meta)
+    record["checkpoint_version"] = CHECKPOINT_VERSION
+    record["iteration"] = int(iteration)
+    arrays = {
+        "weights": np.asarray(weights),
+        "fits": np.asarray(list(fits), dtype=np.float64),
+        "meta_json": np.frombuffer(
+            json.dumps(record, sort_keys=True).encode(), dtype=np.uint8),
+    }
+    for m, factor in enumerate(factors):
+        arrays[f"factor_{m}"] = np.asarray(factor)
+    atomic_savez(path, fault="checkpoint.commit", compressed=False, **arrays)
+    atomic_write_text(_sidecar(path), sha256_file(path))
+    counter_add("als.checkpoints")
+    return path
+
+
+def _discard(path: Path, why: str) -> None:
+    with stage("recovery.checkpoint", path=path.name):
+        counter_add("faults.recovered")
+        quarantine(path, reason=why)
+        _sidecar(path).unlink(missing_ok=True)
+
+
+def load_checkpoint(path: str | os.PathLike, *,
+                    expect_meta: dict) -> dict | None:
+    """Load the committed state at ``path``; ``None`` when unusable.
+
+    ``expect_meta`` must match the checkpoint's stored meta record on
+    every shared key — a checkpoint from a different tensor / rank /
+    dtype is damage as far as this solve is concerned and is quarantined
+    like a torn file.  Raises :class:`CheckpointError` only for caller
+    errors (``path`` is a directory); damage always degrades to ``None``.
+    """
+    path = Path(path)
+    if path.is_dir():
+        raise CheckpointError(f"checkpoint path {path} is a directory")
+    if not path.exists():
+        return None
+    sidecar = _sidecar(path)
+    if not sidecar.exists():
+        _discard(path, "no committed sha256 sidecar (interrupted commit)")
+        return None
+    try:
+        recorded = sidecar.read_text(encoding="utf-8").strip()
+    except OSError as exc:
+        _discard(path, f"unreadable sidecar: {exc}")
+        return None
+    if sha256_file(path) != recorded:
+        _discard(path, "sha256 mismatch (checkpoint bytes corrupted)")
+        return None
+    try:
+        with np.load(path) as data:
+            meta = json.loads(bytes(data["meta_json"]).decode())
+            weights = np.array(data["weights"])
+            fits = [float(f) for f in data["fits"]]
+            order = sum(1 for k in data.files if k.startswith("factor_"))
+            factors = [np.array(data[f"factor_{m}"]) for m in range(order)]
+    except Exception as exc:  # any torn/alien payload degrades to a miss
+        _discard(path, f"{type(exc).__name__}: {exc}")
+        return None
+    if int(meta.get("checkpoint_version", -1)) != CHECKPOINT_VERSION:
+        _discard(path, f"unsupported checkpoint version "
+                       f"{meta.get('checkpoint_version')}")
+        return None
+    for key, expected in expect_meta.items():
+        if meta.get(key) != expected:
+            _discard(path, f"meta mismatch on {key!r}: checkpoint has "
+                           f"{meta.get(key)!r}, solve expects {expected!r}")
+            return None
+    return {
+        "iteration": int(meta["iteration"]),
+        "weights": weights,
+        "fits": fits,
+        "factors": factors,
+        "meta": meta,
+    }

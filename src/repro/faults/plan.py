@@ -1,0 +1,284 @@
+"""Deterministic, seeded fault plans.
+
+A :class:`FaultPlan` is a parsed schedule of :class:`FaultSpec` clauses,
+each binding one registered fault point to one fault kind plus firing
+rules.  The textual grammar (the ``REPRO_FAULTS`` environment variable and
+the :func:`repro.faults.inject` context manager both accept it)::
+
+    [seed=<int>;]<point>:<kind>[@opt=val[,opt=val...]][;<clause>...]
+
+    REPRO_FAULTS="seed=7;shards.write:truncate@hit=2;cache.put:corrupt@p=0.1"
+
+Kinds
+-----
+``raise``
+    Raise :class:`~repro.util.errors.FaultInjected` at the point — a
+    simulated crash that must surface as a typed error.
+``truncate``
+    Cut the file passed to the fault point down to ``frac`` of its size —
+    a simulated torn write / interrupted flush.
+``corrupt``
+    Overwrite ``bytes`` bytes of the file at a seeded offset — simulated
+    bitrot.  Both file kinds are no-ops at points that handle no file;
+    call sites may instead read the returned kinds and emulate the damage
+    semantically (the plan cache treats a fired ``corrupt`` as a lost
+    entry).
+``stall``
+    Sleep ``seconds`` — a simulated hung disk or scheduler stall, used to
+    drive deadline watchdogs.
+
+Options
+-------
+``p``       firing probability per hit (default 1.0), drawn from a stream
+            seeded by ``(seed, point, kind, clause index)`` — two runs of
+            the same plan fire identically.
+``hit``     fire only on the N-th hit of the point (1-based).
+``max``     stop firing after N fires (default: unlimited).
+``seconds`` stall duration (default 0.05).
+``bytes``   corrupted byte count (default 16).
+``frac``    truncation survival fraction (default 0.5).
+
+Every fire is appended to :attr:`FaultPlan.log` (and, when the plan has a
+``log_path``, one JSON line per fire) so chaos runs can prove which faults
+actually landed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.util.errors import ValidationError
+
+__all__ = ["FAULT_KINDS", "FaultSpec", "FaultPlan", "parse_faults"]
+
+FAULT_KINDS = ("raise", "truncate", "corrupt", "stall")
+
+_FLOAT_OPTS = {"p", "seconds", "frac"}
+_INT_OPTS = {"hit", "max", "bytes"}
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One parsed fault clause: fire ``kind`` at ``point`` per the rules."""
+
+    point: str
+    kind: str
+    probability: float = 1.0
+    hit: int | None = None
+    max_fires: int | None = None
+    seconds: float = 0.05
+    bytes: int = 16
+    frac: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValidationError(
+                f"unknown fault kind {self.kind!r}; choose one of "
+                f"{', '.join(FAULT_KINDS)}")
+        if not self.point:
+            raise ValidationError("fault spec needs a fault-point name")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValidationError(
+                f"fault probability must be in [0, 1], got {self.probability}")
+        if self.hit is not None and self.hit < 1:
+            raise ValidationError(f"hit must be >= 1, got {self.hit}")
+        if self.max_fires is not None and self.max_fires < 1:
+            raise ValidationError(
+                f"max must be >= 1, got {self.max_fires}")
+        if self.seconds < 0:
+            raise ValidationError(f"seconds must be >= 0, got {self.seconds}")
+        if self.bytes < 1:
+            raise ValidationError(f"bytes must be >= 1, got {self.bytes}")
+        if not 0.0 <= self.frac < 1.0:
+            raise ValidationError(
+                f"frac must be in [0, 1), got {self.frac}")
+
+    def describe(self) -> str:
+        opts = []
+        if self.probability != 1.0:
+            opts.append(f"p={self.probability}")
+        if self.hit is not None:
+            opts.append(f"hit={self.hit}")
+        if self.max_fires is not None:
+            opts.append(f"max={self.max_fires}")
+        suffix = ("@" + ",".join(opts)) if opts else ""
+        return f"{self.point}:{self.kind}{suffix}"
+
+
+def _clause_rng_seed(seed: int, spec: FaultSpec, index: int) -> int:
+    token = f"{seed}|{spec.point}|{spec.kind}|{index}".encode()
+    return int.from_bytes(hashlib.sha256(token).digest()[:8], "big")
+
+
+@dataclass
+class _ClauseState:
+    spec: FaultSpec
+    rng: random.Random
+    fires: int = 0
+
+
+class FaultPlan:
+    """A live, thread-safe fault schedule.
+
+    :meth:`poll` is called by the fault-point hook with the point name and
+    returns the specs that fire on this hit; the hook applies the actions.
+    All firing decisions (probability draws included) are functions of the
+    seed and the hit sequence alone, so a plan replays identically.
+    """
+
+    def __init__(self, specs, *, seed: int = 0,
+                 log_path: str | Path | None = None) -> None:
+        self.specs = tuple(specs)
+        self.seed = int(seed)
+        self.log_path = Path(log_path) if log_path else None
+        self.log: list[dict] = []
+        self._hits: dict[str, int] = {}
+        self._states = [
+            _ClauseState(spec=s,
+                         rng=random.Random(_clause_rng_seed(self.seed, s, i)))
+            for i, s in enumerate(self.specs)
+        ]
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    def poll(self, point: str) -> list[tuple[FaultSpec, int, random.Random]]:
+        """Advance the point's hit counter; return the firing clauses.
+
+        Each returned triple is ``(spec, hit_number, clause rng)`` — the
+        rng is handed out so file-damage actions (corrupt offsets) draw
+        from the same deterministic stream as the firing decisions.
+        """
+        fired: list[tuple[FaultSpec, int, random.Random]] = []
+        with self._lock:
+            hit = self._hits.get(point, 0) + 1
+            self._hits[point] = hit
+            for state in self._states:
+                spec = state.spec
+                if spec.point != point:
+                    continue
+                if spec.max_fires is not None and state.fires >= spec.max_fires:
+                    continue
+                if spec.hit is not None and hit != spec.hit:
+                    continue
+                if spec.probability < 1.0 \
+                        and state.rng.random() >= spec.probability:
+                    continue
+                state.fires += 1
+                fired.append((spec, hit, state.rng))
+        return fired
+
+    def record(self, spec: FaultSpec, hit: int, *, path=None,
+               info: dict | None = None) -> dict:
+        """Append one fire to the in-memory log (and the JSONL log file)."""
+        entry = {
+            "point": spec.point,
+            "kind": spec.kind,
+            "hit": hit,
+            "path": str(path) if path is not None else None,
+        }
+        if info:
+            entry.update({k: v for k, v in info.items()
+                          if isinstance(v, (str, int, float, bool))})
+        with self._lock:
+            self.log.append(entry)
+        if self.log_path is not None:
+            try:
+                with open(self.log_path, "a", encoding="utf-8") as fh:
+                    fh.write(json.dumps(entry) + "\n")
+            except OSError:  # the log must never break the injected run
+                pass
+        return entry
+
+    # ------------------------------------------------------------------ #
+    def hits(self, point: str) -> int:
+        with self._lock:
+            return self._hits.get(point, 0)
+
+    def fires(self) -> int:
+        with self._lock:
+            return len(self.log)
+
+    def describe(self) -> str:
+        return ";".join([f"seed={self.seed}"]
+                        + [s.describe() for s in self.specs])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FaultPlan({self.describe()!r}, fires={self.fires()})"
+
+
+def _parse_options(text: str, clause: str) -> dict:
+    options: dict = {}
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if "=" not in part:
+            raise ValidationError(
+                f"malformed fault option {part!r} in clause {clause!r} "
+                "(expected key=value)")
+        key, _, value = part.partition("=")
+        key = key.strip()
+        value = value.strip()
+        try:
+            if key in _FLOAT_OPTS:
+                options[key] = float(value)
+            elif key in _INT_OPTS:
+                options[key] = int(value)
+            else:
+                raise ValidationError(
+                    f"unknown fault option {key!r} in clause {clause!r}; "
+                    f"choose from {sorted(_FLOAT_OPTS | _INT_OPTS)}")
+        except ValueError:
+            raise ValidationError(
+                f"fault option {key!r} in clause {clause!r} has a "
+                f"non-numeric value {value!r}") from None
+    return options
+
+
+def parse_faults(text: str, *, seed: int | None = None,
+                 log_path: str | Path | None = None) -> FaultPlan:
+    """Parse a ``REPRO_FAULTS`` schedule string into a :class:`FaultPlan`.
+
+    ``seed`` overrides a ``seed=`` clause in the text (the environment
+    variable ``REPRO_FAULTS_SEED`` is applied this way by
+    :func:`repro.faults.install_from_env`).
+    """
+    specs: list[FaultSpec] = []
+    parsed_seed = 0
+    for clause in str(text).split(";"):
+        clause = clause.strip()
+        if not clause:
+            continue
+        if clause.startswith("seed="):
+            try:
+                parsed_seed = int(clause[len("seed="):])
+            except ValueError:
+                raise ValidationError(
+                    f"malformed seed clause {clause!r}") from None
+            continue
+        head, _, opts = clause.partition("@")
+        point, sep, kind = head.partition(":")
+        if not sep:
+            raise ValidationError(
+                f"malformed fault clause {clause!r} (expected point:kind)")
+        options = _parse_options(opts, clause) if opts else {}
+        specs.append(FaultSpec(
+            point=point.strip(),
+            kind=kind.strip(),
+            probability=options.get("p", 1.0),
+            hit=options.get("hit"),
+            max_fires=options.get("max"),
+            seconds=options.get("seconds", 0.05),
+            bytes=options.get("bytes", 16),
+            frac=options.get("frac", 0.5),
+        ))
+    if not specs:
+        raise ValidationError(
+            f"fault schedule {text!r} contains no fault clauses")
+    return FaultPlan(specs, seed=parsed_seed if seed is None else seed,
+                     log_path=log_path)

@@ -37,6 +37,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.faults.hooks import fault_point
 from repro.telemetry.counters import counter_add
 from repro.util.errors import ValidationError
 
@@ -199,14 +200,30 @@ class PlanCache:
     def get(self, key: tuple) -> _Entry | None:
         if not self.enabled:
             return None
+        # "plan_cache.load" is the lookup fault point: a fired raise is a
+        # simulated crash inside the cache, a fired corrupt/truncate (no
+        # file here — the cache is in-memory, derivable state) drops the
+        # entry so the caller transparently rebuilds it, a stall models a
+        # slow cold path.
+        fired = fault_point("plan_cache.load")
+        lost = any(kind in ("corrupt", "truncate") for kind in fired)
+        recovered = False
         with self._lock:
             entry = self._entries.get(key)
+            if lost and entry is not None:
+                self._entries.pop(key)
+                self._approx_bytes -= entry.approx_bytes
+                entry = None
+                recovered = True
             if entry is None:
                 self.misses += 1
             else:
                 self._entries.move_to_end(key)
                 self.hits += 1
                 self.amortised_seconds += entry.build_seconds
+        if recovered:
+            # the rebuild the caller now performs *is* the recovery
+            counter_add("faults.recovered")
         if self.telemetry:
             counter_add("plan_cache.hits" if entry is not None
                         else "plan_cache.misses")

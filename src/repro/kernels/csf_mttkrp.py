@@ -16,6 +16,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.faults.deadline import check_deadline
+from repro.faults.hooks import fault_point
 from repro.tensor.csf import CsfTensor
 from repro.tensor.dense import _check_factors
 from repro.util.dtypes import resolve_dtype
@@ -134,6 +136,9 @@ def csf_mttkrp(
 
     slab = slab_nnz_for(rank, slab_nnz)
     if csf.nnz <= slab:
+        # single-slab tensor: one cooperative boundary before the pass
+        fault_point("kernel.slab")
+        check_deadline("kernel.slab")
         _tree_reduce(values, csf.fids, csf.fptr, csf.mode_order, factors,
                      out, validate)
         return out
@@ -145,6 +150,12 @@ def csf_mttkrp(
     nroot = csf.fids[0].shape[0]
     start = 0
     while start < nroot:
+        # Slab boundaries are the kernel's cooperative watchdog points:
+        # an ambient deadline (bench cell timeout, service budget) is
+        # polled here, so a slabbed kernel can be interrupted between
+        # slabs instead of hanging a whole pass.
+        fault_point("kernel.slab")
+        check_deadline("kernel.slab")
         stop = int(np.searchsorted(off, off[start] + slab, side="right")) - 1
         stop = min(max(stop, start + 1), nroot)
         # Restrict every level to the [start, stop) root entries: pointer

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.faults.deadline import check_deadline
+from repro.faults.hooks import fault_point
 from repro.kernels.csf_mttkrp import segment_sum, slab_nnz_for
 from repro.util.errors import DimensionError, TensorFormatError
 
@@ -80,12 +82,17 @@ def csl_mttkrp(
 
     slab = slab_nnz_for(rank, slab_nnz)
     if nnz <= slab:
+        fault_point("kernel.slab")
+        check_deadline("kernel.slab")
         _slice_reduce(vals, rest_indices, slice_ptr, slice_inds, factors,
                       mode_order, rank, out, validate)
         return out
 
     start = 0
     while start < num_slices:
+        # cooperative watchdog boundary (see csf_mttkrp's slab loop)
+        fault_point("kernel.slab")
+        check_deadline("kernel.slab")
         stop = int(np.searchsorted(slice_ptr, slice_ptr[start] + slab,
                                    side="right")) - 1
         stop = min(max(stop, start + 1), num_slices)

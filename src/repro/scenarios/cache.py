@@ -17,12 +17,15 @@ from __future__ import annotations
 import json
 import os
 import shutil
+import warnings
+import zipfile
 from pathlib import Path
 
 import numpy as np
 
 from repro.scenarios.registry import get_generator, materialize_spec
 from repro.scenarios.spec import ScenarioSpec, parse_spec
+from repro.telemetry import counter_add, stage
 from repro.tensor.coo import CooTensor, INDEX_DTYPE, VALUE_DTYPE
 from repro.tensor.shards import (
     DEFAULT_SHARD_NNZ,
@@ -31,6 +34,12 @@ from repro.tensor.shards import (
     open_sharded,
 )
 from repro.util.errors import ValidationError
+from repro.util.safe_io import (
+    atomic_savez,
+    atomic_write_json,
+    cleanup_stale_tmp,
+    quarantine,
+)
 
 __all__ = [
     "ScenarioCache",
@@ -41,6 +50,11 @@ __all__ = [
 ]
 
 _MANIFEST = "manifest.json"
+
+#: npz paths already warned about this process, so a damaged entry warns
+#: once instead of once per lookup (the entry is quarantined on first
+#: sight, but concurrent processes may race the same file).
+_WARNED_DAMAGED: set[str] = set()
 
 #: nonzeros generated per batch on the sharded path.  Fixed (instead of
 #: derived from the shard size) so the generated data depends only on
@@ -80,10 +94,7 @@ class ScenarioCache:
 
     def _write_manifest(self, manifest: dict) -> None:
         self.root.mkdir(parents=True, exist_ok=True)
-        tmp = self.manifest_path.with_suffix(".json.tmp")
-        with open(tmp, "w", encoding="utf-8") as fh:
-            json.dump(manifest, fh, indent=2, sort_keys=True)
-        os.replace(tmp, self.manifest_path)
+        atomic_write_json(self.manifest_path, manifest)
 
     # ------------------------------------------------------------------ #
     # entries
@@ -94,11 +105,26 @@ class ScenarioCache:
     def __contains__(self, spec: ScenarioSpec) -> bool:
         return self.path_for(spec).exists()
 
+    def _quarantine_entry(self, path: Path, why: str) -> None:
+        """Route one unreadable npz entry through quarantine, warning once."""
+        with stage("recovery.scenario_npz", path=path.name):
+            counter_add("faults.recovered")
+            quarantine(path, reason=why)
+        key = str(path)
+        if key not in _WARNED_DAMAGED:
+            _WARNED_DAMAGED.add(key)
+            warnings.warn(
+                f"scenario cache entry {path.name} is unreadable ({why}); "
+                "quarantined and treated as a miss — the scenario will be "
+                "regenerated", RuntimeWarning, stacklevel=3)
+
     def get(self, spec: ScenarioSpec) -> CooTensor | None:
         """Return the cached tensor for ``spec``, or None on a miss.
 
-        A corrupt entry is treated as a miss (and removed) rather than an
-        error, so a damaged cache never blocks regeneration.
+        A corrupt entry — including a torn ``.npz`` from a generator killed
+        mid-write, which ``np.load`` reports as ``zipfile.BadZipFile`` — is
+        quarantined and treated as a miss (with a once-per-file warning)
+        rather than an error, so a damaged cache never blocks regeneration.
         """
         path = self.path_for(spec)
         if not path.exists():
@@ -108,11 +134,13 @@ class ScenarioCache:
                 indices = np.ascontiguousarray(data["indices"], dtype=INDEX_DTYPE)
                 values = np.ascontiguousarray(data["values"], dtype=VALUE_DTYPE)
                 shape = tuple(int(s) for s in data["shape"])
-        except (OSError, KeyError, ValueError):
-            path.unlink(missing_ok=True)
+        except (OSError, KeyError, ValueError, EOFError,
+                zipfile.BadZipFile) as exc:
+            self._quarantine_entry(path, f"{type(exc).__name__}: {exc}")
             return None
         if shape != tuple(spec.shape):
-            path.unlink(missing_ok=True)
+            self._quarantine_entry(
+                path, f"shape {shape} does not match spec {tuple(spec.shape)}")
             return None
         return CooTensor(indices, values, shape, validate=False)
 
@@ -125,15 +153,16 @@ class ScenarioCache:
         self.root.mkdir(parents=True, exist_ok=True)
         key = spec.spec_hash()
         path = self.root / f"{key}.npz"
-        # the tmp name must keep the .npz suffix or np.savez appends one
-        tmp = path.with_name(f".{path.stem}.tmp.npz")
-        np.savez_compressed(
-            tmp,
+        # Crash-safe commit (temp + fsync + rename); the "cache.put" fault
+        # point fires on the temp file just before the rename so injected
+        # corruption lands in a committed entry that get() must survive.
+        atomic_savez(
+            path,
+            fault="cache.put",
             indices=tensor.indices,
             values=tensor.values,
             shape=np.asarray(tensor.shape, dtype=np.int64),
         )
-        os.replace(tmp, path)
 
         manifest = self.manifest()
         manifest[key] = {
@@ -178,11 +207,15 @@ class ScenarioCache:
             return None
         try:
             sharded = open_sharded(path)
+            if tuple(sharded.shape) != tuple(spec.shape):
+                raise ValidationError(
+                    f"cached shape {sharded.shape} does not match spec "
+                    f"{tuple(spec.shape)}")
         except ValidationError:
-            shutil.rmtree(path, ignore_errors=True)
-            return None
-        if tuple(sharded.shape) != tuple(spec.shape):
-            shutil.rmtree(path, ignore_errors=True)
+            with stage("recovery.sharded_entry", path=path.name):
+                counter_add("faults.recovered")
+                counter_add("cache.quarantined")
+                shutil.rmtree(path, ignore_errors=True)
             return None
         return sharded
 
@@ -208,9 +241,12 @@ class ScenarioCache:
 
         Returns the dropped keys.  An npz entry must exist on disk; a
         sharded entry must open cleanly with every listed shard file
-        present (a damaged directory is removed).  Run this to reconcile
-        the manifest after files were deleted out from under the cache.
+        present (a damaged directory is removed).  Uncommitted temp files
+        left by crashed writers are swept away first.  Run this to
+        reconcile the manifest after files were deleted out from under the
+        cache.
         """
+        cleanup_stale_tmp(self.root)
         manifest = self.manifest()
         dropped: list[str] = []
         for key, entry in list(manifest.items()):

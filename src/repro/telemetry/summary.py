@@ -127,14 +127,14 @@ def _fmt_s(seconds: float) -> str:
 
 def render_summary(trace: Trace, sort: str = "total") -> str:
     rows = span_summary(trace, sort=sort)
-    if not rows:
+    if not rows and not trace.counters:
         return "no spans in trace"
     with_hist = any("p50" in r for r in rows)
     header = (f"{'span':<24} {'count':>7} {'total':>10} {'mean':>10} "
               f"{'p95':>10} {'max':>10}")
     if with_hist:
         header += f" {'p50':>10} {'h-p95':>10} {'p99':>10}"
-    lines = [header]
+    lines = [header] if rows else ["no spans in trace"]
     for r in rows:
         line = (
             f"{r['name']:<24} {r['count']:>7d} {_fmt_s(r['total'])} "
@@ -157,6 +157,16 @@ def render_summary(trace: Trace, sort: str = "total") -> str:
         lines.append("counters:")
         for name in sorted(trace.counters):
             lines.append(f"  {name:<32} {trace.counters[name]}")
+        injected = trace.counters.get("faults.injected", 0)
+        recovered = trace.counters.get("faults.recovered", 0)
+        quarantined = trace.counters.get("cache.quarantined", 0)
+        if injected or recovered or quarantined:
+            lines.append("")
+            line = (f"faults: {injected} injected, {recovered} recovered, "
+                    f"{quarantined} file(s) quarantined")
+            if rows:
+                line += " (recovery.* spans above show the rebuild cost)"
+            lines.append(line)
     return "\n".join(lines)
 
 

@@ -30,6 +30,7 @@ from repro.tensor.shards import (
     ShardedCooWriter,
 )
 from repro.util.errors import ValidationError
+from repro.util.safe_io import atomic_writer
 
 __all__ = ["read_tns", "write_tns"]
 
@@ -161,12 +162,17 @@ def _read_stream(stream: IO[str], shape: Sequence[int] | None,
 
 
 def write_tns(tensor: CooTensor, path_or_file: str | os.PathLike | IO[str]) -> None:
-    """Write a :class:`CooTensor` in FROSTT ``.tns`` format (1-based indices)."""
+    """Write a :class:`CooTensor` in FROSTT ``.tns`` format (1-based indices).
+
+    Path targets commit atomically (temp + fsync + rename): a writer
+    killed mid-export leaves the previous file intact, never a torn one.
+    """
     if hasattr(path_or_file, "write"):
         _write_stream(tensor, path_or_file)  # type: ignore[arg-type]
         return
-    with open(path_or_file, "w", encoding="utf-8") as fh:
-        _write_stream(tensor, fh)
+    with atomic_writer(path_or_file) as tmp:
+        with open(tmp, "w", encoding="utf-8") as fh:
+            _write_stream(tensor, fh)
 
 
 def _write_stream(tensor: CooTensor, stream: IO[str]) -> None:

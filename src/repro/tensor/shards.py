@@ -35,8 +35,11 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
+from repro.faults.hooks import fault_point
+from repro.telemetry import counter_add, stage
 from repro.tensor.coo import CooTensor, INDEX_DTYPE, VALUE_DTYPE, csf_mode_ordering
-from repro.util.errors import DimensionError, ValidationError
+from repro.util.errors import DimensionError, ShardIntegrityError, ValidationError
+from repro.util.safe_io import atomic_save_npy, atomic_write_json
 
 __all__ = [
     "SHARD_FORMAT_VERSION",
@@ -225,8 +228,13 @@ class ShardedCooWriter:
         num = len(self._shards)
         idx_name = f"shard-{num:05d}.indices.npy"
         val_name = f"shard-{num:05d}.values.npy"
-        np.save(self.root / idx_name, idx)
-        np.save(self.root / val_name, vals)
+        # Crash-safe commit: payload to a temp file, fsync, atomic rename.
+        # The "shards.write" fault point sits between payload and rename,
+        # so an injected raise models a writer killed mid-batch (temp file
+        # only, no torn shard) and injected truncate/corrupt model a
+        # committed-then-rotted file that open_sharded must catch.
+        atomic_save_npy(self.root / idx_name, idx, fault="shards.write")
+        atomic_save_npy(self.root / val_name, vals, fault="shards.write")
         self._shards.append({
             "indices": idx_name,
             "values": val_name,
@@ -270,10 +278,13 @@ class ShardedCooWriter:
             "shards": self._shards,
         }
         manifest.update(self.extra)
-        tmp = self.root / f".{MANIFEST_NAME}.tmp"
-        with open(tmp, "w", encoding="utf-8") as fh:
-            json.dump(manifest, fh, indent=2, sort_keys=True)
-        os.replace(tmp, self.root / MANIFEST_NAME)
+        # The manifest is the commit marker of the whole directory: written
+        # last, atomically, after every shard file it names is durable.  A
+        # crash at any earlier point leaves a directory without a manifest,
+        # which open_sharded reports as a typed error and the cache layers
+        # rebuild from scratch.
+        atomic_write_json(self.root / MANIFEST_NAME, manifest,
+                          fault="shards.write")
         return ShardedCooTensor(self.root, manifest)
 
     def __enter__(self) -> "ShardedCooWriter":
@@ -471,13 +482,22 @@ class ShardedCooTensor:
         name = f"sorted-m{tag}" + ("" if dedup else "-raw")
         out_root = self.root / name
         if (out_root / MANIFEST_NAME).exists():
+            damaged = False
             try:
                 view = open_sharded(out_root)
                 if view.manifest.get("source_digest") == self.manifest_digest():
                     return view
             except ValidationError:
-                pass
-            shutil.rmtree(out_root, ignore_errors=True)
+                damaged = True
+            if damaged:
+                # A torn/corrupt view is derivable state: drop it, count
+                # the recovery, rebuild.  (A merely stale view — source
+                # digest moved — is routine invalidation, not a recovery.)
+                with stage("recovery.sorted_view", root=str(out_root)):
+                    counter_add("faults.recovered")
+                    shutil.rmtree(out_root, ignore_errors=True)
+            else:
+                shutil.rmtree(out_root, ignore_errors=True)
         return sort_sharded(self, mode_order, out_root, dedup=dedup)
 
 
@@ -490,13 +510,79 @@ def save_sharded(tensor: CooTensor, root: str | os.PathLike, *,
     return writer.close()
 
 
-def open_sharded(root: str | os.PathLike) -> ShardedCooTensor:
+def _npy_header(path: Path) -> tuple[tuple[int, ...], np.dtype, int]:
+    """``(shape, dtype, data offset)`` of an ``.npy`` file's header."""
+    with open(path, "rb") as fh:
+        version = np.lib.format.read_magic(fh)
+        if version == (1, 0):
+            shape, fortran, dtype = np.lib.format.read_array_header_1_0(fh)
+        elif version == (2, 0):
+            shape, fortran, dtype = np.lib.format.read_array_header_2_0(fh)
+        else:
+            raise ValueError(f"unsupported npy format version {version}")
+        if fortran:
+            raise ValueError("fortran-ordered shard files are not supported")
+        return tuple(int(s) for s in shape), dtype, fh.tell()
+
+
+def _verify_shard_file(root: Path, name: str, *, shard: int,
+                       expect_shape: tuple[int, ...],
+                       expect_dtype: np.dtype) -> None:
+    """Exact integrity check of one shard file against its manifest entry.
+
+    Parses the npy header and requires the declared shape/dtype to match
+    the manifest and the file's byte length to equal header + payload
+    *exactly* — a partially-appended final shard (writer killed mid-batch
+    on a non-atomic filesystem) or any grown/shrunk file fails with a
+    typed :class:`ShardIntegrityError` naming the file.
+    """
+    path = root / name
+    if not path.exists():
+        raise ShardIntegrityError(
+            f"sharded tensor at {root} is missing shard file {name} "
+            f"(shard {shard})", path=path)
+    try:
+        shape, dtype, data_offset = _npy_header(path)
+    except (OSError, ValueError) as exc:
+        raise ShardIntegrityError(
+            f"shard file {name} at {root} has an unreadable npy header "
+            f"(shard {shard}): {exc}", path=path) from None
+    if shape != expect_shape or dtype != expect_dtype:
+        raise ShardIntegrityError(
+            f"shard file {name} at {root} declares {dtype} {shape}, but "
+            f"the manifest expects {np.dtype(expect_dtype)} {expect_shape} "
+            f"(shard {shard})", path=path)
+    count = 1
+    for s in shape:
+        count *= s
+    expected_bytes = data_offset + count * dtype.itemsize
+    actual = path.stat().st_size
+    if actual != expected_bytes:
+        raise ShardIntegrityError(
+            f"shard file {name} at {root} is "
+            f"{'truncated' if actual < expected_bytes else 'overlong'} "
+            f"({actual} bytes, manifest expects exactly {expected_bytes}; "
+            f"shard {shard})", path=path)
+
+
+def open_sharded(root: str | os.PathLike, *,
+                 verify: str = "size") -> ShardedCooTensor:
     """Open a shard manifest, validating every listed file against disk.
 
-    A missing manifest, unsupported format version or missing/truncated
-    shard file raises a clean :class:`ValidationError` naming the problem —
-    never a raw ``FileNotFoundError`` from deep inside ``np.load``.
+    A missing manifest, unsupported format version or malformed manifest
+    raises a clean :class:`ValidationError`; a missing, truncated, grown
+    or (under ``verify="digest"``) bit-rotted shard file raises
+    :class:`ShardIntegrityError` naming the file — never a raw
+    ``FileNotFoundError`` from deep inside ``np.load``.
+
+    ``verify="size"`` (default) checks each file's npy header and exact
+    byte length against the manifest; ``verify="digest"`` additionally
+    re-hashes every payload against the manifest's per-shard sha256 —
+    full bitrot detection at the cost of reading every byte.
     """
+    if verify not in ("size", "digest"):
+        raise ValidationError(
+            f'verify must be "size" or "digest", got {verify!r}')
     root = Path(root)
     manifest_path = root / MANIFEST_NAME
     try:
@@ -516,21 +602,26 @@ def open_sharded(root: str | os.PathLike) -> ShardedCooTensor:
             f"unsupported shard manifest version {version} at {root} "
             f"(expected {SHARD_FORMAT_VERSION})")
     order = len(manifest.get("shape", []))
-    idx_item = np.dtype(INDEX_DTYPE).itemsize
-    val_item = np.dtype(VALUE_DTYPE).itemsize
+    idx_dtype = np.dtype(INDEX_DTYPE)
+    val_dtype = np.dtype(VALUE_DTYPE)
     for i, entry in enumerate(manifest["shards"]):
         n = int(entry["nnz"])
-        for key, min_bytes in (("indices", n * order * idx_item),
-                               ("values", n * val_item)):
-            path = root / entry[key]
-            if not path.exists():
-                raise ValidationError(
-                    f"sharded tensor at {root} is missing shard file "
-                    f"{entry[key]} (shard {i})")
-            if path.stat().st_size < min_bytes:
-                raise ValidationError(
-                    f"shard file {entry[key]} at {root} is truncated "
-                    f"({path.stat().st_size} bytes < {min_bytes} payload)")
+        _verify_shard_file(root, entry["indices"], shard=i,
+                           expect_shape=(n, order), expect_dtype=idx_dtype)
+        _verify_shard_file(root, entry["values"], shard=i,
+                           expect_shape=(n,), expect_dtype=val_dtype)
+        if verify == "digest":
+            for key, digest_key in (("indices", "sha256_indices"),
+                                    ("values", "sha256_values")):
+                recorded = entry.get(digest_key)
+                if recorded is None:
+                    continue
+                arr = np.load(root / entry[key], mmap_mode="r")
+                if _sha256_array(np.asarray(arr)) != recorded:
+                    raise ShardIntegrityError(
+                        f"shard file {entry[key]} at {root} fails its "
+                        f"manifest sha256 (shard {i}): payload corrupted",
+                        path=root / entry[key])
     return ShardedCooTensor(root, manifest)
 
 
@@ -688,6 +779,7 @@ def _write_run(tmp_dir: Path, num: int, idx: np.ndarray,
 
 def _merge_pair(a: _RunCursor, b: _RunCursor, push) -> None:
     """Stable two-way merge of sorted runs (``a``'s rows precede ``b``'s)."""
+    fault_point("shards.sort.merge")
     while a.has and b.has:
         limit = int(min(a.keys[-1], b.keys[-1]))
         a.extend_past(limit)
@@ -723,6 +815,24 @@ def sort_sharded(sharded: ShardedCooTensor, mode_order: Sequence[int],
         raise DimensionError(
             f"{mode_order} is not a permutation of 0..{sharded.order - 1}")
     out_root = Path(out_root)
+    if out_root.exists():
+        # Pre-clean: a crashed earlier sort leaves shard files without a
+        # manifest (the manifest is written last, as the commit marker);
+        # rebuilding on top would strand the stale higher-numbered files.
+        # Anything with a source_digest manifest is a derived view and
+        # equally safe to drop.  A manifest *without* a source digest is a
+        # primary tensor — refuse to clobber it.
+        existing = None
+        try:
+            with open(out_root / MANIFEST_NAME, encoding="utf-8") as fh:
+                existing = json.load(fh)
+        except (OSError, json.JSONDecodeError, FileNotFoundError):
+            existing = None
+        if isinstance(existing, dict) and "source_digest" not in existing:
+            raise ValidationError(
+                f"refusing to sort into {out_root}: it holds a shard "
+                "manifest that is not a derived sorted view")
+        shutil.rmtree(out_root, ignore_errors=True)
     extra = {"source_digest": sharded.manifest_digest()}
     # The view's shards are capped at the sort block: downstream streaming
     # consumers map one shard at a time, so the cap keeps their resident

@@ -22,3 +22,54 @@ class TensorFormatError(ReproError, ValueError):
     """Raised when a sparse-format structure is internally inconsistent
     (e.g. non-monotone pointer arrays) or an operation is not supported for
     the given format."""
+
+
+class ShardIntegrityError(ValidationError):
+    """A shard file on disk does not match its manifest entry (wrong byte
+    length, unreadable header, digest mismatch).  Subclasses
+    :class:`ValidationError` so recovery paths that treat a damaged shard
+    directory as a rebuildable cache miss keep working, while callers that
+    need to distinguish physical corruption can catch this type and read
+    :attr:`path`."""
+
+    def __init__(self, message: str, *, path=None) -> None:
+        super().__init__(message)
+        #: the offending file, when one can be named.
+        self.path = path
+
+
+class CheckpointError(ValidationError):
+    """A CP-ALS checkpoint file is unreadable, fails its digest, or does
+    not match the solve it is being resumed into."""
+
+
+class FaultInjected(ReproError, RuntimeError):
+    """Raised by a ``raise``-kind injected fault (:mod:`repro.faults`).
+
+    Deliberately *not* a :class:`ValidationError`: recovery paths that
+    swallow damaged-state errors must not silently swallow an injected
+    crash — a crash is supposed to propagate like a real one.
+    """
+
+    def __init__(self, point: str, *, hit: int = 0) -> None:
+        super().__init__(f"injected fault at {point!r} (hit {hit})")
+        self.point = point
+        self.hit = hit
+
+
+class DeadlineExceeded(ReproError, TimeoutError):
+    """A cooperative deadline ran out (:class:`repro.faults.Deadline`).
+
+    ``partial`` carries whatever the interrupted operation completed before
+    the budget expired (e.g. a :class:`repro.cpd.als.CpdResult` of the
+    committed iterations); ``None`` when nothing useful was finished.
+    """
+
+    def __init__(self, message: str, *, where: str = "",
+                 budget_seconds: float = 0.0,
+                 elapsed_seconds: float = 0.0, partial=None) -> None:
+        super().__init__(message)
+        self.where = where
+        self.budget_seconds = budget_seconds
+        self.elapsed_seconds = elapsed_seconds
+        self.partial = partial

@@ -1,0 +1,205 @@
+"""Crash-safe file primitives: atomic writes, digests, quarantine.
+
+Every mutable on-disk artifact of the library (shard files, shard
+manifests, scenario npz entries, CP-ALS checkpoints, bench artifacts)
+commits through the same protocol:
+
+1. write the full payload to a hidden temp file **in the target
+   directory** (``.<name>.<pid>.tmp[...]`` — same filesystem, so the
+   rename is atomic);
+2. flush + fsync the temp file;
+3. ``os.replace`` onto the final name — the commit point;
+4. best-effort fsync of the directory so the rename itself is durable.
+
+A crash before step 3 leaves only a temp file that
+:func:`repro.faults.scan_for_debris` flags and :func:`cleanup_stale_tmp`
+removes; a crash after leaves the complete new file.  Torn *committed*
+files can then only come from storage corruption, which readers handle by
+verifying (length or digest) on open and routing damaged files through
+:func:`quarantine` — moved aside for forensics, counted by the
+``cache.quarantined`` telemetry counter, and rebuilt by the caller.
+
+The writers accept a ``fault=`` fault-point name; the hook runs on the
+temp file after the payload is written and before the commit, so an
+injected ``raise`` models a crash-before-commit (no torn state) while an
+injected ``truncate``/``corrupt`` models a committed-then-rotted file —
+exactly the two failure classes the recovery paths must survive.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import os
+from contextlib import contextmanager
+from pathlib import Path
+
+import numpy as np
+
+from repro.faults.hooks import fault_point
+from repro.telemetry.counters import counter_add
+
+__all__ = [
+    "atomic_writer",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "atomic_write_json",
+    "atomic_save_npy",
+    "atomic_savez",
+    "sha256_file",
+    "quarantine",
+    "cleanup_stale_tmp",
+]
+
+
+def _fsync_path(path: Path) -> None:
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _fsync_dir(path: Path) -> None:
+    try:
+        _fsync_path(path)
+    except OSError:  # pragma: no cover - not all filesystems allow it
+        pass
+
+
+def _tmp_for(path: Path, *, suffix: str = "") -> Path:
+    return path.parent / f".{path.name}.{os.getpid()}.tmp{suffix}"
+
+
+@contextmanager
+def atomic_writer(path: str | os.PathLike, *, fault: str | None = None,
+                  suffix: str = ""):
+    """Yield a temp path; commit it onto ``path`` when the block succeeds.
+
+    On any exception the temp file is removed — the target is either the
+    old content or the complete new content, never a torn mix.  ``fault``
+    names a fault point consulted between payload write and commit (see
+    the module docstring for the semantics of each fired kind).
+    ``suffix`` keeps a required extension on the temp name (``np.savez``
+    appends ``.npz`` to names without it).
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = _tmp_for(path, suffix=suffix)
+    try:
+        yield tmp
+        if fault is not None:
+            fault_point(fault, path=tmp)
+        if tmp.exists():
+            _fsync_path(tmp)
+        os.replace(tmp, path)
+        _fsync_dir(path.parent)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+
+
+def atomic_write_bytes(path: str | os.PathLike, data: bytes, *,
+                       fault: str | None = None) -> Path:
+    path = Path(path)
+    with atomic_writer(path, fault=fault) as tmp:
+        with open(tmp, "wb") as fh:
+            fh.write(data)
+    return path
+
+
+def atomic_write_text(path: str | os.PathLike, text: str, *,
+                      fault: str | None = None) -> Path:
+    return atomic_write_bytes(path, text.encode("utf-8"), fault=fault)
+
+
+def atomic_write_json(path: str | os.PathLike, obj, *, indent: int | None = 2,
+                      sort_keys: bool = True,
+                      fault: str | None = None) -> Path:
+    return atomic_write_text(
+        path, json.dumps(obj, indent=indent, sort_keys=sort_keys) + "\n",
+        fault=fault)
+
+
+def atomic_save_npy(path: str | os.PathLike, array: np.ndarray, *,
+                    fault: str | None = None) -> Path:
+    path = Path(path)
+    with atomic_writer(path, fault=fault) as tmp:
+        with open(tmp, "wb") as fh:
+            np.save(fh, array)
+    return path
+
+
+def atomic_savez(path: str | os.PathLike, *, fault: str | None = None,
+                 compressed: bool = True, **arrays) -> Path:
+    path = Path(path)
+    with atomic_writer(path, fault=fault, suffix=".npz") as tmp:
+        save = np.savez_compressed if compressed else np.savez
+        save(tmp, **arrays)
+    return path
+
+
+def sha256_file(path: str | os.PathLike, *, block: int = 1 << 20) -> str:
+    """Streaming sha256 of a file's bytes."""
+    h = hashlib.sha256()
+    with open(path, "rb") as fh:
+        while True:
+            chunk = fh.read(block)
+            if not chunk:
+                break
+            h.update(chunk)
+    return h.hexdigest()
+
+
+def quarantine(path: str | os.PathLike, *, reason: str = "") -> Path | None:
+    """Move a damaged file into ``<dir>/.quarantine/`` for forensics.
+
+    Never raises: a file that cannot be moved is unlinked, one that is
+    already gone returns ``None``.  Each quarantine bumps the
+    ``cache.quarantined`` telemetry counter and drops a ``<name>.reason``
+    sidecar naming why, so a corruption storm is visible both in bench
+    counter deltas and on disk.
+    """
+    path = Path(path)
+    if not path.exists():
+        return None
+    qdir = path.parent / ".quarantine"
+    try:
+        qdir.mkdir(exist_ok=True)
+        for n in itertools.count():
+            target = qdir / (path.name if n == 0 else f"{path.name}.{n}")
+            if not target.exists():
+                break
+        os.replace(path, target)
+    except OSError:
+        path.unlink(missing_ok=True)
+        target = None
+    counter_add("cache.quarantined")
+    if target is not None and reason:
+        try:
+            with open(qdir / f"{target.name}.reason", "w",
+                      encoding="utf-8") as fh:
+                fh.write(reason + "\n")
+        except OSError:  # pragma: no cover - forensics only
+            pass
+    return target
+
+
+def cleanup_stale_tmp(root: str | os.PathLike) -> list[Path]:
+    """Remove uncommitted temp files (``.*.tmp*``) under ``root``.
+
+    Only safe when no writer is concurrently committing into ``root`` —
+    maintenance entry points (cache ``validate()``, chaos scans) call it,
+    routine reads and writes do not.  Returns the removed paths.
+    """
+    root = Path(root)
+    removed: list[Path] = []
+    if not root.exists():
+        return removed
+    for path in sorted(root.rglob(".*")):
+        if path.is_file() and ".tmp" in path.name \
+                and ".quarantine" not in path.parts:
+            path.unlink(missing_ok=True)
+            removed.append(path)
+    return removed

@@ -56,3 +56,24 @@ def factors3d(small3d):
 @pytest.fixture
 def factors4d(small4d):
     return make_factors(small4d.shape, 6, seed=12)
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "chaos_sensitive: asserts exact cache accounting (hit/miss counts, "
+        "entry presence) that an ambient fault schedule intentionally "
+        "violates; skipped when REPRO_FAULTS is active")
+
+
+def pytest_collection_modifyitems(config, items):
+    from repro.faults import active_plan
+
+    if active_plan() is None:
+        return
+    skip = pytest.mark.skip(
+        reason="exact cache accounting is undefined under the ambient "
+               "REPRO_FAULTS schedule")
+    for item in items:
+        if item.get_closest_marker("chaos_sensitive"):
+            item.add_marker(skip)

@@ -1,0 +1,104 @@
+"""Damaged caches are misses, never errors: scenario npz + plan cache."""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.faults import inject
+from repro.formats.plan_cache import clear_plan_cache
+from repro.formats.registry import build_plan
+from repro.scenarios.cache import ScenarioCache, materialize, materialize_sharded
+from repro.scenarios.spec import parse_spec
+from repro.telemetry import counters_delta, counters_snapshot
+from repro.tensor.random_gen import random_coo
+from repro.util.errors import FaultInjected
+from repro.util.prng import default_rng
+
+SPEC = {"generator": "uniform", "shape": [12, 10, 8], "nnz": 300, "seed": 7}
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ScenarioCache(tmp_path / "cache")
+
+
+def test_torn_npz_is_quarantined_miss_warning_once(cache):
+    reference = materialize(SPEC, cache)
+    path = cache.path_for(parse_spec(SPEC))
+    assert path.exists()
+    path.write_bytes(path.read_bytes()[:40])  # torn mid-write
+    before = counters_snapshot()
+    with pytest.warns(RuntimeWarning, match="quarantined"):
+        regenerated = materialize(SPEC, cache)
+    delta = counters_delta(before)
+    assert delta.get("cache.quarantined") == 1
+    assert delta.get("faults.recovered") == 1
+    np.testing.assert_array_equal(regenerated.indices, reference.indices)
+    np.testing.assert_array_equal(regenerated.values.view(np.uint64),
+                                  reference.values.view(np.uint64))
+    assert (cache.root / ".quarantine").is_dir()
+    # the regenerated entry serves clean hits again
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        hit = materialize(SPEC, cache)
+    np.testing.assert_array_equal(hit.indices, reference.indices)
+    # damage the same path again (a concurrent-process race): quarantined
+    # again, but the once-per-file warning does not repeat
+    path.write_bytes(b"junk")
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        assert materialize(SPEC, cache) is not None
+
+
+def test_injected_put_corruption_survives_get(cache):
+    with inject("cache.put:corrupt@hit=1,bytes=16", seed=13):
+        materialize(SPEC, cache)  # the put commits a corrupted entry
+    with pytest.warns(RuntimeWarning, match="unreadable"):
+        assert cache.get(parse_spec(SPEC)) is None
+    # after quarantine, regeneration round-trips cleanly
+    reference = materialize(SPEC)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        again = materialize(SPEC, cache)
+    np.testing.assert_array_equal(again.indices, reference.indices)
+
+
+def test_damaged_sharded_entry_is_clean_miss(cache):
+    sharded = materialize_sharded(SPEC, cache, shard_nnz=100)
+    victim = sorted(sharded.root.glob("*.npy"))[0]
+    victim.write_bytes(victim.read_bytes()[:-9])
+    before = counters_snapshot()
+    rebuilt = materialize_sharded(SPEC, cache, shard_nnz=100)
+    delta = counters_delta(before)
+    assert delta.get("cache.quarantined") == 1
+    assert delta.get("faults.recovered") == 1
+    assert rebuilt.nnz == sharded.nnz
+
+
+def test_plan_cache_corrupt_load_drops_entry_and_rebuilds():
+    clear_plan_cache()
+    tensor = random_coo((15, 12, 10), 500, default_rng(8))
+    first = build_plan(tensor, "csf", 0)
+    assert not first.cache_hit
+    assert build_plan(tensor, "csf", 0).cache_hit
+    before = counters_snapshot()
+    with inject("plan_cache.load:corrupt@hit=1"):
+        rebuilt = build_plan(tensor, "csf", 0)
+    assert not rebuilt.cache_hit  # the corrupt entry was dropped
+    assert counters_delta(before).get("faults.recovered") == 1
+    # the transparent rebuild is bit-identical derivable state
+    np.testing.assert_array_equal(
+        rebuilt.rep.values.view(np.uint64), first.rep.values.view(np.uint64))
+    assert build_plan(tensor, "csf", 0).cache_hit  # and cached again
+
+
+def test_plan_cache_raise_propagates():
+    clear_plan_cache()
+    tensor = random_coo((15, 12, 10), 500, default_rng(8))
+    build_plan(tensor, "csf", 0)
+    with inject("plan_cache.load:raise@hit=1"):
+        with pytest.raises(FaultInjected):
+            build_plan(tensor, "csf", 0)

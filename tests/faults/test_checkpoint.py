@@ -1,0 +1,156 @@
+"""Crash-safe CP-ALS checkpoints: bit-identical resume, damage recovery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cpd.als import cp_als
+from repro.cpd.checkpoint import load_checkpoint, save_checkpoint
+from repro.faults import inject, scan_for_debris
+from repro.tensor.random_gen import random_coo
+from repro.util.errors import CheckpointError, FaultInjected
+from repro.util.prng import default_rng
+
+
+@pytest.fixture
+def tensor():
+    return random_coo((12, 11, 10), 350, default_rng(2))
+
+
+def reference(tensor, **kwargs):
+    return cp_als(tensor, 4, n_iters=6, tol=0.0, rng=default_rng(3),
+                  **kwargs)
+
+
+def assert_bit_identical(a, b):
+    assert a.fits == b.fits
+    assert np.array_equal(a.weights, b.weights)
+    for fa, fb in zip(a.factors, b.factors):
+        assert np.array_equal(fa, fb)
+
+
+def test_save_load_round_trip(tmp_path):
+    path = tmp_path / "state.npz"
+    factors = [np.arange(6.0).reshape(3, 2), np.ones((4, 2))]
+    meta = {"fingerprint": "f", "rank": 2}
+    save_checkpoint(path, factors=factors, weights=np.array([1.0, 2.0]),
+                    fits=[0.1, 0.2], iteration=2, meta=meta)
+    assert path.exists() and (tmp_path / "state.npz.sha256").exists()
+    state = load_checkpoint(path, expect_meta=meta)
+    assert state["iteration"] == 2
+    assert state["fits"] == [0.1, 0.2]
+    assert np.array_equal(state["weights"], [1.0, 2.0])
+    assert all(np.array_equal(got, want)
+               for got, want in zip(state["factors"], factors))
+
+
+def test_load_missing_is_none(tmp_path):
+    assert load_checkpoint(tmp_path / "nope.npz", expect_meta={}) is None
+
+
+def test_load_directory_is_caller_error(tmp_path):
+    with pytest.raises(CheckpointError):
+        load_checkpoint(tmp_path, expect_meta={})
+
+
+@pytest.mark.parametrize("damage", ["truncate", "corrupt", "no_sidecar",
+                                    "meta"])
+def test_damaged_checkpoint_quarantined(tmp_path, damage):
+    path = tmp_path / "state.npz"
+    meta = {"fingerprint": "f", "rank": 2}
+    save_checkpoint(path, factors=[np.ones((3, 2))],
+                    weights=np.ones(2), fits=[0.5], iteration=1, meta=meta)
+    expect = dict(meta)
+    if damage == "truncate":
+        path.write_bytes(path.read_bytes()[:60])
+    elif damage == "corrupt":
+        raw = bytearray(path.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        path.write_bytes(bytes(raw))
+    elif damage == "no_sidecar":
+        (tmp_path / "state.npz.sha256").unlink()
+    elif damage == "meta":
+        expect = {"fingerprint": "OTHER", "rank": 2}
+    assert load_checkpoint(path, expect_meta=expect) is None
+    assert not path.exists()
+    assert (tmp_path / ".quarantine").is_dir()
+
+
+def test_resume_is_bit_identical(tensor, tmp_path):
+    ref = reference(tensor)
+    ck = tmp_path / "als.npz"
+    # crash at iteration 4 (1-based hit 5 is never reached: n_iters=6 runs
+    # hits 1..6, the raise fires on hit 5 => 4 committed iterations)
+    with inject("als.iteration:raise@hit=5"):
+        with pytest.raises(FaultInjected):
+            reference(tensor, checkpoint=ck)
+    assert scan_for_debris(tmp_path) == []
+    state = load_checkpoint(ck, expect_meta={})
+    assert state["iteration"] == 4
+    resumed = reference(tensor, checkpoint=ck)
+    assert resumed.iterations == ref.iterations
+    assert_bit_identical(resumed, ref)
+
+
+def test_resume_survives_repeated_crashes(tensor, tmp_path):
+    ref = reference(tensor)
+    ck = tmp_path / "als.npz"
+    for hit in (2, 3, 2):  # crash over and over, resuming each time
+        with inject(f"als.iteration:raise@hit={hit}"):
+            try:
+                reference(tensor, checkpoint=ck)
+            except FaultInjected:
+                pass
+    final = reference(tensor, checkpoint=ck)
+    assert_bit_identical(final, ref)
+
+
+def test_checkpoint_every_skips_commits(tensor, tmp_path):
+    ck = tmp_path / "als.npz"
+    with inject("als.iteration:raise@hit=4"):
+        with pytest.raises(FaultInjected):
+            reference(tensor, checkpoint=ck, checkpoint_every=2)
+    # iterations 1..3 committed only at iteration 2 (cadence 2)
+    state = load_checkpoint(ck, expect_meta={})
+    assert state["iteration"] == 2
+    resumed = reference(tensor, checkpoint=ck, checkpoint_every=2)
+    assert_bit_identical(resumed, reference(tensor))
+
+
+def test_converged_checkpoint_short_circuits(tensor, tmp_path):
+    ck = tmp_path / "als.npz"
+    ref = cp_als(tensor, 4, n_iters=40, tol=1e-3, rng=default_rng(3),
+                 checkpoint=ck)
+    assert ref.converged
+    again = cp_als(tensor, 4, n_iters=40, tol=1e-3, rng=default_rng(3),
+                   checkpoint=ck)
+    assert again.converged
+    assert again.iterations == ref.iterations
+    assert_bit_identical(again, ref)
+
+
+def test_foreign_checkpoint_triggers_fresh_start(tensor, tmp_path):
+    ck = tmp_path / "als.npz"
+    other = random_coo((8, 7, 6), 120, default_rng(9))
+    with inject("als.iteration:raise@hit=3"):
+        try:
+            cp_als(other, 4, n_iters=6, tol=0.0, rng=default_rng(3),
+                   checkpoint=ck)
+        except FaultInjected:
+            pass
+    # same path, different tensor: the checkpoint is damage, not a resume
+    res = reference(tensor, checkpoint=ck)
+    assert_bit_identical(res, reference(tensor))
+    assert (tmp_path / ".quarantine").is_dir()
+
+
+def test_torn_commit_fault_recovers_cleanly(tensor, tmp_path):
+    ck = tmp_path / "als.npz"
+    with inject("checkpoint.commit:truncate@hit=1"):
+        reference(tensor, checkpoint=ck)  # the run itself is unaffected
+    # first commit was torn, later commits overwrote it atomically; either
+    # way the file must now load or fall back to fresh start without error
+    res = reference(tensor, checkpoint=ck)
+    assert_bit_identical(res, reference(tensor))
+    assert scan_for_debris(tmp_path) == []

@@ -1,0 +1,150 @@
+"""Fault-plan grammar, determinism, and the injection hook."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.faults import (
+    BUILTIN_FAULT_POINTS,
+    FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+    active_plan,
+    fault_point,
+    inject,
+    install_from_env,
+    parse_faults,
+    registered_fault_points,
+    uninstall,
+)
+from repro.util.errors import FaultInjected, ValidationError
+
+
+def test_grammar_round_trip():
+    plan = parse_faults(
+        "seed=7;shards.write:truncate@hit=2;cache.put:corrupt@p=0.1,max=3")
+    assert plan.seed == 7
+    assert len(plan.specs) == 2
+    a, b = plan.specs
+    assert (a.point, a.kind, a.hit) == ("shards.write", "truncate", 2)
+    assert (b.point, b.kind, b.probability, b.max_fires) == (
+        "cache.put", "corrupt", 0.1, 3)
+    # describe() parses back to the same schedule
+    again = parse_faults(plan.describe())
+    assert again.seed == plan.seed
+    assert [s.describe() for s in again.specs] == \
+        [s.describe() for s in plan.specs]
+
+
+@pytest.mark.parametrize("text", [
+    "",                              # no clauses
+    "shards.write",                  # missing kind
+    "shards.write:explode",          # unknown kind
+    "shards.write:raise@hit=zero",   # non-numeric option
+    "shards.write:raise@bogus=1",    # unknown option
+    "seed=x;shards.write:raise",     # malformed seed
+])
+def test_grammar_rejects_malformed(text):
+    with pytest.raises(ValidationError):
+        parse_faults(text)
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"probability": 1.5}, {"hit": 0}, {"max_fires": 0},
+    {"seconds": -1.0}, {"bytes": 0}, {"frac": 1.0},
+])
+def test_spec_validation(kwargs):
+    with pytest.raises(ValidationError):
+        FaultSpec(point="cache.put", kind="corrupt", **kwargs)
+
+
+def test_builtin_points_registered():
+    registered = registered_fault_points()
+    assert len(registered) >= 6
+    for name, _desc in BUILTIN_FAULT_POINTS:
+        assert name in registered
+
+
+def test_install_rejects_unknown_point():
+    with pytest.raises(ValidationError, match="unregistered point"):
+        with inject("no.such.point:raise"):
+            pass  # pragma: no cover - install raises first
+
+
+def test_probabilistic_firing_is_seed_deterministic():
+    def fire_pattern(seed):
+        plan = parse_faults("cache.put:corrupt@p=0.4", seed=seed)
+        return [bool(plan.poll("cache.put")) for _ in range(64)]
+
+    base = fire_pattern(5)
+    assert fire_pattern(5) == base          # same seed -> same pattern
+    assert any(base) and not all(base)      # p=0.4 actually mixes
+    assert fire_pattern(6) != base          # different seed -> different
+
+
+def test_hit_and_max_rules():
+    plan = parse_faults("cache.put:stall@hit=3")
+    fired = [bool(plan.poll("cache.put")) for _ in range(5)]
+    assert fired == [False, False, True, False, False]
+
+    plan = parse_faults("cache.put:stall@max=2")
+    fired = [bool(plan.poll("cache.put")) for _ in range(5)]
+    assert fired == [True, True, False, False, False]
+
+
+def test_inject_nesting_and_raise():
+    assert active_plan() is None
+    with inject("cache.put:raise@hit=1") as outer:
+        assert active_plan() is outer
+        with inject("plan_cache.load:stall@seconds=0") as inner:
+            assert active_plan() is inner
+            # inner plan is the one consulted
+            assert fault_point("cache.put") == ()
+        assert active_plan() is outer
+        with pytest.raises(FaultInjected) as err:
+            fault_point("cache.put")
+        assert err.value.point == "cache.put"
+        assert outer.fires() == 1
+        assert outer.log[0]["kind"] == "raise"
+    assert active_plan() is None
+
+
+def test_fault_point_without_plan_is_noop():
+    assert fault_point("cache.put") == ()
+
+
+def test_fire_log_written_to_jsonl(tmp_path):
+    log = tmp_path / "faults.jsonl"
+    with inject("cache.put:stall@seconds=0;cache.put:stall@seconds=0,hit=2",
+                log_path=log):
+        fault_point("cache.put", path="/x/y.npz", shard=3)
+        fault_point("cache.put")
+    lines = [json.loads(l) for l in log.read_text().splitlines()]
+    assert len(lines) == 3  # clause 1 fires twice, clause 2 once
+    assert lines[0]["point"] == "cache.put"
+    assert lines[0]["path"] == "/x/y.npz"
+    assert lines[0]["shard"] == 3
+
+
+def test_install_from_env(tmp_path):
+    env = {
+        "REPRO_FAULTS": "seed=2;cache.put:raise@hit=1",
+        "REPRO_FAULTS_SEED": "9",
+        "REPRO_FAULTS_LOG": str(tmp_path / "log.jsonl"),
+    }
+    plan = install_from_env(env)
+    try:
+        assert isinstance(plan, FaultPlan)
+        assert plan.seed == 9  # env seed beats the seed= clause
+        assert plan.log_path == tmp_path / "log.jsonl"
+        # second call while a plan is active is a no-op (no stacking)
+        assert install_from_env(env) is plan
+    finally:
+        uninstall(plan)
+    assert install_from_env({}) is None
+
+
+def test_all_kinds_spelled():
+    assert set(FAULT_KINDS) == {"raise", "truncate", "corrupt", "stall"}

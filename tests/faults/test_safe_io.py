@@ -1,0 +1,128 @@
+"""Atomic-commit protocol, quarantine, and debris sweeping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.faults import inject, scan_for_debris
+from repro.telemetry import counters_delta, counters_snapshot
+from repro.util.errors import FaultInjected
+from repro.util.safe_io import (
+    atomic_save_npy,
+    atomic_savez,
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_text,
+    atomic_writer,
+    cleanup_stale_tmp,
+    quarantine,
+    sha256_file,
+)
+
+
+def test_atomic_write_commits(tmp_path):
+    path = tmp_path / "a.json"
+    atomic_write_json(path, {"x": 1})
+    atomic_write_text(tmp_path / "b.txt", "hello")
+    atomic_write_bytes(tmp_path / "c.bin", b"\x00\x01")
+    atomic_save_npy(tmp_path / "d.npy", np.arange(4))
+    atomic_savez(tmp_path / "e.npz", values=np.arange(3.0))
+    assert sorted(p.name for p in tmp_path.iterdir()) == [
+        "a.json", "b.txt", "c.bin", "d.npy", "e.npz"]
+    assert scan_for_debris(tmp_path) == []
+
+
+def test_atomic_write_overwrites_in_place(tmp_path):
+    path = tmp_path / "a.txt"
+    atomic_write_text(path, "one")
+    atomic_write_text(path, "two")
+    assert path.read_text() == "two"
+    assert scan_for_debris(tmp_path) == []
+
+
+def test_writer_exception_leaves_no_temp(tmp_path):
+    path = tmp_path / "a.bin"
+    with pytest.raises(RuntimeError):
+        with atomic_writer(path) as tmp:
+            tmp.write_bytes(b"partial")
+            raise RuntimeError("mid-write crash")
+    assert not path.exists()
+    assert scan_for_debris(tmp_path) == []
+
+
+def test_injected_crash_before_rename_leaves_no_torn_file(tmp_path):
+    path = tmp_path / "a.npz"
+    with inject("cache.put:raise@hit=1"):
+        with pytest.raises(FaultInjected):
+            atomic_savez(path, fault="cache.put", values=np.arange(3.0))
+    assert not path.exists()
+    assert scan_for_debris(tmp_path) == []
+
+
+def test_injected_truncate_commits_damaged_file(tmp_path):
+    path = tmp_path / "a.npz"
+    with inject("cache.put:truncate@hit=1,frac=0.25"):
+        atomic_savez(path, fault="cache.put", values=np.arange(64.0))
+    clean = tmp_path / "clean.npz"
+    atomic_savez(clean, values=np.arange(64.0))
+    # the damage lands in the *committed* file: present but short
+    assert path.exists()
+    assert path.stat().st_size < clean.stat().st_size
+    with pytest.raises(Exception):
+        dict(np.load(path))
+
+
+def test_injected_corrupt_is_seed_deterministic(tmp_path):
+    def corrupted_bytes(run):
+        path = tmp_path / f"{run}.npz"
+        with inject("cache.put:corrupt@hit=1,bytes=8", seed=11):
+            atomic_savez(path, fault="cache.put", values=np.arange(64.0))
+        return path.read_bytes()
+
+    assert corrupted_bytes("a") == corrupted_bytes("b")
+    clean = tmp_path / "clean.npz"
+    atomic_savez(clean, values=np.arange(64.0))
+    assert corrupted_bytes("c") != clean.read_bytes()
+
+
+def test_sha256_file_matches_content(tmp_path):
+    path = tmp_path / "x.bin"
+    path.write_bytes(b"abc" * 1000)
+    import hashlib
+    assert sha256_file(path) == hashlib.sha256(b"abc" * 1000).hexdigest()
+
+
+def test_quarantine_moves_and_counts(tmp_path):
+    path = tmp_path / "bad.npz"
+    path.write_bytes(b"junk")
+    before = counters_snapshot()
+    moved = quarantine(path, reason="test damage")
+    delta = counters_delta(before)
+    assert not path.exists()
+    assert moved is not None and moved.parent.name == ".quarantine"
+    assert "test damage" in (moved.parent / (moved.name + ".reason")) \
+        .read_text()
+    assert delta.get("cache.quarantined") == 1
+    # name collisions get a counter suffix instead of clobbering evidence
+    path.write_bytes(b"junk2")
+    moved2 = quarantine(path, reason="again")
+    assert moved2 != moved and moved2.exists() and moved.exists()
+    # quarantined files are not debris
+    assert scan_for_debris(tmp_path) == []
+
+
+def test_quarantine_missing_file_is_noop(tmp_path):
+    assert quarantine(tmp_path / "nope.npz", reason="x") is None
+
+
+def test_cleanup_stale_tmp(tmp_path):
+    stale = tmp_path / ".entry.npz.123.tmp"
+    stale.write_bytes(b"partial")
+    keep = tmp_path / "entry.npz"
+    keep.write_bytes(b"committed")
+    assert scan_for_debris(tmp_path) == [stale]
+    removed = cleanup_stale_tmp(tmp_path)
+    assert removed == [stale]
+    assert not stale.exists() and keep.exists()
+    assert scan_for_debris(tmp_path) == []

@@ -1,0 +1,104 @@
+"""Per-shard verification in ``open_sharded`` (size and digest modes)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.tensor.random_gen import random_coo
+from repro.tensor.shards import open_sharded, save_sharded
+from repro.util.errors import ShardIntegrityError, ValidationError
+from repro.util.prng import default_rng
+
+
+@pytest.fixture
+def source():
+    return random_coo((40, 30, 20), 5_000, default_rng(4))
+
+
+@pytest.fixture
+def root(tmp_path, source):
+    save_sharded(source, tmp_path / "t", shard_nnz=1_500)
+    return tmp_path / "t"
+
+
+def shard_files(root):
+    return sorted(p for p in root.iterdir() if p.suffix == ".npy")
+
+
+def test_clean_open_passes_both_modes(root, source):
+    a = open_sharded(root)  # default verify="size"
+    b = open_sharded(root, verify="digest")
+    assert a.nnz == b.nnz == source.nnz
+    assert a.num_shards >= 3
+
+
+def test_unknown_verify_mode_rejected(root):
+    with pytest.raises(ValidationError, match="verify"):
+        open_sharded(root, verify="paranoid")
+
+
+def test_truncated_shard_is_typed_and_names_the_file(root):
+    victim = shard_files(root)[-1]
+    victim.write_bytes(victim.read_bytes()[:-7])  # lose a few tail bytes
+    with pytest.raises(ShardIntegrityError) as err:
+        open_sharded(root)
+    assert victim.name in str(err.value)
+    assert Path(err.value.path) == victim
+
+
+def test_overlong_shard_is_rejected(root):
+    victim = shard_files(root)[0]
+    with open(victim, "ab") as fh:
+        fh.write(b"\x00" * 16)
+    with pytest.raises(ShardIntegrityError) as err:
+        open_sharded(root)
+    assert victim.name in str(err.value)
+
+
+def test_missing_shard_is_rejected(root):
+    victim = shard_files(root)[1]
+    victim.unlink()
+    with pytest.raises(ShardIntegrityError) as err:
+        open_sharded(root)
+    assert victim.name in str(err.value)
+
+
+def test_garbled_header_is_rejected(root):
+    victim = shard_files(root)[0]
+    raw = bytearray(victim.read_bytes())
+    raw[:6] = b"NOTNPY"
+    victim.write_bytes(bytes(raw))
+    with pytest.raises(ShardIntegrityError):
+        open_sharded(root)
+
+
+def test_size_mode_misses_length_preserving_bitflip(root):
+    """The documented trade-off: size checks are O(1) and catch tears, the
+    digest mode re-hashes payloads and also catches in-place bitrot."""
+    victim = shard_files(root)[-1]
+    raw = bytearray(victim.read_bytes())
+    raw[-3] ^= 0xFF  # flip payload bits, keep the length
+    victim.write_bytes(bytes(raw))
+    open_sharded(root)  # size mode: passes (length unchanged)
+    with pytest.raises(ShardIntegrityError) as err:
+        open_sharded(root, verify="digest")
+    assert victim.name in str(err.value)
+
+
+def test_integrity_error_is_a_validation_error(root):
+    """Recovery paths catch ValidationError to treat damaged *derived*
+    state as a rebuildable miss; the subclassing is what routes shard
+    damage into those paths."""
+    assert issubclass(ShardIntegrityError, ValidationError)
+
+
+def test_wrong_dtype_shard_is_rejected(root, tmp_path):
+    victim = shard_files(root)[0]
+    arr = np.load(victim)
+    np.save(victim, arr.astype(np.float32 if arr.dtype.kind == "f"
+                               else np.int16))
+    with pytest.raises(ShardIntegrityError):
+        open_sharded(root)

@@ -5,6 +5,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+pytestmark = pytest.mark.chaos_sensitive  # exact hit/miss accounting
+
 from repro.core.mttkrp import MttkrpPlan, mttkrp
 from repro.core.splitting import SplitConfig
 from repro.formats import (

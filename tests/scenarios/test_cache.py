@@ -7,6 +7,8 @@ import json
 import numpy as np
 import pytest
 
+pytestmark = pytest.mark.chaos_sensitive  # asserts entry presence after put
+
 from repro.scenarios import ScenarioCache, materialize, parse_spec
 from repro.scenarios.registry import _GENERATORS
 from repro.util.errors import ValidationError
@@ -98,8 +100,9 @@ class TestRobustness:
         spec = parse_spec(SPEC)
         tensor = materialize(spec, cache)
         cache.path_for(spec).write_bytes(b"garbage")
-        assert cache.get(spec) is None          # treated as a miss
-        assert not cache.path_for(spec).exists()  # and removed
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            assert cache.get(spec) is None      # treated as a miss
+        assert not cache.path_for(spec).exists()  # and quarantined
         assert materialize(spec, cache) == tensor
 
     def test_put_rejects_shape_mismatch(self, cache):

@@ -5,6 +5,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+pytestmark = pytest.mark.chaos_sensitive  # asserts entry presence after put
+
 from repro.scenarios.cache import (
     DEFAULT_BATCH_NNZ,
     ScenarioCache,
